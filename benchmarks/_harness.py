@@ -1,0 +1,34 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it in the paper's layout (run pytest with ``-s`` to see the tables).
+``REPRO_FULL=1`` switches to the paper's full experiment scale; the
+default scale is reduced so the whole bench suite stays in CI budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def scale(default, full):
+    """Pick an experiment size: reduced by default, paper-scale FULL."""
+    return full if FULL else default
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Register *fn* with pytest-benchmark as a single-shot measurement."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

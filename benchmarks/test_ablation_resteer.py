@@ -1,0 +1,45 @@
+"""Ablation A2: phantom reach as a latency race.
+
+DESIGN.md models the IF/ID/EX split as a race between the decoder's
+resteer and the µop queue's issue: ``phantom_exec_uops =
+max(0, frontend_resteer_latency - issue_latency)``.  Sweeping the
+resteer latency across the issue latency must flip the observed reach
+from decode-only to execute exactly at the boundary — i.e. Zen 1/2 vs
+Zen 3/4 is one parameter, not two mechanisms.
+"""
+
+from dataclasses import replace
+
+from repro.core import TrainKind, VictimKind, measure_cell
+from repro.pipeline import Reach, ZEN2
+
+from _harness import emit, run_once
+
+SWEEP = range(2, 11)
+
+
+def test_ablation_resteer_latency_race(benchmark):
+    def experiment():
+        results = {}
+        for latency in SWEEP:
+            uarch = replace(ZEN2, frontend_resteer_latency=latency)
+            cell = measure_cell(uarch, TrainKind.INDIRECT,
+                                VictimKind.NON_BRANCH)
+            results[latency] = cell.reach
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    issue = ZEN2.issue_latency
+    lines = [f"Ablation — reach vs frontend resteer latency "
+             f"(issue latency = {issue})",
+             "resteer latency : " + "  ".join(f"{l:2d}" for l in SWEEP),
+             "observed reach  : " + "  ".join(f"{results[l].name[:2]}"
+                                              for l in SWEEP)]
+    emit("ablation_resteer", lines)
+
+    for latency, reach in results.items():
+        if latency <= issue:
+            assert reach is Reach.DECODE, latency
+        else:
+            assert reach is Reach.EXECUTE, latency

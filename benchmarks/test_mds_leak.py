@@ -1,0 +1,53 @@
+"""Section 7.4: leaking kernel memory with an MDS gadget + P3.
+
+Reproduction target (shape): the paper leaks 4096 bytes of randomized
+kernel data on a Zen 2 EPYC 7252 at a median 84 B/s with 100 % accuracy
+in 8 of 10 reboots (2 gave no signal).  We assert perfect accuracy on
+the signalling runs and report the simulated bandwidth; the byte count
+and run count are reduced by default (REPRO_FULL=1 for paper scale).
+"""
+
+from statistics import median
+
+from repro.core import leak_kernel_memory
+from repro.kernel import Machine
+from repro.pipeline import ZEN2
+
+from _harness import emit, run_once, scale
+
+RUNS = scale(3, 10)
+N_BYTES = scale(256, 4096)
+
+
+def test_mds_gadget_kernel_leak(benchmark):
+    def experiment():
+        outcomes = []
+        for run in range(RUNS):
+            machine = Machine(ZEN2, kaslr_seed=4000 + run, rng_seed=run)
+            result = leak_kernel_memory(machine, machine.kaslr.image_base,
+                                        machine.kaslr.physmap_base,
+                                        n_bytes=N_BYTES)
+            outcomes.append(result)
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    signalling = [r for r in outcomes if r.signal]
+    lines = [f"§7.4 — MDS-gadget leak of {N_BYTES} bytes, {RUNS} runs "
+             f"(fresh boot each)",
+             f"runs with signal: {len(signalling)}/{RUNS} "
+             f"(paper: 8/10)"]
+    for i, result in enumerate(outcomes):
+        lines.append(f"  run {i}: accuracy {result.accuracy * 100:6.2f}%  "
+                     f"bandwidth {result.bytes_per_second:10.1f} B/s "
+                     f"(simulated)  no-signal bytes: "
+                     f"{result.no_signal_bytes}")
+    if signalling:
+        lines.append(f"median bandwidth over signalling runs: "
+                     f"{median(r.bytes_per_second for r in signalling):.1f}"
+                     f" B/s (paper: 84 B/s on hardware)")
+    emit("mds_leak", lines)
+
+    assert signalling, "no run produced any signal"
+    for result in signalling:
+        assert result.accuracy == 1.0   # paper: perfect accuracy

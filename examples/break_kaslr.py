@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Derandomize kernel-image KASLR with P1 (paper §7.1).
+
+Boots a Zen 3 machine with a random KASLR seed and recovers the kernel
+image base out of 488 possible slots using only:
+
+* cross-privilege BTB aliasing (the Figure 7 functions),
+* phantom speculation at ``getpid()``'s ``__task_pid_nr_ns`` prologue,
+* Prime+Probe on the instruction cache with §7.3 scoring.
+
+Run:  python examples/break_kaslr.py [seed]
+"""
+
+import sys
+
+from repro.core import break_kernel_image_kaslr
+from repro.kernel import Machine
+from repro.pipeline import ZEN3
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2024
+    machine = Machine(ZEN3, kaslr_seed=seed)
+    print(f"booted {machine.uarch.model}, KASLR seed {seed}")
+    print(f"scanning {488} candidate slots via getpid() phantoms ...")
+
+    result = break_kernel_image_kaslr(machine)
+
+    top = sorted(result.scores, key=lambda g: -g.score)[:3]
+    print("\ntop scoring candidates:")
+    for guess in top:
+        marker = " <= actual" if guess.guess == machine.kaslr.image_base \
+            else ""
+        print(f"  {guess.guess:#x}  score {guess.score}{marker}")
+
+    print(f"\nguessed image base: {result.guessed_base:#x}")
+    print(f"actual image base:  {machine.kaslr.image_base:#x}")
+    print(f"derandomization {'SUCCEEDED' if result.correct(machine.kaslr) else 'FAILED'}"
+          f" in {result.seconds * 1000:.2f} simulated ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 6 as an ASCII plot: detecting speculative decode.
+
+Train a non-branch victim with jmp* and sweep the page offset of the
+target C.  The µop-cache set primed by a jmp-series at offset 0xac0
+only loses ways when C shares its set — the spike of Figure 6.
+
+Run:  python examples/figure6_sweep.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+from test_figure6_opcache import SERIES_OFFSET, SWEEP, measure_misses  # noqa: E402
+
+from repro.pipeline import ZEN2, ZEN4  # noqa: E402
+
+
+def main() -> None:
+    print("Figure 6 — µop-cache misses vs page offset of C "
+          "(jmp-series at 0xac0)\n")
+    for uarch in (ZEN2, ZEN4):
+        series = [measure_misses(uarch, off) for off in SWEEP]
+        peak = max(series) or 1
+        print(f"{uarch.name}:")
+        for off, misses in zip(SWEEP, series):
+            bar = "#" * round(20 * misses / peak)
+            marker = "  <- matches the series set" \
+                if off == SERIES_OFFSET else ""
+            print(f"  {off:#5x} |{bar:<20s}| {misses}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Hunt for Phantom-exploitable gadgets in a kernel-like corpus (§9.3).
+
+Generates a synthetic corpus of kernel functions, runs the taint-based
+gadget scanner over every bounds-checked path, and shows how counting
+single-load (MDS-style) gadgets — which Phantom's P3 weaponizes —
+multiplies the exploitable population, then demonstrates one finding
+end to end with the tracer.
+
+Run:  python examples/gadget_hunt.py
+"""
+
+from repro.analysis import (GadgetKind, Tracer, generate_corpus,
+                            scan_corpus, scan_function)
+from repro.kernel import Machine, SYS_MDS
+from repro.pipeline import ZEN2
+
+
+def census() -> None:
+    corpus = generate_corpus(total=400, seed=42)
+    summary = scan_corpus(corpus.image, corpus.entries)
+    print(f"scanned {len(corpus.functions)} functions:")
+    print(f"  conventional Spectre gadgets (double load): "
+          f"{summary.spectre_v1}")
+    print(f"  MDS-style single-load gadgets:              "
+          f"{summary.mds_single_load}")
+    print(f"  exploitable with Phantom P3:                "
+          f"{summary.phantom_exploitable}")
+    print(f"  amplification: {summary.amplification:.2f}x "
+          f"(paper: 722/183 = 3.95x)\n")
+
+
+def demonstrate_one() -> None:
+    """Scan the *actual* kernel module of the simulator and exploit the
+    finding it reports."""
+    machine = Machine(ZEN2, kaslr_seed=3)
+    entry = machine.modules.sym("mds_read_data")
+    reports = scan_function(machine.modules.image, entry)
+    print(f"scanning the simulator's own MDS kernel module:")
+    for report in reports:
+        print(f"  {report.kind.value} at branch {report.branch_pc:#x}, "
+              f"load {report.load_pc:#x}")
+    assert any(r.kind is GadgetKind.MDS_SINGLE_LOAD for r in reports)
+
+    print("\ntracing one out-of-bounds call into the gadget:")
+    with Tracer(machine) as trace:
+        machine.syscall(SYS_MDS, 0x900, 0)
+    lines = [line for line in trace.render().splitlines()
+             if "spectre" in line or "phantom" in line]
+    for line in lines[:4]:
+        print(f"  {line.strip()}")
+
+
+if __name__ == "__main__":
+    census()
+    demonstrate_one()

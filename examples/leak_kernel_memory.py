@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The full §7 attack chain: leak arbitrary kernel memory on Zen 2.
+
+Stage 1  break kernel-image KASLR (P1, 488 slots)
+Stage 2  break physmap KASLR      (P2, 25 600 slots)
+Stage 3  find the reload buffer's physical address (Flush+Reload oracle)
+Stage 4  leak kernel secrets through an MDS gadget (P3 nested in a
+         Spectre-v1 window)
+
+The attacker only ever executes unprivileged code, issues syscalls and
+measures cache timing.  The kernel's secret is never architecturally
+readable from user mode — stage 4 verifies the leak against the ground
+truth the simulator knows.
+
+Run:  python examples/leak_kernel_memory.py
+"""
+
+from repro.core import (break_kernel_image_kaslr, break_physmap_kaslr,
+                        find_physical_address, leak_kernel_memory)
+from repro.kernel import Machine
+from repro.pipeline import ZEN2
+
+RELOAD_BUFFER_VA = 0x0000_0000_7A00_0000
+LEAK_BYTES = 128
+
+
+def main() -> None:
+    machine = Machine(ZEN2, kaslr_seed=99, phys_mem=1 << 30)
+    print(f"victim: {machine.uarch.model}, 1 GiB RAM, KASLR on\n")
+
+    print("[1/4] breaking kernel image KASLR with P1 ...")
+    image = break_kernel_image_kaslr(machine)
+    status = "ok" if image.correct(machine.kaslr) else "WRONG"
+    print(f"      image base  = {image.guessed_base:#x} ({status})")
+
+    print("[2/4] breaking physmap KASLR with P2 ...")
+    physmap = break_physmap_kaslr(machine, image.guessed_base)
+    status = "ok" if physmap.correct(machine.kaslr) else "WRONG"
+    print(f"      physmap     = {physmap.guessed_base:#x} ({status}) "
+          f"after {physmap.candidates_scanned} candidates")
+
+    print("[3/4] locating the reload buffer in physical memory ...")
+    machine.map_user_huge(RELOAD_BUFFER_VA)
+    pa = find_physical_address(machine, image.guessed_base,
+                               physmap.guessed_base, RELOAD_BUFFER_VA)
+    status = "ok" if pa.correct(machine, RELOAD_BUFFER_VA) else "WRONG"
+    print(f"      reload PA   = {pa.guessed_pa:#x} ({status})")
+
+    print(f"[4/4] leaking {LEAK_BYTES} bytes of kernel memory via the "
+          f"MDS gadget + P3 ...")
+    leak = leak_kernel_memory(machine, image.guessed_base,
+                              physmap.guessed_base, n_bytes=LEAK_BYTES)
+    print(f"      accuracy    = {leak.accuracy * 100:.1f}%  "
+          f"({leak.no_signal_bytes} no-signal bytes)")
+    print(f"      leaked[0:16]   {leak.leaked[:16].hex()}")
+    print(f"      expected[0:16] {leak.expected[:16].hex()}")
+    if leak.leaked == leak.expected:
+        print("\nkernel memory leaked byte-for-byte. Mitigations "
+              "bypassed: phantom speculation is decoder-detected, not "
+              "execute-detected.")
+
+
+if __name__ == "__main__":
+    main()

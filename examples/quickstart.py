@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: trigger and observe one Phantom speculation.
+
+Trains the BTB with an indirect branch at user address A, then executes
+*nops* at a BTB-aliased address B.  The frontend predicts a branch at
+the nop, fetches and decodes the stale target — and on Zen 2 even
+executes its load — before the decoder notices there is no branch at
+all and resteers.  Everything is observed through timing and
+performance counters, never via simulator internals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TrainKind, TypeConfusionExperiment, VictimKind
+from repro.kernel import Machine
+from repro.pipeline import ZEN2, ZEN3
+
+
+def show(uarch) -> None:
+    print(f"--- {uarch.name} ({uarch.model}) ---")
+    results = {}
+    for channel in ("fetch", "decode", "execute"):
+        machine = Machine(uarch, syscall_noise_evictions=0)
+        experiment = TypeConfusionExperiment(
+            machine, TrainKind.INDIRECT, VictimKind.NON_BRANCH)
+        results[channel] = getattr(experiment, f"measure_{channel}")()
+    print(f"  training: jmp*   victim: nop sled (no branch at all!)")
+    print(f"  transient fetch   (I-cache timing):        "
+          f"{'observed' if results['fetch'] else 'not observed'}")
+    print(f"  transient decode  (µop-cache counters):    "
+          f"{'observed' if results['decode'] else 'not observed'}")
+    print(f"  transient execute (D-cache timing):        "
+          f"{'observed' if results['execute'] else 'not observed'}")
+    print()
+
+
+def main() -> None:
+    print("Phantom quickstart: speculation on an instruction that is "
+          "not a branch\n")
+    show(ZEN2)   # frontend loses the race: fetch + decode + execute
+    show(ZEN3)   # decoder wins: fetch + decode only
+    print("Zen 2's phantom window is long enough to execute a memory "
+          "load\n(observation O3) - the capability behind the physmap "
+          "and MDS exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reverse engineer the Zen 3 cross-privilege BTB functions (§6.2).
+
+First shows that brute-forcing small bit-flip patterns fails (bit 47
+participates in every function), then runs the random-collision
+sampling + GF(2) analysis that replaces the paper's SMT solver and
+prints the recovered XOR functions — Figure 7.
+
+The collision oracle is the simulated BTB itself: train a branch at
+address *a*, look up at address *b*, and see whether the prediction is
+served.
+
+Run:  python examples/reverse_engineer_btb.py
+"""
+
+import random
+
+from repro.frontend import BTB, ZEN3_ALIAS_PATTERNS
+from repro.pipeline import ZEN3
+from repro.isa import BranchKind
+from repro.revtools import (brute_force_patterns, gf2, recover_functions,
+                            solve_alias_pattern)
+
+KERNEL_ADDR = 0xFFFF_FFFF_8123_4AC0 & ((1 << 48) - 1)
+
+
+def btb_oracle(a: int, b: int) -> bool:
+    """Does training at *a* serve a prediction at *b*?"""
+    btb = BTB(ZEN3.btb)
+    btb.train(a, BranchKind.INDIRECT, 0x4000, kernel_mode=False)
+    return btb.lookup(b, kernel_mode=False) is not None
+
+
+def main() -> None:
+    print("step 1: brute force — flip bit 47 plus up to 3 more bits")
+    result = brute_force_patterns(btb_oracle, KERNEL_ADDR, max_bits=3)
+    print(f"  tested {result.tested} patterns, found {len(result.patterns)}"
+          f" collisions (the paper's negative result)\n")
+
+    print("step 2: random collision sampling + GF(2) solving "
+          "(Z3 replacement)")
+    rng = random.Random(1337)
+    recovered = recover_functions(
+        btb_oracle, [KERNEL_ADDR, KERNEL_ADDR ^ 0x40_0000],
+        samples_per_addr=200_000, rng=rng)
+    total = sum(s.samples for s in recovered.surveys)
+    hits = sum(len(s.colliding) for s in recovered.surveys)
+    print(f"  sampled {total} random user addresses, {hits} collided")
+    print(f"  recovered {len(recovered.masks)} functions "
+          f"(coefficient bound n=4):")
+    for line in recovered.formatted():
+        print(f"    {line}")
+
+    from repro.frontend import ZEN3_TAG_FUNCTIONS
+    in_span = sum(gf2.in_span(f, recovered.masks)
+                  for f in ZEN3_TAG_FUNCTIONS)
+    print(f"  all 12 published Figure 7 functions in recovered span: "
+          f"{in_span}/12 (minimal bases are not unique; the span is)")
+
+    print("\nstep 3: derive a user/kernel alias pattern and verify the "
+          "published masks")
+    alias = solve_alias_pattern(recovered.masks)
+    print(f"  solved alias pattern: K ^ {alias:#018x}")
+    print(f"  oracle(K, K ^ pattern) = "
+          f"{btb_oracle(KERNEL_ADDR, KERNEL_ADDR ^ alias)}")
+    for pattern in ZEN3_ALIAS_PATTERNS:
+        low48 = pattern & ((1 << 48) - 1)
+        ok = btb_oracle(KERNEL_ADDR, KERNEL_ADDR ^ low48)
+        print(f"  published pattern {pattern:#018x}: collides = {ok}")
+
+
+if __name__ == "__main__":
+    main()

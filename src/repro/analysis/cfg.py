@@ -1,0 +1,64 @@
+"""Control-flow graphs over disassembled basic blocks (networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..isa import Image
+from .disasm import BasicBlock, Disassembler
+
+
+def build_cfg(image: Image, entry: int, *,
+              max_blocks: int = 512) -> nx.DiGraph:
+    """CFG reachable from *entry*: nodes are block start addresses with
+    a ``block`` attribute; edges carry a ``label`` attribute
+    (fallthrough / taken / jump / call)."""
+    disasm = Disassembler(image)
+    blocks = disasm.discover_blocks(entry, max_blocks=max_blocks)
+    graph = nx.DiGraph()
+    for start, block in blocks.items():
+        graph.add_node(start, block=block)
+    for start, block in blocks.items():
+        for target, label in block.successors():
+            if target in blocks:
+                graph.add_edge(start, target, label=label)
+    return graph
+
+
+def conditional_blocks(graph: nx.DiGraph) -> list[BasicBlock]:
+    """Blocks ending in a conditional branch (potential v1 sources)."""
+    out = []
+    for _, data in graph.nodes(data=True):
+        block: BasicBlock = data["block"]
+        term = block.terminator
+        if term is not None and term.kind.value == "jcc":
+            out.append(block)
+    return out
+
+
+def paths_after(graph: nx.DiGraph, block: BasicBlock, *,
+                max_instructions: int = 24) -> list[list]:
+    """Instruction sequences along each CFG path leaving *block*,
+    bounded by *max_instructions* (the speculation window depth)."""
+    paths = []
+    term = block.terminator
+
+    def walk(node: int, acc: list, budget: int) -> None:
+        data = graph.nodes.get(node)
+        if data is None or budget <= 0:
+            paths.append(acc)
+            return
+        blk: BasicBlock = data["block"]
+        instrs = blk.instructions[:budget]
+        acc = acc + instrs
+        budget -= len(instrs)
+        succs = list(graph.successors(node))
+        if not succs or budget <= 0:
+            paths.append(acc)
+            return
+        for succ in succs:
+            walk(succ, acc, budget)
+
+    for succ in graph.successors(block.start):
+        walk(succ, [], max_instructions)
+    return paths

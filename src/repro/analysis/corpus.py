@@ -1,0 +1,187 @@
+"""Synthetic kernel-function corpus for gadget-census experiments.
+
+The paper (§9.3) cites Kasper's Linux-kernel numbers: 183 conventional
+Spectre gadgets versus 722 once Phantom's single-load gadgets count —
+about a 4x amplification.  We cannot scan Linux here, so this module
+generates a corpus of kernel-ish functions whose gadget-class mix is
+drawn from configurable frequencies; the default mix reflects Kasper's
+relative proportions.  The census experiment then runs the *scanner*
+over the corpus and checks it recovers the implanted ground truth —
+the reproduction target is the methodology and the amplification
+ratio, not Linux's absolute counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..isa import Assembler, Cond, Image, Reg
+
+#: Default template mix (relative weights).  ``v1`` and ``mds`` mirror
+#: Kasper's 183:539 split between double-load and single-load gadgets;
+#: the harmless templates model the bulk of kernel code.
+DEFAULT_MIX: dict[str, int] = {
+    "v1_double_load": 183,
+    "mds_single_load": 539,
+    "checked_clean_load": 400,
+    "nospec_masked_load": 300,
+    "unchecked_load": 500,
+    "alu_only": 800,
+}
+
+
+@dataclass
+class CorpusFunction:
+    """Ground truth for one generated function."""
+
+    name: str
+    entry: int
+    template: str
+
+
+@dataclass
+class Corpus:
+    """A generated image plus the implanted ground truth."""
+
+    image: Image
+    functions: list[CorpusFunction] = field(default_factory=list)
+
+    @property
+    def entries(self) -> list[int]:
+        return [fn.entry for fn in self.functions]
+
+    def count(self, template: str) -> int:
+        return sum(fn.template == template for fn in self.functions)
+
+
+def _emit_prologue(asm: Assembler) -> None:
+    asm.push(Reg.RBP)
+    asm.mov_rr(Reg.RBP, Reg.RSP)
+
+
+def _emit_epilogue(asm: Assembler) -> None:
+    asm.pop(Reg.RBP)
+    asm.ret()
+
+
+def _template_v1(asm: Assembler, data_base: int, uid: str,
+                 hardened: bool) -> None:
+    """Bounds check guarding two dependent loads (classic v1)."""
+    _emit_prologue(asm)
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.jcc(Cond.AE, f"out_{uid}")
+    if hardened:
+        asm.lfence()
+    asm.mov_ri(Reg.RCX, data_base)
+    asm.add_rr(Reg.RCX, Reg.RDI)
+    asm.loadb(Reg.RAX, Reg.RCX)          # secret = array[idx]
+    asm.shl_ri(Reg.RAX, 6)
+    asm.mov_ri(Reg.RBX, data_base + 0x1000)
+    asm.add_rr(Reg.RBX, Reg.RAX)
+    asm.loadb(Reg.R9, Reg.RBX)           # transmit via cache
+    asm.label(f"out_{uid}")
+    _emit_epilogue(asm)
+
+
+def _template_mds(asm: Assembler, data_base: int, uid: str,
+                  hardened: bool) -> None:
+    """Bounds check guarding a single load + call (Listing 4 shape)."""
+    _emit_prologue(asm)
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.jcc(Cond.AE, f"out_{uid}")
+    if hardened:
+        asm.lfence()
+    asm.mov_ri(Reg.RCX, data_base)
+    asm.add_rr(Reg.RCX, Reg.RDI)
+    asm.loadb(Reg.RAX, Reg.RCX)          # single attacker-indexed load
+    asm.call(f"parse_{uid}")
+    asm.label(f"out_{uid}")
+    _emit_epilogue(asm)
+    asm.label(f"parse_{uid}")
+    asm.nop()
+    asm.ret()
+
+
+def _template_checked_clean(asm: Assembler, data_base: int, uid: str,
+                            hardened: bool) -> None:
+    """Bounds check, but the guarded load address is not tainted."""
+    _emit_prologue(asm)
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.jcc(Cond.AE, f"out_{uid}")
+    asm.mov_ri(Reg.RCX, data_base + 0x2000)
+    asm.load(Reg.RAX, Reg.RCX, 0x10)     # fixed-address load: harmless
+    asm.label(f"out_{uid}")
+    _emit_epilogue(asm)
+
+
+def _template_nospec(asm: Assembler, data_base: int, uid: str,
+                     hardened: bool) -> None:
+    """array_index_nospec: the index is masked to the array bound, so
+    the speculative dereference cannot reach attacker-chosen memory."""
+    _emit_prologue(asm)
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.jcc(Cond.AE, f"out_{uid}")
+    asm.and_ri(Reg.RDI, 63)              # the nospec mask
+    asm.mov_ri(Reg.RCX, data_base)
+    asm.add_rr(Reg.RCX, Reg.RDI)
+    asm.loadb(Reg.RAX, Reg.RCX)
+    asm.label(f"out_{uid}")
+    _emit_epilogue(asm)
+
+
+def _template_unchecked(asm: Assembler, data_base: int, uid: str,
+                        hardened: bool) -> None:
+    """Attacker-indexed load with no mispredictable guard."""
+    _emit_prologue(asm)
+    asm.mov_ri(Reg.RCX, data_base)
+    asm.add_rr(Reg.RCX, Reg.RDI)
+    asm.loadb(Reg.RAX, Reg.RCX)
+    _emit_epilogue(asm)
+
+
+def _template_alu(asm: Assembler, data_base: int, uid: str,
+                  hardened: bool) -> None:
+    _emit_prologue(asm)
+    asm.mov_rr(Reg.RAX, Reg.RDI)
+    asm.shl_ri(Reg.RAX, 2)
+    asm.add_rr(Reg.RAX, Reg.RSI)
+    asm.xor_rr(Reg.RDX, Reg.RAX)
+    _emit_epilogue(asm)
+
+
+_TEMPLATES = {
+    "v1_double_load": _template_v1,
+    "mds_single_load": _template_mds,
+    "checked_clean_load": _template_checked_clean,
+    "nospec_masked_load": _template_nospec,
+    "unchecked_load": _template_unchecked,
+    "alu_only": _template_alu,
+}
+
+
+def generate_corpus(*, base: int = 0xFFFF_FFFF_D000_0000,
+                    data_base: int = 0xFFFF_FFFF_D800_0000,
+                    mix: dict[str, int] | None = None,
+                    total: int = 400, seed: int = 0,
+                    hardened: bool = False) -> Corpus:
+    """Generate *total* functions sampled from *mix* (with the implanted
+    template recorded as ground truth).  ``hardened=True`` inserts an
+    ``lfence`` after each gadget's bounds check (§8.2's mitigation)."""
+    mix = mix or DEFAULT_MIX
+    rng = random.Random(seed)
+    population = list(mix)
+    weights = [mix[t] for t in population]
+
+    asm = Assembler(base)
+    functions: list[CorpusFunction] = []
+    for i in range(total):
+        template = rng.choices(population, weights)[0]
+        asm.align(32)
+        name = f"fn_{i}_{template}"
+        entry = asm.label(name)
+        _TEMPLATES[template](asm, data_base, str(i), hardened)
+        functions.append(CorpusFunction(name=name, entry=entry,
+                                        template=template))
+    asm.hlt()
+    return Corpus(image=asm.image(), functions=functions)

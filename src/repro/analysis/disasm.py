@@ -1,0 +1,181 @@
+"""Disassembly of images into instructions and basic blocks.
+
+Linear sweep within reachable regions plus recursive descent across
+direct control-flow edges.  The decoder is the same one the pipeline
+uses, so the analysis sees exactly the bytes the frontend would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DecodeError
+from ..isa import BranchKind, Image, Instruction, Mnemonic, decode
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """An instruction pinned to its address."""
+
+    pc: int
+    instr: Instruction
+
+    @property
+    def end(self) -> int:
+        return self.pc + self.instr.length
+
+    @property
+    def kind(self) -> BranchKind:
+        return self.instr.branch_kind
+
+    def target(self) -> int | None:
+        return self.instr.target(self.pc)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.pc:#x}: {self.instr}"
+
+
+#: Mnemonics that end a basic block without a successor inside the fn.
+_TERMINATORS = frozenset({Mnemonic.RET, Mnemonic.HLT, Mnemonic.UD2,
+                          Mnemonic.SYSRET, Mnemonic.JMP,
+                          Mnemonic.JMP_SHORT, Mnemonic.JMP_REG})
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: list[DecodedInstr] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.instructions[-1].end if self.instructions else self.start
+
+    @property
+    def terminator(self) -> DecodedInstr | None:
+        return self.instructions[-1] if self.instructions else None
+
+    def successors(self) -> list[tuple[int, str]]:
+        """Static successor addresses with edge labels.
+
+        Labels: ``fallthrough``, ``taken``, ``call`` (the call target;
+        the return continuation is a fallthrough edge), ``jump``.
+        Indirect targets are unknown and yield no edge.
+        """
+        term = self.terminator
+        if term is None:
+            return []
+        kind = term.kind
+        out: list[tuple[int, str]] = []
+        if kind in (BranchKind.DIRECT,):
+            out.append((term.target(), "jump"))
+        elif kind is BranchKind.CONDITIONAL:
+            out.append((term.target(), "taken"))
+            out.append((term.end, "fallthrough"))
+        elif kind is BranchKind.CALL_DIRECT:
+            out.append((term.target(), "call"))
+            out.append((term.end, "fallthrough"))
+        elif kind in (BranchKind.RETURN, BranchKind.INDIRECT,
+                      BranchKind.CALL_INDIRECT):
+            if kind is BranchKind.CALL_INDIRECT:
+                out.append((term.end, "fallthrough"))
+        elif term.instr.mnemonic not in _TERMINATORS:
+            out.append((term.end, "fallthrough"))
+        return out
+
+
+class Disassembler:
+    """Recursive-descent disassembler over an :class:`Image`."""
+
+    def __init__(self, image: Image) -> None:
+        self.image = image
+        self._bytes: dict[int, bytes] = {
+            seg.base: seg.data for seg in image.segments}
+
+    def instruction_at(self, pc: int) -> DecodedInstr | None:
+        """Decode one instruction at *pc*, or None if not decodable."""
+        for base, data in self._bytes.items():
+            if base <= pc < base + len(data):
+                try:
+                    instr = decode(data, pc - base)
+                except DecodeError:
+                    return None
+                return DecodedInstr(pc, instr)
+        return None
+
+    def linear_sweep(self, start: int, *,
+                     max_bytes: int = 4096) -> list[DecodedInstr]:
+        """Decode sequentially from *start* until garbage/terminator."""
+        out: list[DecodedInstr] = []
+        pc = start
+        while pc < start + max_bytes:
+            decoded = self.instruction_at(pc)
+            if decoded is None:
+                break
+            out.append(decoded)
+            if decoded.instr.mnemonic in _TERMINATORS:
+                break
+            pc = decoded.end
+        return out
+
+    def discover_blocks(self, entry: int, *,
+                        max_blocks: int = 512) -> dict[int, BasicBlock]:
+        """Recursive descent from *entry*; returns blocks by start pc."""
+        blocks: dict[int, BasicBlock] = {}
+        worklist = [entry]
+        # First pass: find all block leaders reachable from the entry.
+        leaders = {entry}
+        seen_instrs: dict[int, DecodedInstr] = {}
+        frontier = [entry]
+        while frontier and len(leaders) < max_blocks:
+            pc = frontier.pop()
+            while True:
+                if pc in seen_instrs:
+                    break
+                decoded = self.instruction_at(pc)
+                if decoded is None:
+                    break
+                seen_instrs[pc] = decoded
+                kind = decoded.kind
+                if kind is BranchKind.CONDITIONAL:
+                    for target in (decoded.target(), decoded.end):
+                        if target not in leaders:
+                            leaders.add(target)
+                            frontier.append(target)
+                    break
+                if kind in (BranchKind.DIRECT,):
+                    target = decoded.target()
+                    if target not in leaders:
+                        leaders.add(target)
+                        frontier.append(target)
+                    break
+                if kind is BranchKind.CALL_DIRECT:
+                    for target in (decoded.target(), decoded.end):
+                        if target not in leaders:
+                            leaders.add(target)
+                            frontier.append(target)
+                    break
+                if decoded.instr.mnemonic in _TERMINATORS \
+                        or kind in (BranchKind.RETURN, BranchKind.INDIRECT,
+                                    BranchKind.CALL_INDIRECT):
+                    break
+                pc = decoded.end
+        # Second pass: materialise blocks between leaders.
+        for leader in sorted(leaders):
+            block = BasicBlock(start=leader)
+            pc = leader
+            while True:
+                decoded = self.instruction_at(pc)
+                if decoded is None:
+                    break
+                block.instructions.append(decoded)
+                if decoded.instr.mnemonic in _TERMINATORS \
+                        or decoded.kind.is_branch:
+                    break
+                if decoded.end in leaders:
+                    break
+                pc = decoded.end
+            if block.instructions:
+                blocks[leader] = block
+        return blocks

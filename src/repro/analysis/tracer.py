@@ -1,0 +1,105 @@
+"""Execution tracing: per-instruction timeline with speculation episodes.
+
+Attach a :class:`Tracer` to a machine, run code, and render a text
+timeline interleaving architectural instructions with the phantom /
+Spectre episodes they triggered — the tool we reach for when a new
+experiment misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pipeline import EpisodeRecord, Reach
+
+
+@dataclass
+class TraceEntry:
+    """One retired instruction plus the episodes it triggered."""
+
+    pc: int
+    text: str
+    cycle: int
+    kernel_mode: bool
+    episodes: list[EpisodeRecord] = field(default_factory=list)
+
+
+class Tracer:
+    """Records an instruction/episode timeline from a machine."""
+
+    def __init__(self, machine, *, limit: int = 10_000) -> None:
+        self.machine = machine
+        self.limit = limit
+        self.entries: list[TraceEntry] = []
+        self._armed = False
+
+    # -- recording -----------------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        cpu = self.machine.cpu
+        self._saved_hook = cpu.instr_hook
+        self._saved_record = cpu.record_episodes
+        self._episode_mark = len(cpu.episodes)
+        cpu.record_episodes = True
+        cpu.instr_hook = self._on_instruction
+        self._armed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        cpu = self.machine.cpu
+        cpu.instr_hook = self._saved_hook
+        cpu.record_episodes = self._saved_record
+        self._armed = False
+        self._attach_remaining_episodes()
+
+    def _on_instruction(self, pc: int, instr) -> None:
+        if len(self.entries) >= self.limit:
+            return
+        self._attach_remaining_episodes()
+        cpu = self.machine.cpu
+        self.entries.append(TraceEntry(
+            pc=pc, text=str(instr), cycle=cpu.cycles,
+            kernel_mode=cpu.kernel_mode))
+
+    def _attach_remaining_episodes(self) -> None:
+        cpu = self.machine.cpu
+        new = cpu.episodes[self._episode_mark:]
+        self._episode_mark = len(cpu.episodes)
+        if self.entries and new:
+            self.entries[-1].episodes.extend(new)
+
+    # -- rendering -------------------------------------------------------------
+
+    @staticmethod
+    def _reach_tag(reach: Reach) -> str:
+        return {Reach.NONE: "--", Reach.FETCH: "IF", Reach.DECODE: "ID",
+                Reach.EXECUTE: "EX"}[reach]
+
+    def render(self, *, show_episodes: bool = True) -> str:
+        """Text timeline: ``cycle  mode  pc  instruction`` plus episode
+        annotations indented beneath their triggering instruction."""
+        lines = []
+        for entry in self.entries:
+            mode = "K" if entry.kernel_mode else "u"
+            lines.append(f"{entry.cycle:>10d} {mode} {entry.pc:#014x}  "
+                         f"{entry.text}")
+            if not show_episodes:
+                continue
+            for ep in entry.episodes:
+                flavour = "phantom" if ep.frontend_resteer else "spectre"
+                nested = " nested" if ep.nested else ""
+                predicted = (ep.predicted_kind.value
+                             if ep.predicted_kind else "none")
+                lines.append(
+                    f"{'':>10s} |  {flavour}{nested}: predicted "
+                    f"{predicted} at {ep.source_pc:#x} -> "
+                    f"{ep.target:#x} reach={self._reach_tag(ep.reach)}")
+        return "\n".join(lines)
+
+    def episode_count(self, *, frontend: bool | None = None) -> int:
+        total = 0
+        for entry in self.entries:
+            for ep in entry.episodes:
+                if frontend is None or ep.frontend_resteer == frontend:
+                    total += 1
+        return total

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every command drives the public API; nothing here adds behaviour.
+
+Commands
+--------
+
+* ``matrix``    — Table 1's speculation matrix (choose µarchs)
+* ``kaslr``     — §7.1 kernel-image derandomization
+* ``physmap``   — §7.2 physmap derandomization (Zen 1/2)
+* ``leak``      — the full §7 chain ending in a kernel-memory leak
+* ``covert``    — §6.4 covert-channel capacity
+* ``rev-btb``   — §6.2 BTB function recovery (Figure 7)
+* ``gadgets``   — §9.3 gadget census over a synthetic corpus
+* ``trace``     — run a syscall under the execution tracer
+* ``uarches``   — list the modelled microarchitectures
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
+
+
+def _add_uarch(parser, default="zen 2", choices_amd_only=False):
+    parser.add_argument("--uarch", default=default,
+                        help="microarchitecture name (e.g. 'zen 3')")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="KASLR/RNG seed (a 'reboot')")
+
+
+def cmd_uarches(args) -> int:
+    print(f"{'name':26s} {'model':24s} {'vendor':7s} {'clock':>6s} "
+          f"{'phantom window':>15s}")
+    for uarch in ALL_MICROARCHES:
+        window = f"{uarch.phantom_exec_uops} uops" \
+            if uarch.phantom_reaches_execute else "fetch+decode"
+        print(f"{uarch.name:26s} {uarch.model:24s} {uarch.vendor:7s} "
+              f"{uarch.clock_ghz:5.1f}G {window:>15s}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from .core.matrix import format_matrix, run_matrix
+
+    if args.uarch == "all":
+        uarches = ALL_MICROARCHES
+    elif args.uarch == "amd":
+        uarches = AMD_MICROARCHES
+    else:
+        uarches = (by_name(args.uarch),)
+    print(format_matrix(run_matrix(uarches)))
+    return 0
+
+
+def cmd_kaslr(args) -> int:
+    from .core import break_kernel_image_kaslr
+    from .kernel import Machine
+
+    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+    result = break_kernel_image_kaslr(machine)
+    ok = result.correct(machine.kaslr)
+    print(f"guessed image base: {result.guessed_base:#x}")
+    print(f"actual image base:  {machine.kaslr.image_base:#x}")
+    print(f"{'SUCCESS' if ok else 'FAILURE'} in "
+          f"{result.seconds * 1000:.2f} simulated ms")
+    return 0 if ok else 1
+
+
+def cmd_physmap(args) -> int:
+    from .core import break_kernel_image_kaslr, break_physmap_kaslr
+    from .kernel import Machine
+
+    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+    image = break_kernel_image_kaslr(machine)
+    result = break_physmap_kaslr(machine, image.guessed_base)
+    ok = result.correct(machine.kaslr)
+    print(f"guessed physmap: "
+          f"{result.guessed_base and hex(result.guessed_base)}")
+    print(f"actual physmap:  {machine.kaslr.physmap_base:#x}")
+    print(f"{'SUCCESS' if ok else 'FAILURE'} after "
+          f"{result.candidates_scanned} candidates, "
+          f"{result.seconds * 1000:.2f} simulated ms")
+    return 0 if ok else 1
+
+
+def cmd_leak(args) -> int:
+    from .core import (break_kernel_image_kaslr, break_physmap_kaslr,
+                       find_physical_address, leak_kernel_memory)
+    from .kernel import Machine
+
+    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
+                      phys_mem=1 << 30)
+    image = break_kernel_image_kaslr(machine)
+    physmap = break_physmap_kaslr(machine, image.guessed_base)
+    buffer_va = 0x0000_0000_7A00_0000
+    machine.map_user_huge(buffer_va)
+    find_physical_address(machine, image.guessed_base,
+                          physmap.guessed_base, buffer_va)
+    result = leak_kernel_memory(machine, image.guessed_base,
+                                physmap.guessed_base,
+                                n_bytes=args.bytes)
+    print(f"leaked {len(result.leaked)} bytes, accuracy "
+          f"{result.accuracy * 100:.1f}%, "
+          f"{result.bytes_per_second:,.0f} B/s simulated")
+    print(f"first 32 bytes: {result.leaked[:32].hex()}")
+    return 0 if result.accuracy == 1.0 else 1
+
+
+def cmd_covert(args) -> int:
+    from .core import execute_covert_channel, fetch_covert_channel
+    from .kernel import Machine
+
+    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
+                      sibling_load=True)
+    result = fetch_covert_channel(machine, n_bits=args.bits)
+    print(f"fetch channel:   accuracy {result.accuracy * 100:6.2f}%  "
+          f"{result.bits_per_second:,.0f} bits/s simulated")
+    if machine.uarch.phantom_reaches_execute:
+        machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+        result = execute_covert_channel(machine, n_bits=args.bits)
+        print(f"execute channel: accuracy {result.accuracy * 100:6.2f}%  "
+              f"{result.bits_per_second:,.0f} bits/s simulated")
+    return 0
+
+
+def cmd_rev_btb(args) -> int:
+    from .frontend import BTB
+    from .isa import BranchKind
+    from .revtools import recover_functions, solve_alias_pattern
+
+    uarch = by_name(args.uarch)
+
+    def oracle(a: int, b: int) -> bool:
+        btb = BTB(uarch.btb)
+        btb.train(a, BranchKind.INDIRECT, 0x4000, kernel_mode=False)
+        return btb.lookup(b, kernel_mode=False) is not None
+
+    kernel_addr = 0xFFFF_FFFF_8123_4AC0 & ((1 << 48) - 1)
+    recovered = recover_functions(
+        oracle, [kernel_addr, kernel_addr ^ 0x40_0000],
+        samples_per_addr=args.samples, rng=random.Random(args.seed))
+    for line in recovered.formatted():
+        print(line)
+    alias = solve_alias_pattern(recovered.masks)
+    print(f"alias pattern: K ^ {alias:#018x}")
+    return 0
+
+
+def cmd_gadgets(args) -> int:
+    from .analysis import generate_corpus, scan_corpus
+
+    corpus = generate_corpus(total=args.functions, seed=args.seed)
+    summary = scan_corpus(corpus.image, corpus.entries)
+    print(f"functions scanned:        {args.functions}")
+    print(f"conventional v1 gadgets:  {summary.spectre_v1}")
+    print(f"single-load MDS gadgets:  {summary.mds_single_load}")
+    print(f"Phantom-exploitable:      {summary.phantom_exploitable} "
+          f"({summary.amplification:.2f}x)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .analysis import Tracer
+    from .kernel import Machine
+
+    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+    with Tracer(machine, limit=args.limit) as trace:
+        machine.syscall(args.nr, args.rdi, args.rsi)
+    print(trace.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Phantom (MICRO'23) reproduction on a simulated "
+                    "microarchitecture")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("uarches", help="list modelled CPUs") \
+        .set_defaults(fn=cmd_uarches)
+
+    p = sub.add_parser("matrix", help="Table 1 speculation matrix")
+    p.add_argument("--uarch", default="amd",
+                   help="'all', 'amd', or one name")
+    p.set_defaults(fn=cmd_matrix)
+
+    p = sub.add_parser("kaslr", help="break kernel-image KASLR (§7.1)")
+    _add_uarch(p, default="zen 3")
+    p.set_defaults(fn=cmd_kaslr)
+
+    p = sub.add_parser("physmap", help="break physmap KASLR (§7.2)")
+    _add_uarch(p, default="zen 2")
+    p.set_defaults(fn=cmd_physmap)
+
+    p = sub.add_parser("leak", help="full §7 chain: leak kernel memory")
+    _add_uarch(p, default="zen 2")
+    p.add_argument("--bytes", type=int, default=128)
+    p.set_defaults(fn=cmd_leak)
+
+    p = sub.add_parser("covert", help="covert-channel capacity (§6.4)")
+    _add_uarch(p, default="zen 4")
+    p.add_argument("--bits", type=int, default=1024)
+    p.set_defaults(fn=cmd_covert)
+
+    p = sub.add_parser("rev-btb", help="recover BTB functions (§6.2)")
+    _add_uarch(p, default="zen 3")
+    p.add_argument("--samples", type=int, default=200_000)
+    p.set_defaults(fn=cmd_rev_btb)
+
+    p = sub.add_parser("gadgets", help="gadget census (§9.3)")
+    p.add_argument("--functions", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_gadgets)
+
+    p = sub.add_parser("trace", help="trace a syscall's speculation")
+    _add_uarch(p, default="zen 2")
+    p.add_argument("--nr", type=int, default=39, help="syscall number")
+    p.add_argument("--rdi", type=int, default=0)
+    p.add_argument("--rsi", type=int, default=0)
+    p.add_argument("--limit", type=int, default=200)
+    p.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Phantom core: observation channels, primitives, exploits."""
+
+from .attacker import AttackerRuntime
+from .covert import CovertResult, execute_covert_channel, fetch_covert_channel
+from .kaslr_image import KaslrImageResult, break_kernel_image_kaslr
+from .kaslr_physmap import PhysmapResult, break_physmap_kaslr
+from .matrix import (ASYMMETRIC_COMBOS, CellResult, format_matrix,
+                     measure_cell, run_matrix)
+from .mds import MdsLeakResult, leak_kernel_memory
+from .observe import (ExperimentResult, TrainKind, TypeConfusionExperiment,
+                      VictimKind)
+from .physaddr import PhysAddrResult, find_physical_address
+from .primitives import (P1MappedExecutable, P2MappedMemory, P3RegisterLeak,
+                         PhantomInjector)
+from .scoring import (GuessScore, best_guess, bounded_difference,
+                      bounded_score, score_margin)
+
+__all__ = [
+    "ASYMMETRIC_COMBOS",
+    "AttackerRuntime",
+    "CellResult",
+    "CovertResult",
+    "ExperimentResult",
+    "GuessScore",
+    "KaslrImageResult",
+    "MdsLeakResult",
+    "P1MappedExecutable",
+    "P2MappedMemory",
+    "P3RegisterLeak",
+    "PhantomInjector",
+    "PhysAddrResult",
+    "PhysmapResult",
+    "TrainKind",
+    "TypeConfusionExperiment",
+    "VictimKind",
+    "best_guess",
+    "bounded_difference",
+    "bounded_score",
+    "break_kernel_image_kaslr",
+    "break_physmap_kaslr",
+    "execute_covert_channel",
+    "fetch_covert_channel",
+    "find_physical_address",
+    "format_matrix",
+    "leak_kernel_memory",
+    "measure_cell",
+    "run_matrix",
+    "score_margin",
+]

@@ -1,0 +1,164 @@
+"""Unprivileged attacker runtime: BTB training by executing real code.
+
+Training never pokes simulator internals.  Every ``train_*`` method
+JIT-writes a tiny snippet into attacker-owned pages and *executes* it on
+the simulated CPU; the BTB entry appears because the branch retired,
+exactly as on hardware.  Training toward kernel (or unmapped) targets
+architecturally faults at the target fetch — the snippet's branch has
+already retired by then, so the entry survives and the runtime catches
+the fault (the paper's §6.2 technique).
+"""
+
+from __future__ import annotations
+
+from ..errors import PageFault
+from ..isa import Assembler, Cond, Reg
+from ..params import PAGE_SIZE, VA_MASK, page_base
+
+#: Landing pad with a single ``hlt``, placed once.
+HALT_PAD = 0x0000_0000_0F00_0000
+
+
+class AttackerRuntime:
+    """Code-writing and training facilities of the attacker process."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._mapped: set[int] = set()
+        self.ensure_mapped(HALT_PAD, 16)
+        self.write_code(HALT_PAD, b"\xf4")
+
+    # -- memory management ---------------------------------------------------
+
+    def ensure_mapped(self, va: int, size: int, *, nx: bool = False) -> None:
+        """Map any not-yet-mapped pages covering ``[va, va+size)``."""
+        page = page_base(va)
+        while page < va + size:
+            if page not in self._mapped:
+                self.machine.map_user(page, PAGE_SIZE, nx=nx)
+                self._mapped.add(page)
+            page += PAGE_SIZE
+
+    def write_code(self, va: int, data: bytes) -> None:
+        self.ensure_mapped(va, len(data))
+        self.machine.write_user(va, data)
+
+    def place_gadget(self, va: int, build) -> dict[str, int]:
+        """Assemble ``build(asm)`` at *va* and install it."""
+        asm = Assembler(va)
+        build(asm)
+        segment, symbols = asm.finish()
+        self.write_code(segment.base, segment.data)
+        return symbols
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, pc: int, *, regs=None, catch_fault: bool = True) -> bool:
+        """Run attacker code; returns False if it faulted (and was caught)."""
+        try:
+            self.machine.run_user(pc, regs=regs)
+            return True
+        except PageFault:
+            if not catch_fault:
+                raise
+            return False
+
+    # -- training snippets -------------------------------------------------------
+
+    def train_indirect(self, src: int, target: int, *, regs=None) -> bool:
+        """``mov rax, target ; jmp rax`` with the jmp at *src*.
+
+        Works for any 64-bit target, including kernel addresses (the
+        resulting page fault is caught).  Returns True if the target was
+        architecturally reached (user targets), False on a caught fault.
+        """
+        src &= VA_MASK
+        asm = Assembler(src - 10)
+        asm.mov_ri(Reg.RAX, target)
+        jmp_pc = asm.jmp_reg(Reg.RAX)
+        assert jmp_pc == src
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        return self.run(src - 10, regs=regs)
+
+    def train_call_indirect(self, src: int, target: int, *, regs=None) -> bool:
+        """``mov rax, target ; call rax`` with the call at *src*."""
+        src &= VA_MASK
+        asm = Assembler(src - 10)
+        asm.mov_ri(Reg.RAX, target)
+        call_pc = asm.call_reg(Reg.RAX)
+        assert call_pc == src
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        return self.run(src - 10, regs=regs)
+
+    def train_direct(self, src: int, target: int, *, regs=None,
+                     place_halt: bool = True) -> bool:
+        """``jmp rel32`` at *src*; *target* must be within +-2 GiB."""
+        src &= VA_MASK
+        asm = Assembler(src)
+        asm.jmp(target)
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        if place_halt:
+            self.write_code(target, b"\xf4")
+        return self.run(src, regs=regs)
+
+    def train_cond(self, src: int, target: int, *, regs=None,
+                   place_halt: bool = True) -> bool:
+        """Taken ``je rel32`` at *src* (ZF forced by a preceding xor)."""
+        src &= VA_MASK
+        asm = Assembler(src - 3)
+        asm.xor_rr(Reg.RAX, Reg.RAX)
+        jcc_pc = asm.jcc(Cond.E, target)
+        assert jcc_pc == src
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        if place_halt:
+            self.write_code(target, b"\xf4")
+        return self.run(src - 3, regs=regs)
+
+    def train_ret(self, src: int, *, regs=None) -> bool:
+        """``ret`` at *src*, returning to the halt pad.
+
+        Installs a RETURN-kind BTB entry at h(src); a victim aliasing
+        with it will be predicted as a return (target from the RSB).
+        """
+        src &= VA_MASK
+        asm = Assembler(src - 12)
+        asm.mov_ri(Reg.RAX, HALT_PAD)
+        asm.push(Reg.RAX)
+        asm.pad_to(src)
+        asm.ret()
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        return self.run(src - 12, regs=regs)
+
+    def seed_rsb(self, call_site: int) -> int:
+        """Execute a call whose return address is never architecturally
+        used, leaving a stale RSB top entry.  Returns that address.
+
+        The helper escapes via an indirect jmp to the halt pad instead
+        of returning, so the line after the call stays architecturally
+        cold — the canvas ret-trained phantoms land on.
+        """
+        helper = call_site + 0x100
+        asm = Assembler(call_site)
+        asm.call(helper)
+        segment, _ = asm.finish()
+        self.write_code(segment.base, segment.data)
+        stale = call_site + 5
+
+        hasm = Assembler(helper)
+        hasm.mov_ri(Reg.R11, HALT_PAD)
+        hasm.jmp_reg(Reg.R11)
+        hsegment, _ = hasm.finish()
+        self.write_code(hsegment.base, hsegment.data)
+
+        self.run(call_site)
+        return stale
+
+    def execute_nops(self, va: int, count: int = 8, *, regs=None) -> None:
+        """Run a nop sled at *va* (the "non branch" victim/trainer)."""
+        self.write_code(va, b"\x90" * count + b"\xf4")
+        self.run(va, regs=regs, catch_fault=False)

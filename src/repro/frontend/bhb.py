@@ -1,0 +1,42 @@
+"""Branch History Buffer: a footprint of recent control-flow edges.
+
+BHBs index/tag indirect-branch predictions on real hardware (Spectre-v2
+and BHI build on this).  The Phantom exploits rely on plain BTB
+aliasing, so by default the BHB does not participate in BTB indexing
+here, but the structure is modelled (and tested) because the training
+harness uses it to keep history deterministic between runs.
+"""
+
+from __future__ import annotations
+
+from ..params import VA_MASK
+
+
+class BHB:
+    """Shift-XOR history register, per the public Spectre analyses."""
+
+    def __init__(self, bits: int = 64, shift: int = 2) -> None:
+        self.bits = bits
+        self.shift = shift
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def footprint(self, source: int, target: int) -> int:
+        """Edge footprint folded from the low 16 bits of both ends."""
+        return ((source & 0xFFFF) ^ ((target & 0xFFFF) << 1)) & self._mask
+
+    def update(self, source: int, target: int) -> None:
+        """Record one taken control-flow edge."""
+        source &= VA_MASK
+        target &= VA_MASK
+        self.value = ((self.value << self.shift) ^
+                      self.footprint(source, target)) & self._mask
+
+    def clear(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, value: int) -> None:
+        self.value = value & self._mask

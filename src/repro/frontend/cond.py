@@ -1,0 +1,42 @@
+"""Conditional (direction) predictor: a table of 2-bit counters.
+
+Indexed by low PC bits.  The MDS-gadget exploit (paper §7.4) trains the
+victim's bounds check toward *taken* through repeated in-bounds calls —
+standard Spectre-v1 conditioning, which these counters reproduce.
+"""
+
+from __future__ import annotations
+
+
+class ConditionalPredictor:
+    """Pattern history table of saturating 2-bit counters."""
+
+    STRONG_NOT_TAKEN = 0
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._table = [self.STRONG_NOT_TAKEN] * entries
+
+    def _index(self, pc: int) -> int:
+        # Bimodal indexing by low PC bits only: aliased sources (equal
+        # low bits) share a counter, as the cross-address-space training
+        # attacks require.
+        return pc & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at *pc*."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Saturating update after the branch resolves."""
+        idx = self._index(pc)
+        counter = self._table[idx]
+        if taken:
+            self._table[idx] = min(3, counter + 1)
+        else:
+            self._table[idx] = max(0, counter - 1)
+
+    def clear(self) -> None:
+        self._table = [self.STRONG_NOT_TAKEN] * self.entries

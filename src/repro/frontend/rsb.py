@@ -1,0 +1,47 @@
+"""Return Stack Buffer (a.k.a. Return Address Stack).
+
+A small circular stack of recent call sites used to predict ``ret``
+targets without waiting for the stack load (paper §2.1: N is usually
+16 or 32).  Overflow silently drops the oldest frame; underflow returns
+no prediction.  The paper's "training using ret" case predicts a return
+to the most recent call site — exactly what popping this structure
+yields.
+"""
+
+from __future__ import annotations
+
+
+class RSB:
+    """Fixed-depth return-address predictor."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of an executed call."""
+        if len(self._stack) == self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self) -> int | None:
+        """Predict a return target; None when empty (underflow)."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """RSB stuffing / context-switch flush."""
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)

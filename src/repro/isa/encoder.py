@@ -1,0 +1,253 @@
+"""Encode :class:`~repro.isa.instructions.Instruction` to x86-64 bytes.
+
+Encodings use the genuine x86-64 opcodes for the implemented subset so
+that instruction lengths, page offsets and fetch-block straddling behave
+as they do in the paper's native exploits.  Memory operands are always
+encoded in the ``[base + disp32]`` form (mod=10), with a SIB byte when
+the base register requires one (RSP/R12).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodingError
+from .instructions import Cond, Instruction, Mnemonic, Reg
+
+#: Intel-recommended multi-byte NOP sequences, by total length.
+NOPL_SEQUENCES: dict[int, bytes] = {
+    2: bytes.fromhex("6690"),
+    3: bytes.fromhex("0f1f00"),
+    4: bytes.fromhex("0f1f4000"),
+    5: bytes.fromhex("0f1f440000"),
+    6: bytes.fromhex("660f1f440000"),
+    7: bytes.fromhex("0f1f8000000000"),
+    8: bytes.fromhex("0f1f840000000000"),
+    9: bytes.fromhex("660f1f840000000000"),
+}
+
+_S32_MIN, _S32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _s8(value: int) -> bytes:
+    if not -128 <= value <= 127:
+        raise EncodingError(f"rel8 displacement out of range: {value}")
+    return struct.pack("<b", value)
+
+
+def _s32(value: int) -> bytes:
+    if not _S32_MIN <= value <= _S32_MAX:
+        raise EncodingError(f"imm32/disp32 out of range: {value}")
+    return struct.pack("<i", value)
+
+
+def _u64(value: int) -> bytes:
+    return struct.pack("<Q", value & ((1 << 64) - 1))
+
+
+def _rex(w: int, r: int, x: int, b: int) -> bytes:
+    return bytes([0x40 | (w << 3) | (r << 2) | (x << 1) | b])
+
+
+def _modrm_mem(reg_field: int, base: Reg, disp: int) -> tuple[int, bytes]:
+    """mod=10 ``[base+disp32]`` ModRM (+SIB for RSP/R12 bases)."""
+    rex_b = base >> 3
+    rm = base & 7
+    body = bytearray([0x80 | ((reg_field & 7) << 3) | rm])
+    if rm == 4:  # RSP/R12 base needs a SIB byte (no index).
+        body.append(0x24)
+    body += _s32(disp)
+    return rex_b, bytes(body)
+
+
+def _need(instr: Instruction, *attrs: str) -> None:
+    for attr in attrs:
+        if getattr(instr, attr) is None:
+            raise EncodingError(f"{instr.mnemonic.value} requires {attr}")
+
+
+def _enc_rr(opcode: int, dest: Reg, src: Reg) -> bytes:
+    """rex.w <opcode> /r with mod=11: operation dest <- dest op src.
+
+    The ModRM reg field carries *src* (extended by REX.R) and the rm
+    field carries *dest* (extended by REX.B), matching the store-form
+    opcodes (89/01/29/31/09/39) we use for register-register ops.
+    """
+    rex = _rex(1, src >> 3, 0, dest >> 3)
+    return rex + bytes([opcode, 0xC0 | ((src & 7) << 3) | (dest & 7)])
+
+
+def _enc_group_ri(reg_field: int, dest: Reg, imm: int) -> bytes:
+    """rex.w 81 /reg_field imm32 (ADD/SUB/AND/CMP immediate forms)."""
+    rex = _rex(1, 0, 0, dest >> 3)
+    return rex + bytes([0x81, 0xC0 | (reg_field << 3) | (dest & 7)]) + _s32(imm)
+
+
+def _enc_shift(reg_field: int, dest: Reg, imm: int) -> bytes:
+    if not 0 <= imm <= 63:
+        raise EncodingError(f"shift count out of range: {imm}")
+    rex = _rex(1, 0, 0, dest >> 3)
+    return rex + bytes([0xC1, 0xC0 | (reg_field << 3) | (dest & 7), imm])
+
+
+def _enc_mem_op(opcode: int, reg: Reg, base: Reg, disp: int, *,
+                rex_w: int = 1, force_rex: bool = False) -> bytes:
+    rex_b, modrm = _modrm_mem(reg & 7, base, disp)
+    rex_r = reg >> 3
+    out = b""
+    if rex_w or rex_r or rex_b or force_rex:
+        out += _rex(rex_w, rex_r, 0, rex_b)
+    return out + bytes([opcode]) + modrm
+
+
+def encode(instr: Instruction) -> bytes:
+    """Return the byte encoding of *instr*.
+
+    Raises :class:`EncodingError` for malformed operands.
+    """
+    m = instr.mnemonic
+    if m is Mnemonic.NOP:
+        return b"\x90"
+    if m is Mnemonic.NOPL:
+        length = instr.imm if instr.imm is not None else 8
+        if length not in NOPL_SEQUENCES:
+            raise EncodingError(f"no canonical nop of length {length}")
+        return NOPL_SEQUENCES[length]
+    if m is Mnemonic.JMP:
+        return b"\xe9" + _s32(instr.disp)
+    if m is Mnemonic.JMP_SHORT:
+        return b"\xeb" + _s8(instr.disp)
+    if m is Mnemonic.JCC:
+        if instr.cc is None:
+            raise EncodingError("jcc requires a condition code")
+        return bytes([0x0F, 0x80 | instr.cc]) + _s32(instr.disp)
+    if m is Mnemonic.CALL:
+        return b"\xe8" + _s32(instr.disp)
+    if m in (Mnemonic.JMP_REG, Mnemonic.CALL_REG):
+        _need(instr, "dest")
+        reg_field = 4 if m is Mnemonic.JMP_REG else 2
+        prefix = b"" if instr.dest < Reg.R8 else _rex(0, 0, 0, 1)
+        return prefix + bytes([0xFF, 0xC0 | (reg_field << 3) | (instr.dest & 7)])
+    if m is Mnemonic.RET:
+        return b"\xc3"
+    if m is Mnemonic.MOV_RI:
+        _need(instr, "dest", "imm")
+        rex = _rex(1, 0, 0, instr.dest >> 3)
+        return rex + bytes([0xB8 | (instr.dest & 7)]) + _u64(instr.imm)
+    if m is Mnemonic.MOV_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x89, instr.dest, instr.src)
+    if m is Mnemonic.MOV_RM:
+        _need(instr, "dest", "base")
+        return _enc_mem_op(0x8B, instr.dest, instr.base, instr.disp)
+    if m is Mnemonic.MOV_MR:
+        _need(instr, "src", "base")
+        return _enc_mem_op(0x89, instr.src, instr.base, instr.disp)
+    if m is Mnemonic.MOVB_RM:
+        _need(instr, "dest", "base")
+        return _enc_mem_op(0x8A, instr.dest, instr.base, instr.disp, rex_w=0,
+                           force_rex=True)
+    if m is Mnemonic.LEA:
+        _need(instr, "dest", "base")
+        return _enc_mem_op(0x8D, instr.dest, instr.base, instr.disp)
+    if m is Mnemonic.ADD_RI:
+        _need(instr, "dest", "imm")
+        return _enc_group_ri(0, instr.dest, instr.imm)
+    if m is Mnemonic.SUB_RI:
+        _need(instr, "dest", "imm")
+        return _enc_group_ri(5, instr.dest, instr.imm)
+    if m is Mnemonic.AND_RI:
+        _need(instr, "dest", "imm")
+        return _enc_group_ri(4, instr.dest, instr.imm)
+    if m is Mnemonic.CMP_RI:
+        _need(instr, "dest", "imm")
+        return _enc_group_ri(7, instr.dest, instr.imm)
+    if m is Mnemonic.ADD_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x01, instr.dest, instr.src)
+    if m is Mnemonic.SUB_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x29, instr.dest, instr.src)
+    if m is Mnemonic.XOR_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x31, instr.dest, instr.src)
+    if m is Mnemonic.OR_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x09, instr.dest, instr.src)
+    if m is Mnemonic.CMP_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x39, instr.dest, instr.src)
+    if m is Mnemonic.TEST_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x85, instr.dest, instr.src)
+    if m is Mnemonic.XCHG_RR:
+        _need(instr, "dest", "src")
+        return _enc_rr(0x87, instr.dest, instr.src)
+    if m in (Mnemonic.INC, Mnemonic.DEC):
+        _need(instr, "dest")
+        reg_field = 0 if m is Mnemonic.INC else 1
+        rex = _rex(1, 0, 0, instr.dest >> 3)
+        return rex + bytes([0xFF, 0xC0 | (reg_field << 3)
+                            | (instr.dest & 7)])
+    if m in (Mnemonic.NEG, Mnemonic.NOT):
+        _need(instr, "dest")
+        reg_field = 3 if m is Mnemonic.NEG else 2
+        rex = _rex(1, 0, 0, instr.dest >> 3)
+        return rex + bytes([0xF7, 0xC0 | (reg_field << 3)
+                            | (instr.dest & 7)])
+    if m is Mnemonic.IMUL_RR:
+        _need(instr, "dest", "src")
+        # dest sits in the ModRM reg field (load-form operand order).
+        rex = _rex(1, instr.dest >> 3, 0, instr.src >> 3)
+        return rex + bytes([0x0F, 0xAF,
+                            0xC0 | ((instr.dest & 7) << 3)
+                            | (instr.src & 7)])
+    if m is Mnemonic.CMOV:
+        _need(instr, "dest", "src")
+        if instr.cc is None:
+            raise EncodingError("cmov requires a condition code")
+        rex = _rex(1, instr.dest >> 3, 0, instr.src >> 3)
+        return rex + bytes([0x0F, 0x40 | instr.cc,
+                            0xC0 | ((instr.dest & 7) << 3)
+                            | (instr.src & 7)])
+    if m is Mnemonic.SHL_RI:
+        _need(instr, "dest", "imm")
+        return _enc_shift(4, instr.dest, instr.imm)
+    if m is Mnemonic.SHR_RI:
+        _need(instr, "dest", "imm")
+        return _enc_shift(5, instr.dest, instr.imm)
+    if m is Mnemonic.PUSH:
+        _need(instr, "dest")
+        prefix = b"" if instr.dest < Reg.R8 else _rex(0, 0, 0, 1)
+        return prefix + bytes([0x50 | (instr.dest & 7)])
+    if m is Mnemonic.POP:
+        _need(instr, "dest")
+        prefix = b"" if instr.dest < Reg.R8 else _rex(0, 0, 0, 1)
+        return prefix + bytes([0x58 | (instr.dest & 7)])
+    if m is Mnemonic.LFENCE:
+        return b"\x0f\xae\xe8"
+    if m is Mnemonic.MFENCE:
+        return b"\x0f\xae\xf0"
+    if m is Mnemonic.SYSCALL:
+        return b"\x0f\x05"
+    if m is Mnemonic.SYSRET:
+        return b"\x48\x0f\x07"
+    if m is Mnemonic.RDTSC:
+        return b"\x0f\x31"
+    if m is Mnemonic.HLT:
+        return b"\xf4"
+    if m is Mnemonic.UD2:
+        return b"\x0f\x0b"
+    raise EncodingError(f"unhandled mnemonic: {m}")
+
+
+def encode_with_length(instr: Instruction) -> tuple[bytes, Instruction]:
+    """Encode *instr* and return ``(bytes, instr-with-length-filled-in)``."""
+    raw = encode(instr)
+    if instr.length not in (0, len(raw)):
+        raise EncodingError(
+            f"{instr.mnemonic.value}: declared length {instr.length} != "
+            f"encoded length {len(raw)}")
+    from dataclasses import replace
+
+    return raw, replace(instr, length=len(raw))

@@ -1,0 +1,230 @@
+"""Instruction model for the x86-64 subset used by the simulator.
+
+The subset covers everything the paper's listings and exploits need:
+single- and multi-byte ``nop``, direct/indirect/conditional branches,
+``call``/``ret``, 64-bit moves, loads and stores with displacement,
+ALU operations, stack operations, fences and ``syscall``.
+
+Instructions are immutable value objects.  The encoded byte length is
+part of the instruction's identity because the frontend reasons about
+byte addresses (fetch blocks, page offsets, branch-source end
+addresses), exactly as real hardware does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Reg(enum.IntEnum):
+    """x86-64 general-purpose registers, numbered as in ModRM encoding."""
+
+    RAX = 0
+    RCX = 1
+    RDX = 2
+    RBX = 3
+    RSP = 4
+    RBP = 5
+    RSI = 6
+    RDI = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    R13 = 13
+    R14 = 14
+    R15 = 15
+
+
+class Cond(enum.IntEnum):
+    """Condition codes, numbered as in the ``0F 8x`` jcc opcodes."""
+
+    O = 0
+    NO = 1
+    B = 2
+    AE = 3
+    E = 4
+    NE = 5
+    BE = 6
+    A = 7
+    S = 8
+    NS = 9
+    P = 10
+    NP = 11
+    L = 12
+    GE = 13
+    LE = 14
+    G = 15
+
+
+class BranchKind(enum.Enum):
+    """Control-flow classification used by the branch predictor and decoder.
+
+    The decoder compares the *predicted* kind recorded in a BTB entry
+    against the *decoded* kind of the branch source; a mismatch is a
+    decoder-detectable misprediction — the core mechanism behind Phantom.
+    """
+
+    NONE = "none"
+    DIRECT = "jmp"
+    INDIRECT = "jmp*"
+    CONDITIONAL = "jcc"
+    CALL_DIRECT = "call"
+    CALL_INDIRECT = "call*"
+    RETURN = "ret"
+
+    @property
+    def is_branch(self) -> bool:
+        return self is not BranchKind.NONE
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT)
+
+    @property
+    def is_execute_dependent(self) -> bool:
+        """True when the final target is only known at execute.
+
+        These are the sources classic Spectre exploits; conditional
+        branches have a decode-known target but execute-known direction.
+        """
+        return self in (
+            BranchKind.INDIRECT,
+            BranchKind.CONDITIONAL,
+            BranchKind.CALL_INDIRECT,
+            BranchKind.RETURN,
+        )
+
+
+class Mnemonic(enum.Enum):
+    """Operation selector for :class:`Instruction`."""
+
+    NOP = "nop"              # 1-byte 0x90
+    NOPL = "nopl"            # multi-byte nop (2..9 bytes)
+    JMP = "jmp"              # e9 rel32
+    JMP_SHORT = "jmp8"       # eb rel8
+    JMP_REG = "jmp_reg"      # ff /4
+    JCC = "jcc"              # 0f 8x rel32
+    CALL = "call"            # e8 rel32
+    CALL_REG = "call_reg"    # ff /2
+    RET = "ret"              # c3
+    MOV_RI = "mov_ri"        # rex.w b8+r imm64
+    MOV_RR = "mov_rr"        # rex.w 89 /r
+    MOV_RM = "mov_rm"        # rex.w 8b /r  (load reg <- [base+disp32])
+    MOV_MR = "mov_mr"        # rex.w 89 /r  (store [base+disp32] <- reg)
+    MOVB_RM = "movb_rm"      # 8a /r  (load low byte, zero-extended here)
+    LEA = "lea"              # rex.w 8d /r
+    ADD_RI = "add_ri"        # rex.w 81 /0 imm32
+    ADD_RR = "add_rr"        # rex.w 01 /r
+    SUB_RI = "sub_ri"        # rex.w 81 /5 imm32
+    SUB_RR = "sub_rr"        # rex.w 29 /r
+    AND_RI = "and_ri"        # rex.w 81 /4 imm32
+    XOR_RR = "xor_rr"        # rex.w 31 /r
+    OR_RR = "or_rr"          # rex.w 09 /r
+    SHL_RI = "shl_ri"        # rex.w c1 /4 imm8
+    SHR_RI = "shr_ri"        # rex.w c1 /5 imm8
+    CMP_RI = "cmp_ri"        # rex.w 81 /7 imm32
+    CMP_RR = "cmp_rr"        # rex.w 39 /r
+    TEST_RR = "test_rr"      # rex.w 85 /r
+    INC = "inc"              # rex.w ff /0
+    DEC = "dec"              # rex.w ff /1
+    NEG = "neg"              # rex.w f7 /3
+    NOT = "not"              # rex.w f7 /2
+    IMUL_RR = "imul_rr"      # rex.w 0f af /r   (dest in reg field)
+    XCHG_RR = "xchg_rr"      # rex.w 87 /r
+    CMOV = "cmov"            # rex.w 0f 4x /r   (dest in reg field)
+    PUSH = "push"            # 50+r
+    POP = "pop"              # 58+r
+    LFENCE = "lfence"        # 0f ae e8
+    MFENCE = "mfence"        # 0f ae f0
+    SYSCALL = "syscall"      # 0f 05
+    SYSRET = "sysret"        # rex.w 0f 07
+    RDTSC = "rdtsc"          # 0f 31
+    HLT = "hlt"              # f4
+    UD2 = "ud2"              # 0f 0b
+
+
+#: Mnemonics that read memory.
+_LOADS = frozenset({Mnemonic.MOV_RM, Mnemonic.MOVB_RM, Mnemonic.POP, Mnemonic.RET})
+#: Mnemonics that write memory.
+_STORES = frozenset({Mnemonic.MOV_MR, Mnemonic.PUSH, Mnemonic.CALL,
+                     Mnemonic.CALL_REG})
+
+_BRANCH_KINDS = {
+    Mnemonic.JMP: BranchKind.DIRECT,
+    Mnemonic.JMP_SHORT: BranchKind.DIRECT,
+    Mnemonic.JMP_REG: BranchKind.INDIRECT,
+    Mnemonic.JCC: BranchKind.CONDITIONAL,
+    Mnemonic.CALL: BranchKind.CALL_DIRECT,
+    Mnemonic.CALL_REG: BranchKind.CALL_INDIRECT,
+    Mnemonic.RET: BranchKind.RETURN,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded (or to-be-encoded) instruction.
+
+    ``disp`` holds the PC-relative displacement for direct branches and
+    the memory displacement for load/store/lea addressing.  ``imm``
+    holds immediates.  ``length`` is the encoded size in bytes; the
+    encoder fills it in and the decoder reproduces it.
+    """
+
+    mnemonic: Mnemonic
+    dest: Reg | None = None
+    src: Reg | None = None
+    base: Reg | None = None
+    imm: int | None = None
+    disp: int = 0
+    cc: Cond | None = None
+    length: int = 0
+
+    @property
+    def branch_kind(self) -> BranchKind:
+        """Control-flow class of this instruction (NONE for non-branches)."""
+        return _BRANCH_KINDS.get(self.mnemonic, BranchKind.NONE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch_kind is not BranchKind.NONE
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in _LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in _STORES
+
+    @property
+    def is_fence(self) -> bool:
+        return self.mnemonic in (Mnemonic.LFENCE, Mnemonic.MFENCE)
+
+    def target(self, pc: int) -> int | None:
+        """Architectural target of a direct branch located at *pc*.
+
+        Direct branch displacements are relative to the *end* of the
+        instruction, as on x86.  Returns None for indirect branches and
+        returns, whose targets are execute-dependent.
+        """
+        if self.mnemonic in (Mnemonic.JMP, Mnemonic.JMP_SHORT, Mnemonic.JCC,
+                             Mnemonic.CALL):
+            return (pc + self.length + self.disp) & ((1 << 64) - 1)
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.mnemonic.value]
+        if self.cc is not None:
+            parts[0] = f"j{self.cc.name.lower()}"
+        for attr in ("dest", "src", "base"):
+            value = getattr(self, attr)
+            if value is not None:
+                parts.append(value.name.lower())
+        if self.imm is not None:
+            parts.append(hex(self.imm))
+        if self.disp:
+            parts.append(f"disp={self.disp:#x}")
+        return " ".join(parts)

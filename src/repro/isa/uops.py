@@ -1,0 +1,97 @@
+"""Micro-operation model.
+
+The decoder cracks each architectural instruction into one or more µops
+which are dispatched onto the µop queue (paper Figure 2).  The µop kind
+determines which backend resources an operation consumes and — crucial
+for Phantom — whether a speculatively decoded instruction can emit a
+memory request before a frontend resteer squashes it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .instructions import Instruction, Mnemonic
+
+
+class UopKind(enum.Enum):
+    NOP = "nop"
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    FENCE = "fence"
+    SYSTEM = "system"
+
+
+_CRACK_TABLE: dict[Mnemonic, tuple[UopKind, ...]] = {
+    Mnemonic.NOP: (UopKind.NOP,),
+    Mnemonic.NOPL: (UopKind.NOP,),
+    Mnemonic.JMP: (UopKind.BRANCH,),
+    Mnemonic.JMP_SHORT: (UopKind.BRANCH,),
+    Mnemonic.JMP_REG: (UopKind.BRANCH,),
+    Mnemonic.JCC: (UopKind.BRANCH,),
+    Mnemonic.CALL: (UopKind.STORE, UopKind.BRANCH),
+    Mnemonic.CALL_REG: (UopKind.STORE, UopKind.BRANCH),
+    Mnemonic.RET: (UopKind.LOAD, UopKind.BRANCH),
+    Mnemonic.MOV_RI: (UopKind.ALU,),
+    Mnemonic.MOV_RR: (UopKind.ALU,),
+    Mnemonic.MOV_RM: (UopKind.LOAD,),
+    Mnemonic.MOVB_RM: (UopKind.LOAD,),
+    Mnemonic.MOV_MR: (UopKind.STORE,),
+    Mnemonic.LEA: (UopKind.ALU,),
+    Mnemonic.ADD_RI: (UopKind.ALU,),
+    Mnemonic.ADD_RR: (UopKind.ALU,),
+    Mnemonic.SUB_RI: (UopKind.ALU,),
+    Mnemonic.SUB_RR: (UopKind.ALU,),
+    Mnemonic.AND_RI: (UopKind.ALU,),
+    Mnemonic.XOR_RR: (UopKind.ALU,),
+    Mnemonic.OR_RR: (UopKind.ALU,),
+    Mnemonic.SHL_RI: (UopKind.ALU,),
+    Mnemonic.SHR_RI: (UopKind.ALU,),
+    Mnemonic.CMP_RI: (UopKind.ALU,),
+    Mnemonic.CMP_RR: (UopKind.ALU,),
+    Mnemonic.TEST_RR: (UopKind.ALU,),
+    Mnemonic.INC: (UopKind.ALU,),
+    Mnemonic.DEC: (UopKind.ALU,),
+    Mnemonic.NEG: (UopKind.ALU,),
+    Mnemonic.NOT: (UopKind.ALU,),
+    Mnemonic.IMUL_RR: (UopKind.ALU,),
+    Mnemonic.XCHG_RR: (UopKind.ALU, UopKind.ALU),
+    Mnemonic.CMOV: (UopKind.ALU,),
+    Mnemonic.PUSH: (UopKind.STORE,),
+    Mnemonic.POP: (UopKind.LOAD,),
+    Mnemonic.LFENCE: (UopKind.FENCE,),
+    Mnemonic.MFENCE: (UopKind.FENCE,),
+    Mnemonic.SYSCALL: (UopKind.SYSTEM,),
+    Mnemonic.SYSRET: (UopKind.SYSTEM,),
+    Mnemonic.RDTSC: (UopKind.ALU,),
+    Mnemonic.HLT: (UopKind.SYSTEM,),
+    Mnemonic.UD2: (UopKind.SYSTEM,),
+}
+
+
+@dataclass(frozen=True)
+class Uop:
+    """One micro-operation cracked from *instr* (µop *index* of that crack)."""
+
+    kind: UopKind
+    instr: Instruction
+    pc: int
+    index: int
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (UopKind.LOAD, UopKind.STORE)
+
+
+def crack(instr: Instruction, pc: int) -> tuple[Uop, ...]:
+    """Crack *instr* (located at *pc*) into its µop sequence."""
+    kinds = _CRACK_TABLE[instr.mnemonic]
+    return tuple(Uop(kind, instr, pc, i) for i, kind in enumerate(kinds))
+
+
+def uop_count(instr: Instruction) -> int:
+    """Number of µops *instr* cracks into (µop-cache occupancy)."""
+    return len(_CRACK_TABLE[instr.mnemonic])

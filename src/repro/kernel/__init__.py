@@ -1,0 +1,42 @@
+"""Kernel/OS model: KASLR, kernel text and modules, mitigations, Machine."""
+
+from .kaslr import (KERNEL_IMAGE_REGION, KERNEL_IMAGE_STRIDE, Kaslr,
+                    MODULES_BASE, PHYSMAP_REGION, PHYSMAP_STRIDE)
+from .layout import (DISCLOSURE_GADGET_OFFSET, FDGET_POS_OFFSET, IMAGE_SIZE,
+                     SYS_BTC, SYS_BTC_SAFE, SYS_COVERT, SYS_GETPID, SYS_MDS,
+                     SYS_NOISE, SYS_READV, SYS_REV, TASK_PID_NR_NS_OFFSET)
+from .machine import Machine, SECRET_OFFSET, SECRET_SIZE, USER_STUB
+from .mitigations import (DEFAULT_MITIGATIONS, HARDENED, IBPB_HARDENED,
+                          MitigationConfig)
+from .modules import COVERT_BRANCHES, MDS_ARRAY_LENGTH
+
+__all__ = [
+    "COVERT_BRANCHES",
+    "DEFAULT_MITIGATIONS",
+    "DISCLOSURE_GADGET_OFFSET",
+    "FDGET_POS_OFFSET",
+    "HARDENED",
+    "IBPB_HARDENED",
+    "IMAGE_SIZE",
+    "KERNEL_IMAGE_REGION",
+    "KERNEL_IMAGE_STRIDE",
+    "Kaslr",
+    "MDS_ARRAY_LENGTH",
+    "MODULES_BASE",
+    "Machine",
+    "MitigationConfig",
+    "PHYSMAP_REGION",
+    "PHYSMAP_STRIDE",
+    "SECRET_OFFSET",
+    "SECRET_SIZE",
+    "SYS_BTC",
+    "SYS_BTC_SAFE",
+    "SYS_COVERT",
+    "SYS_GETPID",
+    "SYS_MDS",
+    "SYS_NOISE",
+    "SYS_READV",
+    "SYS_REV",
+    "TASK_PID_NR_NS_OFFSET",
+    "USER_STUB",
+]

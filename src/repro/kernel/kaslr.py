@@ -1,0 +1,61 @@
+"""KASLR model: kernel image and physmap randomization.
+
+Search-space sizes follow the paper (§7.1/§7.2, citing TagBleed [38]):
+488 possible kernel-image slots at 2 MiB granularity and 25 600 possible
+physmap slots.  A fresh :class:`Kaslr` per run models a reboot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..params import KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS
+
+#: Base of the kernel-image randomization region (Linux x86-64).
+KERNEL_IMAGE_REGION = 0xFFFF_FFFF_8000_0000
+#: Kernel image slot granularity.
+KERNEL_IMAGE_STRIDE = 2 * 1024 * 1024
+
+#: Base of the physmap (direct map) randomization region.
+PHYSMAP_REGION = 0xFFFF_8880_0000_0000
+#: Physmap slot granularity (1 GiB).
+PHYSMAP_STRIDE = 1 << 30
+
+#: Fixed module area (not randomized in this model; the paper's MDS PoC
+#: likewise assumes the gadget address is known).
+MODULES_BASE = 0xFFFF_FFFF_C000_0000
+
+
+@dataclass(frozen=True)
+class Kaslr:
+    """One boot's randomization decisions."""
+
+    image_slot: int
+    physmap_slot: int
+
+    @classmethod
+    def randomize(cls, seed: int) -> "Kaslr":
+        rng = random.Random(seed)
+        return cls(image_slot=rng.randrange(KERNEL_IMAGE_SLOTS),
+                   physmap_slot=rng.randrange(PHYSMAP_SLOTS))
+
+    @property
+    def image_base(self) -> int:
+        return KERNEL_IMAGE_REGION + self.image_slot * KERNEL_IMAGE_STRIDE
+
+    @property
+    def physmap_base(self) -> int:
+        return PHYSMAP_REGION + self.physmap_slot * PHYSMAP_STRIDE
+
+    @staticmethod
+    def image_candidates() -> list[int]:
+        """Every possible kernel image base (what the exploit scans)."""
+        return [KERNEL_IMAGE_REGION + i * KERNEL_IMAGE_STRIDE
+                for i in range(KERNEL_IMAGE_SLOTS)]
+
+    @staticmethod
+    def physmap_candidates() -> list[int]:
+        """Every possible physmap base."""
+        return [PHYSMAP_REGION + i * PHYSMAP_STRIDE
+                for i in range(PHYSMAP_SLOTS)]

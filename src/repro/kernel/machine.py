@@ -1,0 +1,294 @@
+"""The Machine: CPU + memory + kernel, booted with KASLR and mitigations.
+
+This is the top-level facade experiments run against.  It provides:
+
+* the victim OS: syscall dispatch into kernel text whose gadgets sit at
+  the paper's image offsets, kernel modules, KASLR-randomized layout,
+  mitigations;
+* the unprivileged-attacker runtime: map user pages, write code, run
+  programs, issue syscalls, flush lines and perform timed accesses.
+
+Everything the attacker does either executes on the simulated CPU or is
+a documented runtime shortcut (timed loads/fetches) that touches the
+caches exactly as the equivalent instruction sequence would.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import HaltRequested, PageFault, ReproError
+from ..isa import Assembler, Image, Reg
+from ..memory import MemorySystem
+from ..params import HUGE_PAGE_SIZE, PAGE_SIZE, canonical
+from ..pipeline import CPU, Microarch
+from .kaslr import Kaslr, MODULES_BASE
+from .layout import (DATA_SIZE, IMAGE_SIZE, KernelLayout, build_kernel_text)
+from .mitigations import DEFAULT_MITIGATIONS, MitigationConfig
+from .modules import (KernelModules, MDS_ARRAY_LENGTH, MODULE_SIZE,
+                      build_modules)
+
+#: Fixed user-space addresses of the attacker process.
+USER_STUB = 0x0000_0000_0040_0000       # syscall trampoline
+USER_STACK_TOP = 0x0000_7FFF_FF00_0000
+USER_STACK_SIZE = 64 * PAGE_SIZE
+KERNEL_STACK = 0xFFFF_FFFF_A000_0000
+KERNEL_STACK_SIZE = 4 * PAGE_SIZE
+
+#: Offset of the 4096-byte random secret inside the kernel data region.
+SECRET_OFFSET = 0x1000
+SECRET_SIZE = 4096
+
+
+class Machine:
+    """A booted system: hardware model + kernel + one attacker process."""
+
+    def __init__(self, uarch: Microarch, *, phys_mem: int = 2 << 30,
+                 kaslr_seed: int = 0,
+                 mitigations: MitigationConfig = DEFAULT_MITIGATIONS,
+                 rng_seed: int = 0, sibling_load: bool = False,
+                 syscall_noise_evictions: int = 2) -> None:
+        self.uarch = uarch
+        self.rng = random.Random(rng_seed)
+        self.mem = MemorySystem(phys_mem, hierarchy=uarch.hierarchy,
+                                rng=self.rng)
+        self.cpu = CPU(uarch, self.mem, rng=self.rng)
+        self.kaslr = Kaslr.randomize(kaslr_seed)
+        self.mitigations = mitigations
+        self.sibling_load = sibling_load
+        self.syscall_noise_evictions = syscall_noise_evictions
+        self._saved_user_pc = 0
+        self._saved_user_rsp = 0
+
+        self._boot()
+
+    # ------------------------------------------------------------------
+    # boot
+    # ------------------------------------------------------------------
+
+    def _boot(self) -> None:
+        mem = self.mem
+        image_base = self.kaslr.image_base
+        self.data_base = image_base + IMAGE_SIZE
+
+        self.modules: KernelModules = build_modules(MODULES_BASE,
+                                                    self.data_base)
+        self.kernel: KernelLayout = build_kernel_text(
+            image_base, self.modules.symbols, self.data_base)
+
+        # Kernel text: one executable supervisor range; code copied in.
+        image_pa = mem.frames.alloc(IMAGE_SIZE)
+        mem.aspace.map_linear(image_base, image_pa, IMAGE_SIZE,
+                              user=False, nx=False)
+        for segment in self.kernel.image.segments:
+            mem.phys.write(image_pa + (segment.base - image_base),
+                           segment.data)
+
+        # Kernel data: NX supervisor range after the text.
+        data_pa = mem.frames.alloc(DATA_SIZE)
+        mem.aspace.map_linear(self.data_base, data_pa, DATA_SIZE,
+                              user=False, nx=True)
+        mem.phys.write_int(data_pa, 8, MDS_ARRAY_LENGTH)
+        secret = bytes(self.rng.randrange(256) for _ in range(SECRET_SIZE))
+        mem.phys.write(data_pa + SECRET_OFFSET, secret)
+        self._secret = secret
+
+        # Modules: executable supervisor region at a fixed base.
+        module_pa = mem.frames.alloc(MODULE_SIZE)
+        mem.aspace.map_linear(MODULES_BASE, module_pa, MODULE_SIZE,
+                              user=False, nx=False)
+        for segment in self.modules.image.segments:
+            mem.phys.write(module_pa + (segment.base - MODULES_BASE),
+                           segment.data)
+
+        # physmap: the whole of physical memory, NX, at a randomized base.
+        mem.aspace.map_linear(self.kaslr.physmap_base, 0, mem.phys.size,
+                              user=False, nx=True)
+
+        # Kernel stack.
+        mem.map_anonymous(KERNEL_STACK, KERNEL_STACK_SIZE, user=False,
+                          nx=True)
+
+        # Attacker syscall stub: ``syscall ; hlt``.
+        stub = Assembler(USER_STUB)
+        stub.syscall()
+        stub.hlt()
+        mem.load_image(stub.image(), user=True)
+
+        # User stack.
+        mem.map_anonymous(USER_STACK_TOP - USER_STACK_SIZE, USER_STACK_SIZE,
+                          user=True, nx=True)
+        self.cpu.state.write(Reg.RSP, USER_STACK_TOP - 64)
+
+        # Wire traps and mitigations.
+        self.cpu.trap_handler = self._trap
+        self.cpu.msr.suppress_bp_on_non_br = \
+            self.mitigations.suppress_bp_on_non_br
+        self.cpu.msr.auto_ibrs = self.mitigations.auto_ibrs
+
+    # ------------------------------------------------------------------
+    # traps
+    # ------------------------------------------------------------------
+
+    def _trap(self, cpu: CPU, trap: str, instr, result) -> None:
+        if trap == "syscall":
+            if cpu.kernel_mode:
+                raise ReproError("nested syscall")
+            self._saved_user_pc = result.next_pc
+            self._saved_user_rsp = cpu.state.read(Reg.RSP)
+            cpu.kernel_mode = True
+            cpu.state.write(Reg.RSP, KERNEL_STACK + KERNEL_STACK_SIZE - 64)
+            cpu.cycles += self.uarch.syscall_entry_cost
+            cpu.pmc.add("syscalls")
+            if self.mitigations.ibpb_on_kernel_entry:
+                cpu.bpu.ibpb()
+            if self.mitigations.rsb_stuffing_on_entry:
+                # §2.4: overwrite user-poisoned return predictions with
+                # a fenced kernel pad.
+                cpu.bpu.rsb.clear()
+                pad = self.kernel.sym("rsb_stuff_pad")
+                for _ in range(cpu.bpu.rsb.depth):
+                    cpu.bpu.rsb.push(pad)
+                cpu.cycles += 2 * cpu.bpu.rsb.depth
+            self._inject_syscall_noise()
+            cpu.pc = self.kernel.sym("syscall_entry")
+            return
+        if trap == "sysret":
+            if not cpu.kernel_mode:
+                raise ReproError("sysret from user mode")
+            cpu.kernel_mode = False
+            cpu.state.write(Reg.RSP, self._saved_user_rsp)
+            cpu.cycles += self.uarch.syscall_exit_cost
+            cpu.pc = self._saved_user_pc
+            return
+        raise ReproError(f"unexpected trap {trap!r} at {cpu.pc:#x}")
+
+    def _inject_syscall_noise(self) -> None:
+        """Model the syscall path thrashing I-cache sets beyond the code
+        we simulate (the noise §7.3 fights): each eviction removes one
+        resident line from a random L1I set.  A busy sibling thread
+        makes the machine's timing behaviour more uniform, which the
+        paper exploits; here it slightly reduces the thrash."""
+        n = self.syscall_noise_evictions
+        if self.sibling_load:
+            n = max(0, n - 1)
+        l1i = self.mem.hier.l1i
+        for _ in range(n):
+            set_index = self.rng.randrange(l1i.num_sets)
+            resident = l1i.resident_lines(set_index)
+            if resident:
+                l1i.invalidate(self.rng.choice(resident))
+
+    # ------------------------------------------------------------------
+    # attacker runtime
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.cpu.cycles
+
+    def seconds(self) -> float:
+        """Simulated wall-clock time since boot."""
+        return self.cpu.cycles / (self.uarch.clock_ghz * 1e9)
+
+    @property
+    def timing_jitter_sigma(self) -> float:
+        """Timer noise level; a loaded sibling stabilises timing
+        (paper §6.4 stresses the sibling with ``stress -c 10``)."""
+        return 1.0 if self.sibling_load else 2.0
+
+    def map_user(self, va: int, size: int, *, nx: bool = False) -> None:
+        """mmap: anonymous user memory."""
+        self.mem.map_anonymous(va, size, user=True, nx=nx)
+
+    def map_user_huge(self, va: int, *, nx: bool = True) -> None:
+        """mmap a 2 MiB transparent huge page (physically contiguous)."""
+        pa = self.mem.frames.alloc_huge()
+        self.mem.aspace.map_range(va, pa, HUGE_PAGE_SIZE, user=True,
+                                  nx=nx, huge=True)
+
+    def alloc_filler_huge_pages(self, count: int) -> None:
+        """Consume huge pages to re-randomize later allocations'
+        physical addresses (Table 5's re-randomization step)."""
+        for _ in range(count):
+            self.mem.frames.alloc_huge()
+
+    def write_user(self, va: int, data: bytes) -> None:
+        """Write into user memory (and invalidate stale decodes)."""
+        pa = self.mem.aspace.translate(va, write=True, user_mode=True)
+        self.mem.phys.write(pa, data)
+        self.cpu.invalidate_code(va, va + len(data))
+
+    def load_user_image(self, image: Image, *, nx: bool = False) -> None:
+        self.mem.load_image(image, user=True, nx=nx)
+
+    def run_user(self, pc: int, *, max_instructions: int = 200_000,
+                 regs: dict[Reg, int] | None = None) -> None:
+        """Run attacker code at *pc* until ``hlt``.
+
+        PageFaults in user mode propagate to the caller (the attacker
+        catches them, e.g. when training with kernel-address targets).
+        """
+        self.cpu.state.write(Reg.RSP, USER_STACK_TOP - 64)
+        if regs:
+            for reg, value in regs.items():
+                self.cpu.state.write(reg, value)
+        try:
+            self.cpu.run(pc, max_instructions=max_instructions)
+        except HaltRequested:
+            return
+        except PageFault:
+            if self.cpu.kernel_mode:
+                raise ReproError("kernel page fault (oops)") from None
+            raise
+
+    def syscall(self, nr: int, rdi: int = 0, rsi: int = 0,
+                rdx: int = 0, *, max_instructions: int = 200_000) -> int:
+        """Issue a system call through the user stub; returns RAX."""
+        self.cpu.state.write(Reg.RAX, nr)
+        self.cpu.state.write(Reg.RDI, rdi)
+        self.cpu.state.write(Reg.RSI, rsi)
+        self.cpu.state.write(Reg.RDX, rdx)
+        self.run_user(USER_STUB, max_instructions=max_instructions)
+        return self.cpu.state.read(Reg.RAX)
+
+    # -- timing / cache primitives (attacker-visible) ----------------------
+
+    def clflush(self, va: int) -> None:
+        self.mem.clflush(va)
+        self.cpu.cycles += 40
+
+    def timed_user_load(self, va: int) -> int:
+        """Execute the equivalent of ``rdtsc; mov r,[va]; rdtsc``.
+
+        Returns the load latency in cycles (no jitter — callers add
+        timer noise via :class:`repro.sidechannel.Timer`)."""
+        _, cyc = self.mem.read_data(canonical(va), 8, user_mode=True)
+        self.cpu.cycles += cyc + 2
+        return cyc
+
+    def timed_user_exec(self, va: int) -> int:
+        """Time an instruction fetch at *va* (Figure 5 A's probe)."""
+        _, cyc = self.mem.fetch_code(canonical(va), 8, user_mode=True)
+        self.cpu.cycles += cyc + 2
+        return cyc
+
+    def user_touch(self, va: int) -> None:
+        """Untimed user load (prime traffic)."""
+        _, cyc = self.mem.read_data(canonical(va), 8, user_mode=True)
+        self.cpu.cycles += cyc
+
+    def user_exec_touch(self, va: int) -> None:
+        """Untimed user instruction fetch (I-cache prime traffic)."""
+        _, cyc = self.mem.fetch_code(canonical(va), 8, user_mode=True)
+        self.cpu.cycles += cyc
+
+    # -- test-only introspection -------------------------------------------
+
+    def secret_bytes(self) -> bytes:
+        """Ground-truth secret (verification of leaks in benches/tests)."""
+        return self._secret
+
+    @property
+    def secret_va(self) -> int:
+        return self.data_base + SECRET_OFFSET

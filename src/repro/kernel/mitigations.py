@@ -1,0 +1,52 @@
+"""Mitigation configuration (paper §2.4, §6.3, §8).
+
+The threat model assumes a default hardened configuration: retpolines
+and untrain-ret are considered deployed (the kernel text contains no
+exploitable *indirect* branches — all syscall dispatch here is compiled
+to compare+direct-branch chains, which is what retpolines achieve), and
+the hardware mitigations are toggles the experiments flip:
+
+* ``suppress_bp_on_non_br`` — AMD MSR 0xC00110E3 bit (Zen 2+): prevents
+  branch prediction on non-branches.  The paper shows it only stops
+  transient *execute* (O4).
+* ``auto_ibrs`` — Zen 4: restricts cross-privilege prediction use — but
+  only after instruction fetch/decode (O5).
+* ``ibpb_on_kernel_entry`` — flush all predictions when entering the
+  kernel.  Expensive, but it stops P1/P2/P3 (§8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Software/hardware mitigation switches for one boot."""
+
+    suppress_bp_on_non_br: bool = False
+    auto_ibrs: bool = False
+    ibpb_on_kernel_entry: bool = False
+    #: RSB stuffing on kernel entry (§2.4): overwrite user-poisoned
+    #: return predictions with a fenced kernel pad.
+    rsb_stuffing_on_entry: bool = False
+    # Descriptive flags (threat-model documentation; both are modelled
+    # structurally: the kernel has no indirect branches to hijack and
+    # returns are not trained cross-privilege in these exploits).
+    retpolines: bool = True
+    untrain_ret: bool = True
+
+    def with_(self, **changes) -> "MitigationConfig":
+        return replace(self, **changes)
+
+
+#: The paper's baseline: default Ubuntu with state-of-the-art Spectre
+#: defenses (§3) — but the Phantom-specific MSR bits off.
+DEFAULT_MITIGATIONS = MitigationConfig()
+
+#: Everything AMD recommends switched on.
+HARDENED = MitigationConfig(suppress_bp_on_non_br=True, auto_ibrs=True)
+
+#: The big hammer (§8.2).
+IBPB_HARDENED = MitigationConfig(suppress_bp_on_non_br=True, auto_ibrs=True,
+                                 ibpb_on_kernel_entry=True)

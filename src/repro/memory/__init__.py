@@ -1,0 +1,23 @@
+"""Memory substrate: physical memory, paging, caches, TLBs."""
+
+from .cache import Cache, CacheStats, Replacement
+from .hierarchy import CacheGeometry, HierarchyParams, MemoryHierarchy
+from .paging import PTE, AddressSpace
+from .phys import PhysicalMemory
+from .system import FrameAllocator, MemorySystem
+from .tlb import TLB
+
+__all__ = [
+    "AddressSpace",
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "FrameAllocator",
+    "HierarchyParams",
+    "MemoryHierarchy",
+    "MemorySystem",
+    "PhysicalMemory",
+    "PTE",
+    "Replacement",
+    "TLB",
+]

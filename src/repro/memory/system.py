@@ -1,0 +1,139 @@
+"""Memory system facade: page tables + TLBs + cache hierarchy + DRAM.
+
+This is the single interface the pipeline uses for all memory traffic.
+Every access translates through the :class:`AddressSpace` (permission
+checks included) and charges cycles according to TLB and cache state.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import MemoryError_
+from ..params import HUGE_PAGE_SIZE, PAGE_SIZE, canonical
+from .cache import Cache
+from .hierarchy import HierarchyParams, MemoryHierarchy
+from .paging import AddressSpace
+from .phys import PhysicalMemory
+from .tlb import TLB
+
+
+class FrameAllocator:
+    """Bump allocator over physical frames."""
+
+    def __init__(self, phys: PhysicalMemory, start: int = PAGE_SIZE) -> None:
+        self._phys = phys
+        self._next = start
+
+    def alloc(self, size: int, align: int = PAGE_SIZE) -> int:
+        """Allocate *size* physically contiguous bytes; returns base PA."""
+        base = (self._next + align - 1) & ~(align - 1)
+        if base + size > self._phys.size:
+            raise MemoryError_(
+                f"out of physical memory ({base + size:#x} > "
+                f"{self._phys.size:#x})")
+        self._next = base + size
+        return base
+
+    def alloc_page(self) -> int:
+        return self.alloc(PAGE_SIZE)
+
+    def alloc_huge(self) -> int:
+        return self.alloc(HUGE_PAGE_SIZE, align=HUGE_PAGE_SIZE)
+
+    @property
+    def used(self) -> int:
+        return self._next
+
+
+class MemorySystem:
+    """Paging + caches + physical memory, with cycle accounting."""
+
+    def __init__(self, phys_size: int,
+                 hierarchy: HierarchyParams | None = None,
+                 rng: random.Random | None = None) -> None:
+        rng = rng or random.Random(0)
+        self.phys = PhysicalMemory(phys_size)
+        self.frames = FrameAllocator(self.phys)
+        self.aspace = AddressSpace()
+        self.hier = MemoryHierarchy(hierarchy, rng=rng)
+        self.itlb = TLB()
+        self.dtlb = TLB()
+
+    # -- data path -----------------------------------------------------------
+
+    def read_data(self, va: int, size: int, *,
+                  user_mode: bool = False) -> tuple[int, int]:
+        """Load *size* bytes at *va*.  Returns ``(value, cycles)``."""
+        pa = self.aspace.translate(va, user_mode=user_mode)
+        cycles = self.dtlb.access(va) + self._touch_data(pa, size)
+        return self.phys.read_int(pa, size), cycles
+
+    def write_data(self, va: int, size: int, value: int, *,
+                   user_mode: bool = False) -> int:
+        """Store *value* at *va*.  Returns cycles."""
+        pa = self.aspace.translate(va, write=True, user_mode=user_mode)
+        cycles = self.dtlb.access(va) + self._touch_data(pa, size)
+        self.phys.write_int(pa, size, value)
+        return cycles
+
+    def _touch_data(self, pa: int, size: int) -> int:
+        cycles = 0
+        line = pa & ~63
+        while line < pa + size:
+            cycles = max(cycles, self.hier.access_data(line))
+            line += 64
+        return cycles
+
+    # -- instruction path ------------------------------------------------------
+
+    def fetch_code(self, va: int, size: int, *,
+                   user_mode: bool = False) -> tuple[bytes, int]:
+        """Fetch *size* code bytes at *va* (exec permission enforced).
+
+        Returns ``(bytes, cycles)``.  Fetches crossing a page boundary
+        translate both pages.
+        """
+        cycles = 0
+        out = bytearray()
+        pos = va
+        end = va + size
+        while pos < end:
+            pa = self.aspace.translate(pos, exec_=True, user_mode=user_mode)
+            chunk = min(end - pos, PAGE_SIZE - (pos & (PAGE_SIZE - 1)))
+            cycles += self.itlb.access(pos)
+            line = pa & ~63
+            while line < pa + chunk:
+                cycles = max(cycles, self.hier.access_instr(line))
+                line += 64
+            out += self.phys.read(pa, chunk)
+            pos += chunk
+        return bytes(out), cycles
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_image(self, image, *, user: bool = False, nx: bool = False,
+                   writable: bool = True) -> None:
+        """Allocate frames for *image*'s segments, map and copy them."""
+        for segment in image.segments:
+            base_va = segment.base & ~(PAGE_SIZE - 1)
+            end_va = (segment.end + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            span = end_va - base_va
+            pa = self.frames.alloc(span)
+            self.aspace.map_range(base_va, pa, span, user=user, nx=nx,
+                                  writable=writable)
+            self.phys.write(pa + (segment.base - base_va), segment.data)
+
+    def map_anonymous(self, va: int, size: int, **attrs) -> int:
+        """Map zeroed memory at *va*; returns the physical base."""
+        pa = self.frames.alloc(size)
+        self.aspace.map_range(va, pa, size, **attrs)
+        return pa
+
+    # -- attacker-visible helpers ----------------------------------------------
+
+    def clflush(self, va: int) -> None:
+        """Flush the line holding *va* from all cache levels."""
+        pa = self.aspace.translate_noperm(canonical(va))
+        if pa is not None:
+            self.hier.flush_line(pa)

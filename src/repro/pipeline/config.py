@@ -1,0 +1,163 @@
+"""Microarchitecture models for the eight CPUs the paper evaluates.
+
+The decisive quantity for Phantom is a latency race inside the
+frontend: after the BPU redirects fetch to a (mis)predicted target, the
+target's bytes are fetched and decoded unconditionally — the decoder
+only *then* notices that the branch source does not match the
+prediction's semantics and issues a frontend resteer.  Whether the
+target's µops reach the execute stage before the resteer lands is what
+separates AMD Zen 1/2 (transient execute, observation O3) from
+Zen 3/4 and Intel (transient fetch + decode only, observations O1/O2).
+
+Per model we therefore expose the two race latencies and derive::
+
+    phantom_exec_uops = max(0, frontend_resteer_latency - issue_latency)
+
+Zen 1/2 lose the race to issue by 4 µops — enough to dispatch a short
+disclosure gadget ending in one load (primitives P2/P3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.btb import (BTBIndexing, ZEN1_TAG_FUNCTIONS,
+                            ZEN3_BTB_FUNCTIONS)
+from ..memory.hierarchy import HierarchyParams
+
+
+@dataclass(frozen=True)
+class Microarch:
+    """Parameters of one simulated CPU model."""
+
+    name: str                    # microarchitecture ("Zen 2")
+    model: str                   # tested part ("AMD EPYC 7252")
+    vendor: str                  # "amd" | "intel"
+    clock_ghz: float
+    btb: BTBIndexing
+    hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
+
+    # Frontend geometry / latencies (cycles).
+    fetch_block: int = 32
+    fetch_latency: int = 3           # I-cache block -> IBQ
+    decode_latency: int = 3          # IBQ -> µop queue
+    issue_latency: int = 4           # µop queue -> first issue
+    frontend_resteer_latency: int = 3  # source decode -> redirected fetch
+
+    # Backend speculation.
+    backend_window_uops: int = 64    # classic Spectre window depth
+
+    # Quirks and mitigation support.
+    indirect_victim_opaque: bool = False   # Intel: jmp* victims show no signal
+    supports_suppress_bp_on_non_br: bool = False
+    supports_auto_ibrs: bool = False
+    eibrs: bool = False                    # Intel hardware cross-priv guard
+    smt: bool = True
+
+    # Instruction prefetchers (§5.1's IF-channel confound).
+    #: BPU-assisted I-prefetch: predicted targets are brought into the
+    #: I-cache even when the pipeline does not follow the prediction
+    #: (the reason "sometimes not even IF" — parts without it show no
+    #: fetch signal at suppressed predictions, parts with it do).
+    bpu_prefetch: bool = False
+    #: Next-line prefetch: fetching a block pulls the following line.
+    next_line_prefetch: bool = False
+
+    #: BTB ways per set (entries beyond this evict LRU).
+    btb_ways: int = 8
+
+    # Costs used by the kernel model (cycles).
+    syscall_entry_cost: int = 400
+    syscall_exit_cost: int = 300
+
+    @property
+    def phantom_exec_uops(self) -> int:
+        """µops of a phantom target that issue before the frontend
+        resteer squashes them (0 = decoder wins the race)."""
+        return max(0, self.frontend_resteer_latency - self.issue_latency)
+
+    @property
+    def phantom_reaches_execute(self) -> bool:
+        return self.phantom_exec_uops > 0
+
+
+def _amd_btb(name: str, functions) -> BTBIndexing:
+    return BTBIndexing(name, tag_functions=tuple(functions))
+
+
+def _intel_btb(name: str) -> BTBIndexing:
+    # Intel parts did not reuse user predictions in kernel mode even
+    # with mitigations off (paper §6, "PHANTOM on Intel"), modelled as
+    # the privilege mode being part of the BTB tag.
+    return BTBIndexing(name, tag_functions=tuple(ZEN3_BTB_FUNCTIONS),
+                       privilege_in_tag=True)
+
+
+ZEN1 = Microarch(
+    name="Zen 1", model="AMD Ryzen 5 1600X", vendor="amd", clock_ghz=3.6,
+    btb=_amd_btb("zen1", ZEN1_TAG_FUNCTIONS),
+    frontend_resteer_latency=8,      # loses the race: 4 µops issue
+    supports_suppress_bp_on_non_br=False,   # not supported on Zen(+) (§8.1)
+)
+
+ZEN2 = Microarch(
+    name="Zen 2", model="AMD EPYC 7252", vendor="amd", clock_ghz=3.1,
+    btb=_amd_btb("zen2", ZEN1_TAG_FUNCTIONS),
+    frontend_resteer_latency=8,
+    supports_suppress_bp_on_non_br=True,
+)
+
+ZEN3 = Microarch(
+    name="Zen 3", model="AMD Ryzen 5 5600G", vendor="amd", clock_ghz=3.9,
+    btb=_amd_btb("zen3", ZEN3_BTB_FUNCTIONS),
+    frontend_resteer_latency=3,      # decoder wins: fetch + decode only
+    supports_suppress_bp_on_non_br=True,
+)
+
+ZEN4 = Microarch(
+    name="Zen 4", model="AMD Ryzen 7 7700X", vendor="amd", clock_ghz=4.5,
+    btb=_amd_btb("zen4", ZEN3_BTB_FUNCTIONS),
+    frontend_resteer_latency=3,
+    supports_suppress_bp_on_non_br=True,
+    supports_auto_ibrs=True,
+)
+
+INTEL_9TH = Microarch(
+    name="Intel 9th gen", model="Intel Core i9-9900K", vendor="intel",
+    clock_ghz=3.6, btb=_intel_btb("intel9"),
+    frontend_resteer_latency=3, indirect_victim_opaque=True, eibrs=True,
+    bpu_prefetch=True,   # "sometimes not even IF": these parts still
+                         # prefetch suppressed targets (Bunnyhop [77])
+)
+
+INTEL_11TH = Microarch(
+    name="Intel 11th gen", model="Intel Core i7-11700K", vendor="intel",
+    clock_ghz=3.6, btb=_intel_btb("intel11"),
+    frontend_resteer_latency=3, indirect_victim_opaque=True, eibrs=True,
+    bpu_prefetch=True,
+)
+
+INTEL_12TH = Microarch(
+    name="Intel 12th gen (P core)", model="Intel Core i7-12700K",
+    vendor="intel", clock_ghz=3.6, btb=_intel_btb("intel12"),
+    frontend_resteer_latency=3, indirect_victim_opaque=True, eibrs=True,
+)
+
+INTEL_13TH = Microarch(
+    name="Intel 13th gen (P core)", model="Intel Core i9-13900K",
+    vendor="intel", clock_ghz=4.0, btb=_intel_btb("intel13"),
+    frontend_resteer_latency=3, indirect_victim_opaque=True, eibrs=True,
+)
+
+AMD_MICROARCHES: tuple[Microarch, ...] = (ZEN1, ZEN2, ZEN3, ZEN4)
+INTEL_MICROARCHES: tuple[Microarch, ...] = (INTEL_9TH, INTEL_11TH,
+                                            INTEL_12TH, INTEL_13TH)
+ALL_MICROARCHES: tuple[Microarch, ...] = AMD_MICROARCHES + INTEL_MICROARCHES
+
+
+def by_name(name: str) -> Microarch:
+    """Look up a model by its µarch name (case-insensitive)."""
+    for uarch in ALL_MICROARCHES:
+        if uarch.name.lower() == name.lower():
+            return uarch
+    raise KeyError(name)

@@ -1,0 +1,586 @@
+"""The simulated CPU: decoupled frontend semantics with transient episodes.
+
+Execution model
+===============
+
+Architectural execution is functional (instruction at a time) with cycle
+accounting; microarchitectural speculation is modelled as *episodes*
+expanded inline at the moment the real frontend would have performed
+them.  Per instruction the CPU:
+
+1. consults the µop cache (hit bypasses fetch+decode, as on hardware);
+2. on a µop-cache miss, fetches the instruction bytes through the
+   MMU/L1I and decodes them;
+3. queries the BPU for a predicted branch source anywhere inside the
+   instruction's byte span — the pre-decode prediction of Figure 2.
+   Disagreement between the prediction's recorded semantics and the
+   decoded reality triggers a **phantom episode** (decoder-detected,
+   frontend resteer): transient fetch of the predicted target, transient
+   decode into the µop cache, and — if the µarch loses the latency race
+   (Zen 1/2) — transient execution of a few µops;
+4. executes the instruction architecturally;
+5. resolves execute-dependent predictions: wrong indirect/return targets
+   and wrong conditional directions trigger **backend episodes**
+   (classic Spectre windows) that transiently execute the wrong path,
+   with nested phantom episodes allowed inside the window (paper §7.4);
+6. trains the BPU with the architectural outcome.
+
+Cache fills performed by episodes are never rolled back — they are the
+observation channels and the attack surface.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from ..errors import (DecodeError, HaltRequested, PageFault, ReproError,
+                      SimulationLimit, TruncatedError)
+from ..frontend import BPU, Prediction, UopCache
+from ..isa import (ArchState, BranchKind, Instruction, Mnemonic, crack,
+                   decode, execute, uop_count)
+from ..memory import MemorySystem
+from ..params import MASK64, PAGE_SIZE, canonical
+from .config import Microarch
+from .pmc import PMC
+
+_MAX_INSTR_BYTES = 16
+
+
+class Reach(enum.IntEnum):
+    """How far a transient episode advanced in the pipeline."""
+
+    NONE = 0
+    FETCH = 1
+    DECODE = 2
+    EXECUTE = 3
+
+
+@dataclass
+class EpisodeRecord:
+    """Diagnostic record of one speculation episode (tests only —
+    exploits must use the observation channels instead)."""
+
+    source_pc: int
+    predicted_kind: BranchKind | None
+    actual_kind: BranchKind
+    target: int
+    reach: Reach
+    frontend_resteer: bool
+    cross_privilege: bool = False
+    nested: bool = False
+
+
+@dataclass
+class MSRState:
+    """Model-specific-register bits controlling the mitigations."""
+
+    suppress_bp_on_non_br: bool = False
+    auto_ibrs: bool = False
+
+
+@dataclass
+class _TransientState:
+    """Register/store state of an in-flight transient path."""
+
+    arch: ArchState
+    stores: dict[int, int] = field(default_factory=dict)
+
+
+class CPU:
+    """One simulated core."""
+
+    def __init__(self, uarch: Microarch, mem: MemorySystem,
+                 rng: random.Random | None = None) -> None:
+        self.uarch = uarch
+        self.mem = mem
+        self.rng = rng or random.Random(0)
+        self.bpu = BPU(uarch.btb, btb_ways=uarch.btb_ways)
+        self.uopcache = UopCache()
+        self.pmc = PMC()
+        self.state = ArchState()
+        self.msr = MSRState()
+        self.pc = 0
+        self.cycles = 0
+        self.kernel_mode = False
+        self.episodes: list[EpisodeRecord] = []
+        self.record_episodes = False
+        #: Set by the Machine: handle syscall/sysret/hlt/ud2 traps.
+        self.trap_handler = None
+        #: Optional per-instruction observer: fn(pc, instr) called after
+        #: decode, before execution (used by the analysis tracer).
+        self.instr_hook = None
+        self._decode_cache: dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------
+    # decode path
+    # ------------------------------------------------------------------
+
+    def invalidate_code(self, lo: int, hi: int) -> None:
+        """Drop cached decodes overlapping [lo, hi) (self-modifying code)."""
+        stale = [pc for pc in self._decode_cache
+                 if lo - _MAX_INSTR_BYTES < pc < hi]
+        for pc in stale:
+            del self._decode_cache[pc]
+
+    def _fetch_bytes(self, pc: int, length: int) -> bytes:
+        """Fetch *length* raw bytes at *pc* through the MMU and L1I."""
+        raw, cyc = self.mem.fetch_code(pc, length,
+                                       user_mode=not self.kernel_mode)
+        self.cycles += cyc
+        self.pmc.add("l1i_access")
+        if cyc >= self.mem.hier.params.l2_latency:
+            self.pmc.add("l1i_miss")
+        return raw
+
+    def _decode_at(self, pc: int) -> Instruction:
+        """Decode the instruction at *pc*, fetching block by block.
+
+        Fetch granularity is the µarch's aligned fetch block: the block
+        after the instruction is only touched when the instruction
+        actually crosses the boundary — matching hardware and keeping
+        the fall-through line cold for Phantom's observation channels.
+        """
+        instr = self._decode_cache.get(pc)
+        if instr is not None:
+            return instr
+        block = self.uarch.fetch_block
+        block_end = (pc & ~(block - 1)) + block
+        raw = self._fetch_bytes(pc, min(block_end - pc, _MAX_INSTR_BYTES))
+        try:
+            instr = decode(raw)
+        except TruncatedError:
+            try:
+                raw += self._fetch_bytes(pc + len(raw),
+                                         _MAX_INSTR_BYTES - len(raw))
+            except PageFault as exc:
+                raise PageFault(canonical(pc + len(raw)), present=False,
+                                user=not self.kernel_mode, exec_=True) \
+                    from exc
+            instr = decode(raw)   # DecodeError propagates
+        self._decode_cache[pc] = instr
+        self.cycles += self.uarch.decode_latency
+        if self.uarch.next_line_prefetch:
+            self._prefetch_target((pc & ~63) + 64, count_event=False)
+        return instr
+
+    # ------------------------------------------------------------------
+    # memory callbacks for the executor
+    # ------------------------------------------------------------------
+
+    def _load(self, addr: int, size: int) -> int:
+        value, cyc = self.mem.read_data(addr, size,
+                                        user_mode=not self.kernel_mode)
+        self.cycles += cyc
+        self.pmc.add("l1d_access")
+        if cyc >= self.mem.hier.params.l2_latency:
+            self.pmc.add("l1d_miss")
+        return value
+
+    def _store(self, addr: int, size: int, value: int) -> None:
+        cyc = self.mem.write_data(addr, size, value,
+                                  user_mode=not self.kernel_mode)
+        self.cycles += cyc
+        self.pmc.add("l1d_access")
+
+    # ------------------------------------------------------------------
+    # architectural stepping
+    # ------------------------------------------------------------------
+
+    def run(self, pc: int | None = None, *,
+            max_instructions: int = 2_000_000) -> None:
+        """Run until ``hlt`` (raises HaltRequested) or the budget expires."""
+        if pc is not None:
+            self.pc = canonical(pc)
+        for _ in range(max_instructions):
+            self.step()
+        raise SimulationLimit(
+            f"exceeded {max_instructions} instructions at pc={self.pc:#x}")
+
+    def step(self) -> None:
+        """Execute one architectural instruction (plus its episodes)."""
+        pc = self.pc
+        uop_hit = self.uopcache.access(pc)
+        if uop_hit:
+            self.pmc.add("op_cache_hit")
+            self.cycles += 1
+        else:
+            self.pmc.add("op_cache_miss")
+            if self.msr.suppress_bp_on_non_br \
+                    and self.uarch.supports_suppress_bp_on_non_br:
+                # SuppressBPOnNonBr withholds next-fetch predictions
+                # until bytes are known to be a branch, costing a little
+                # frontend lookahead on the decode path (measured at
+                # well under 1% by the paper's UnixBench runs, §6.3).
+                self.cycles += 2
+        instr = self._decode_at(pc)
+        if not uop_hit:
+            self.pmc.add("de_dis_uops_from_decoder", uop_count(instr))
+        if self.instr_hook is not None:
+            self.instr_hook(pc, instr)
+
+        prediction = self.bpu.predict_in_block(
+            pc, instr.length, kernel_mode=self.kernel_mode)
+
+        # Phantom: decoder-detectable disagreement between the
+        # prediction's semantics and the decoded instruction.
+        prediction = self._frontend_check(pc, instr, prediction)
+
+        result = execute(instr, pc, self.state, self._load, self._store,
+                         rdtsc=lambda: self.cycles)
+        self.pmc.add("instructions")
+        self.cycles += 1
+
+        self._resolve_and_train(pc, instr, result, prediction)
+
+        if result.trap is not None:
+            self._handle_trap(result.trap, instr, result)
+            return
+        self.pc = canonical(result.next_pc)
+
+    # ------------------------------------------------------------------
+    # frontend (pre-decode) prediction handling
+    # ------------------------------------------------------------------
+
+    def _frontend_check(self, pc: int, instr: Instruction,
+                        prediction: Prediction | None) -> Prediction | None:
+        """Handle decoder-detectable mispredictions.
+
+        Returns the prediction if it survives decode (execute-dependent
+        semantics agree) so the backend can verify it; returns None when
+        the decoder already resteered (phantom episode performed).
+        """
+        if prediction is None:
+            self._sequential_speculation(pc, instr)
+            return None
+        actual_kind = instr.branch_kind if prediction.source_pc == pc \
+            else BranchKind.NONE
+        predicted_kind = prediction.kind
+
+        if predicted_kind is actual_kind:
+            if actual_kind in (BranchKind.DIRECT, BranchKind.CALL_DIRECT,
+                               BranchKind.CONDITIONAL):
+                # PC-relative displacements are decodable: the decoder
+                # verifies the target immediately (the asymmetric
+                # different-displacement cases of Table 1).  For jcc the
+                # *direction* still resolves at execute.
+                if prediction.target != instr.target(pc):
+                    self._phantom(pc, prediction, actual_kind)
+                    return None
+            if (self.msr.auto_ibrs and self.uarch.supports_auto_ibrs
+                    and prediction.cross_privilege
+                    and actual_kind.is_execute_dependent):
+                # AutoIBRS refuses cross-privilege predictions, but only
+                # after the predicted target was fetched and decoded
+                # (§8.1): model as a phantom-style frontend episode with
+                # no execute window.
+                self._phantom(pc, prediction, actual_kind)
+                return None
+            return prediction  # backend will verify target/direction
+        # Branch-type confusion: detected at decode, not at execute.
+        self._phantom(pc, prediction, actual_kind)
+        return None
+
+    def _sequential_speculation(self, pc: int, instr: Instruction) -> None:
+        """No prediction: fetch ran sequentially past this instruction.
+
+        For architecturally taken unconditional branches this is
+        straight-line speculation of the fall-through bytes, resteered
+        by decode (jmp/call) or dispatch (jmp*/ret).  Conditional
+        mispredictions are handled by the backend path instead.
+        """
+        kind = instr.branch_kind
+        if kind in (BranchKind.DIRECT, BranchKind.CALL_DIRECT,
+                    BranchKind.INDIRECT, BranchKind.CALL_INDIRECT,
+                    BranchKind.RETURN):
+            if (self.uarch.indirect_victim_opaque
+                    and kind in (BranchKind.INDIRECT,
+                                 BranchKind.CALL_INDIRECT)):
+                # Intel quirk (§6): jmp* victims show no phantom/SLS
+                # pipeline signal; prefetching parts still warm the
+                # fall-through line.
+                if self.uarch.bpu_prefetch:
+                    self._prefetch_target((pc + instr.length) & MASK64)
+                return
+            fall_through = (pc + instr.length) & MASK64
+            exec_uops = self.uarch.phantom_exec_uops
+            if self.msr.suppress_bp_on_non_br \
+                    and self.uarch.supports_suppress_bp_on_non_br:
+                # SLS follows from the *absence* of a branch prediction,
+                # which is exactly what this bit suppresses speculation
+                # on; transient execute stops, fetch/decode do not (O4).
+                exec_uops = 0
+            reach = self._transient_target(fall_through, exec_uops,
+                                           state=None)
+            self.pmc.add("resteer_frontend")
+            self.cycles += self.uarch.frontend_resteer_latency
+            self._record(pc, None, kind, fall_through, reach,
+                         frontend=True)
+
+    def _phantom(self, pc: int, prediction: Prediction,
+                 actual_kind: BranchKind) -> None:
+        """Decoder-detected misprediction: the Phantom episode."""
+        exec_uops = self.uarch.phantom_exec_uops
+        if (self.msr.suppress_bp_on_non_br
+                and self.uarch.supports_suppress_bp_on_non_br
+                and actual_kind is BranchKind.NONE):
+            exec_uops = 0    # O4: IF and ID still happen
+        if (self.msr.auto_ibrs and self.uarch.supports_auto_ibrs
+                and prediction.cross_privilege):
+            exec_uops = 0    # O5: IF (and ID) still happen
+        if (self.uarch.indirect_victim_opaque
+                and actual_kind in (BranchKind.INDIRECT,
+                                    BranchKind.CALL_INDIRECT)):
+            # Intel quirk: jmp* victims show no phantom *pipeline*
+            # signal (§6) — but parts with BPU-assisted prefetch still
+            # pull the predicted target into the I-cache ("sometimes
+            # not even IF" distinguishes the parts without it).
+            reach = Reach.NONE
+            if self.uarch.bpu_prefetch:
+                reach = self._prefetch_target(prediction.target)
+            self.pmc.add("resteer_frontend")
+            self._record(pc, prediction.kind, actual_kind,
+                         prediction.target, reach, frontend=True,
+                         cross_privilege=prediction.cross_privilege)
+            return
+        reach = self._transient_target(prediction.target, exec_uops,
+                                       state=None)
+        self.pmc.add("resteer_frontend")
+        self.pmc.add("branch_mispredict")
+        self.cycles += self.uarch.frontend_resteer_latency
+        self._record(pc, prediction.kind, actual_kind, prediction.target,
+                     reach, frontend=True,
+                     cross_privilege=prediction.cross_privilege)
+
+    # ------------------------------------------------------------------
+    # backend resolution and training
+    # ------------------------------------------------------------------
+
+    def _resolve_and_train(self, pc: int, instr: Instruction, result,
+                           prediction: Prediction | None) -> None:
+        kind = instr.branch_kind
+        if kind is BranchKind.NONE:
+            return
+        self.pmc.add("branch_retired")
+
+        if kind.is_call:
+            self.bpu.call_executed((pc + instr.length) & MASK64)
+        rsb_prediction = None
+        if kind is BranchKind.RETURN:
+            rsb_prediction = self.bpu.ret_executed()
+
+        # Backend verification of execute-dependent predictions.
+        if prediction is not None and kind.is_execute_dependent:
+            predicted_target = prediction.target
+            if kind is BranchKind.CONDITIONAL:
+                if result.taken:
+                    pass  # predicted taken w/ correct target: correct
+                else:
+                    # Predicted taken, actually not taken: the taken
+                    # path ran transiently (Spectre-v1 windows).
+                    self._backend_mispredict(pc, prediction.kind,
+                                             kind, predicted_target)
+            elif predicted_target != result.target:
+                self._backend_mispredict(pc, prediction.kind, kind,
+                                         predicted_target)
+        elif prediction is None and kind is BranchKind.CONDITIONAL \
+                and result.taken:
+            # Predicted not-taken (default), actually taken: the
+            # fall-through path ran transiently.
+            self._backend_mispredict(pc, None, kind,
+                                     (pc + instr.length) & MASK64)
+        elif prediction is None and kind is BranchKind.RETURN \
+                and rsb_prediction is not None \
+                and rsb_prediction != result.target:
+            self._backend_mispredict(pc, BranchKind.RETURN, kind,
+                                     rsb_prediction)
+
+        self.bpu.train_branch(pc, kind, result.target, bool(result.taken),
+                              kernel_mode=self.kernel_mode)
+
+    def _backend_mispredict(self, pc: int, predicted_kind,
+                            actual_kind: BranchKind,
+                            wrong_target: int) -> None:
+        """Execute-detected misprediction: the classic Spectre window."""
+        self.pmc.add("resteer_backend")
+        self.pmc.add("branch_mispredict")
+        transient = _TransientState(arch=self.state.copy())
+        executed = self._transient_run(wrong_target,
+                                       self.uarch.backend_window_uops,
+                                       transient, allow_nested=True)
+        self.cycles += 18 + executed  # resteer + pipeline refill
+        self._record(pc, predicted_kind, actual_kind, wrong_target,
+                     Reach.EXECUTE, frontend=False)
+
+    # ------------------------------------------------------------------
+    # transient machinery
+    # ------------------------------------------------------------------
+
+    def _prefetch_target(self, target: int, *,
+                         count_event: bool = True) -> Reach:
+        """I-prefetch of an address: the line is cached but nothing
+        enters the pipeline (no decode, no µops)."""
+        try:
+            pa = self.mem.aspace.translate(canonical(target), exec_=True,
+                                           user_mode=not self.kernel_mode)
+        except PageFault:
+            return Reach.NONE
+        self.mem.hier.prefetch_instr(pa & ~63)
+        if count_event:
+            self.pmc.add("phantom_fetch")
+        return Reach.FETCH
+
+    def _transient_target(self, target: int, exec_uops: int,
+                          state: _TransientState | None,
+                          nested: bool = False) -> Reach:
+        """Fetch/decode/execute a speculative target; returns the reach.
+
+        This is the phantom pipeline walk: instruction fetch through the
+        MMU (exec permission enforced, faults squashed), decode into the
+        µop cache, then at most *exec_uops* µops of transient execution.
+        """
+        target = canonical(target)
+        user = not self.kernel_mode
+        # --- IF ---------------------------------------------------------
+        block = target & ~(self.uarch.fetch_block - 1)
+        try:
+            pa = self.mem.aspace.translate(target, exec_=True,
+                                           user_mode=user)
+        except PageFault:
+            return Reach.NONE
+        line = pa & ~63
+        self.mem.hier.prefetch_instr(line)
+        end_pa = pa + (block + self.uarch.fetch_block - target)
+        if (end_pa - 1) & ~63 != line:
+            self.mem.hier.prefetch_instr((end_pa - 1) & ~63)
+        self.pmc.add("phantom_fetch")
+        reach = Reach.FETCH
+        # --- ID ---------------------------------------------------------
+        raw = self.mem.phys.read(pa, min(self.uarch.fetch_block,
+                                         PAGE_SIZE - (pa & (PAGE_SIZE - 1))))
+        decoded: list[tuple[int, Instruction]] = []
+        pos = 0
+        while pos < len(raw):
+            try:
+                instr = decode(raw, pos)
+            except DecodeError:
+                break
+            decoded.append((target + pos, instr))
+            pos += instr.length
+        if decoded:
+            self.uopcache.fill(target)
+            last_pc = decoded[-1][0]
+            if (last_pc >> 6) != (target >> 6):
+                self.uopcache.fill(last_pc)
+            self.pmc.add("phantom_decode")
+            reach = Reach.DECODE
+        # --- EX ---------------------------------------------------------
+        if exec_uops > 0 and decoded:
+            transient = state or _TransientState(arch=self.state.copy())
+            executed = self._transient_run(target, exec_uops, transient,
+                                           allow_nested=False)
+            if executed > 0:
+                self.pmc.add("phantom_exec_uops", executed)
+                reach = Reach.EXECUTE
+        if nested:
+            self.pmc.add("resteer_frontend")
+        return reach
+
+    def _transient_run(self, pc: int, uop_budget: int,
+                       transient: _TransientState,
+                       allow_nested: bool) -> int:
+        """Transiently execute from *pc* until the µop budget runs out.
+
+        Loads pull real data through the D-cache (filling it — the
+        leak); stores stay in a private store buffer; faults, fences,
+        traps and undecodable bytes end the window.  Returns µops
+        executed.
+        """
+        user = not self.kernel_mode
+        executed = 0
+        pc = canonical(pc)
+        while uop_budget > 0:
+            try:
+                pa = self.mem.aspace.translate(pc, exec_=True,
+                                               user_mode=user)
+            except PageFault:
+                break
+            window = min(_MAX_INSTR_BYTES,
+                         PAGE_SIZE - (pa & (PAGE_SIZE - 1)))
+            raw = self.mem.phys.read(pa, window)
+            try:
+                instr = decode(raw)
+            except DecodeError:
+                break
+            self.mem.hier.prefetch_instr(pa & ~63)
+            self.uopcache.fill(pc)
+            if instr.is_fence or instr.mnemonic in (
+                    Mnemonic.SYSCALL, Mnemonic.SYSRET, Mnemonic.HLT,
+                    Mnemonic.UD2):
+                break
+            n = uop_count(instr)
+            if n > uop_budget:
+                break
+
+            if allow_nested:
+                nested_pred = self.bpu.predict_in_block(
+                    pc, instr.length, kernel_mode=self.kernel_mode)
+                if nested_pred is not None and \
+                        nested_pred.kind is not instr.branch_kind:
+                    # Phantom nested inside a Spectre window (§7.4):
+                    # the decoder will resteer, but the phantom target
+                    # advances with the *transient* register state.
+                    reach = self._transient_target(
+                        nested_pred.target, self.uarch.phantom_exec_uops,
+                        transient, nested=True)
+                    self._record(pc, nested_pred.kind, instr.branch_kind,
+                                 nested_pred.target, reach, frontend=True,
+                                 cross_privilege=nested_pred.cross_privilege,
+                                 nested=True)
+
+            try:
+                result = execute(
+                    instr, pc, transient.arch,
+                    lambda a, s: self._transient_load(a, s, transient, user),
+                    lambda a, s, v: transient.stores.__setitem__(a, (s, v)),
+                    rdtsc=lambda: self.cycles)
+            except PageFault:
+                break
+            executed += n
+            uop_budget -= n
+            if result.trap is not None:
+                break
+            pc = canonical(result.next_pc)
+        return executed
+
+    def _transient_load(self, addr: int, size: int,
+                        transient: _TransientState, user: bool) -> int:
+        buffered = transient.stores.get(addr)
+        if buffered is not None and buffered[0] == size:
+            return buffered[1]
+        pa = self.mem.aspace.translate(addr, user_mode=user)
+        self.mem.hier.access_data(pa & ~63)
+        self.pmc.add("transient_load")
+        return self.mem.phys.read_int(pa, size)
+
+    # ------------------------------------------------------------------
+    # traps and diagnostics
+    # ------------------------------------------------------------------
+
+    def _handle_trap(self, trap: str, instr: Instruction, result) -> None:
+        if trap == "hlt":
+            raise HaltRequested("hlt executed")
+        if self.trap_handler is None:
+            raise ReproError(f"unhandled trap {trap!r} at {self.pc:#x}")
+        self.trap_handler(self, trap, instr, result)
+
+    def _record(self, source_pc: int, predicted_kind, actual_kind,
+                target: int, reach: Reach, *, frontend: bool,
+                cross_privilege: bool = False, nested: bool = False) -> None:
+        if self.record_episodes:
+            self.episodes.append(EpisodeRecord(
+                source_pc=source_pc, predicted_kind=predicted_kind,
+                actual_kind=actual_kind, target=target, reach=reach,
+                frontend_resteer=frontend, cross_privilege=cross_privilege,
+                nested=nested))

@@ -1,0 +1,67 @@
+"""Performance monitoring counters.
+
+Counter names follow the events the paper samples where they exist
+(op-cache hit/miss on Zen, decoder-sourced dispatch, resteers).  The
+attack tooling samples counters exactly like ``perf``: read, run, read,
+subtract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+
+#: Events the CPU emits.
+EVENTS = (
+    "cycles",
+    "instructions",
+    "op_cache_hit",                      # op_cache_hit_miss.op_cache_hit
+    "op_cache_miss",                     # op_cache_hit_miss.op_cache_miss
+    "de_dis_uops_from_decoder",          # µops built by the decoder
+    "l1i_access",
+    "l1i_miss",
+    "l1d_access",
+    "l1d_miss",
+    "branch_retired",
+    "branch_mispredict",
+    "resteer_frontend",                  # decoder-detected (Phantom)
+    "resteer_backend",                   # execute-detected (Spectre)
+    "phantom_fetch",                     # transient fetch performed
+    "phantom_decode",                    # transient decode performed
+    "phantom_exec_uops",                 # µops transiently executed
+    "transient_load",                    # D-cache fills from bad paths
+    "syscalls",
+)
+
+
+class PMC:
+    """A bank of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, event: str, n: int = 1) -> None:
+        if event not in EVENTS:
+            raise KeyError(f"unknown PMC event {event!r}")
+        self._counts[event] += n
+
+    def read(self, event: str) -> int:
+        if event not in EVENTS:
+            raise KeyError(f"unknown PMC event {event!r}")
+        return self._counts[event]
+
+    def snapshot(self) -> dict[str, int]:
+        return {event: self._counts[event] for event in EVENTS}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    @contextmanager
+    def sample(self, *events: str):
+        """perf-style sampling: ``with pmc.sample("op_cache_miss") as s: ...``
+        then ``s["op_cache_miss"]`` holds the delta."""
+        before = {event: self.read(event) for event in events}
+        deltas: dict[str, int] = {}
+        yield deltas
+        for event in events:
+            deltas[event] = self.read(event) - before[event]

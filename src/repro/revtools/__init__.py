@@ -1,0 +1,18 @@
+"""Reverse-engineering toolkit: GF(2) solving, brute force, collision sampling."""
+
+from . import gf2
+from .bruteforce import BruteForceResult, brute_force_patterns, iter_flip_masks
+from .collider import (CollisionSurvey, RecoveredFunctions, recover_functions,
+                       sample_collisions, solve_alias_pattern)
+
+__all__ = [
+    "BruteForceResult",
+    "CollisionSurvey",
+    "RecoveredFunctions",
+    "brute_force_patterns",
+    "gf2",
+    "iter_flip_masks",
+    "recover_functions",
+    "sample_collisions",
+    "solve_alias_pattern",
+]

@@ -1,0 +1,72 @@
+"""Brute-force search for BTB collision bit-flip patterns.
+
+Reproduces the paper's first (failed) approach in section 6.2: flip up
+to *max_bits* address bits of a kernel address K and test whether the
+resulting user address still collides in the BTB.  The search space
+grows combinatorially, which is exactly why the paper switched to the
+SMT (here: GF(2)) approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+CollisionOracle = Callable[[int, int], bool]
+"""``oracle(addr_a, addr_b) -> True`` iff the two addresses collide."""
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of a brute-force pattern search."""
+
+    patterns: list[int]
+    tested: int
+    exhausted: bool
+
+
+def iter_flip_masks(bit_range: tuple[int, int],
+                    max_bits: int) -> Iterator[int]:
+    """All XOR masks flipping 1..max_bits bits within [lo, hi]."""
+    lo, hi = bit_range
+    bits = range(lo, hi + 1)
+    for k in range(1, max_bits + 1):
+        for combo in itertools.combinations(bits, k):
+            mask = 0
+            for bit in combo:
+                mask |= 1 << bit
+            yield mask
+
+
+def brute_force_patterns(oracle: CollisionOracle, kernel_addr: int, *,
+                         bit_range: tuple[int, int] = (12, 46),
+                         max_bits: int = 6,
+                         base_mask: int = 1 << 47,
+                         budget: int | None = None,
+                         stop_after: int | None = None) -> BruteForceResult:
+    """Search for flip masks p with ``oracle(K, K ^ p)``.
+
+    ``base_mask`` bits are flipped in every candidate; the default flips
+    bit 47 because the search goal is a *user-space* alias of a kernel
+    address (the paper's setting).  ``max_bits`` counts the additional
+    flips.  ``budget`` caps oracle queries; ``stop_after`` stops once
+    that many patterns are found.
+
+    This reproduces the paper's negative result: because bit 47
+    participates in every Zen 3 cross-privilege function, flipping bit
+    47 disturbs all 12 functions at once and repairing them needs more
+    additional flips than a 6-bit search covers.
+    """
+    found: list[int] = []
+    tested = 0
+    for flips in iter_flip_masks(bit_range, max_bits):
+        mask = base_mask | flips
+        if budget is not None and tested >= budget:
+            return BruteForceResult(found, tested, exhausted=False)
+        tested += 1
+        if oracle(kernel_addr, kernel_addr ^ mask):
+            found.append(mask)
+            if stop_after is not None and len(found) >= stop_after:
+                return BruteForceResult(found, tested, exhausted=False)
+    return BruteForceResult(found, tested, exhausted=True)

@@ -1,0 +1,135 @@
+"""Random-sampling collision analysis — the paper's SMT approach, §6.2.
+
+For each kernel address K we collect user-space addresses that collide
+with K in the BTB (random sampling with the low 12 bits pinned to
+K's, as in the paper).  XOR-linear index/tag functions must be constant
+across each collision class, so every observed difference vector
+``A ^ K`` lies in the common kernel of those functions, and the
+functions themselves are recovered as the orthogonal complement with a
+minimal-coefficient-count basis (the paper's ``sum x_i <= n`` bound).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from . import gf2
+from .bruteforce import CollisionOracle
+
+
+@dataclass
+class CollisionSurvey:
+    """Colliding user addresses per kernel address."""
+
+    kernel_addr: int
+    colliding: list[int] = field(default_factory=list)
+    samples: int = 0
+
+    @property
+    def difference_vectors(self) -> list[int]:
+        return [a ^ self.kernel_addr for a in self.colliding]
+
+
+def sample_collisions(oracle: CollisionOracle, kernel_addr: int, *,
+                      samples: int, rng: random.Random,
+                      va_bits: int = 48,
+                      keep_low_bits: int = 12) -> CollisionSurvey:
+    """Randomly sample user addresses and record which collide with K.
+
+    The low *keep_low_bits* bits are pinned to the kernel address's
+    (paper: "we set them equal to K0-11") and the top bit is cleared so
+    the sample is a user address.
+    """
+    survey = CollisionSurvey(kernel_addr)
+    low_mask = (1 << keep_low_bits) - 1
+    low = kernel_addr & low_mask
+    for _ in range(samples):
+        candidate = rng.getrandbits(va_bits - 1)  # bit 47 clear: user space
+        candidate = (candidate & ~low_mask) | low
+        survey.samples += 1
+        if oracle(kernel_addr, candidate):
+            survey.colliding.append(candidate)
+    return survey
+
+
+@dataclass
+class RecoveredFunctions:
+    """Result of the function-recovery pipeline."""
+
+    masks: list[int]                # minimal-weight XOR functions
+    complement_rank: int            # dimension of the function space
+    surveys: list[CollisionSurvey]
+
+    def formatted(self) -> list[str]:
+        return [f"f{i} = {gf2.format_function(m)}"
+                for i, m in enumerate(self.masks)]
+
+    def alias_mask(self, *, va_bits: int = 48,
+                   keep_low_bits: int = 12) -> int:
+        """A flip pattern crossing the privilege bit while preserving
+        every recovered function.
+
+        ``K ^ alias_mask`` is then a user address colliding with kernel
+        address K — the role the paper's ``0xffffbff800000000`` plays.
+        """
+        return solve_alias_pattern(self.masks, va_bits=va_bits,
+                                   keep_low_bits=keep_low_bits)
+
+
+def recover_functions(oracle: CollisionOracle, kernel_addrs: Sequence[int], *,
+                      samples_per_addr: int = 20000,
+                      rng: random.Random | None = None,
+                      va_bits: int = 48,
+                      keep_low_bits: int = 12,
+                      max_weight: int | None = 4) -> RecoveredFunctions:
+    """Run the full §6.2 pipeline and return the recovered functions.
+
+    ``max_weight`` mirrors the paper's coefficient bound n (they found
+    Figure 7's functions at n=4).
+    """
+    rng = rng or random.Random(0x5EED)
+    surveys = [
+        sample_collisions(oracle, k, samples=samples_per_addr, rng=rng,
+                          va_bits=va_bits, keep_low_bits=keep_low_bits)
+        for k in kernel_addrs
+    ]
+    diffs = [v for s in surveys for v in s.difference_vectors]
+    if not diffs:
+        return RecoveredFunctions([], 0, surveys)
+    # The pinned low bits are identically zero in every difference
+    # vector, so the data says nothing about them (the paper has the
+    # same blind spot).  Analyse bits [keep_low_bits, va_bits) only.
+    shifted = [v >> keep_low_bits for v in diffs]
+    width = va_bits - keep_low_bits
+    complement = gf2.orthogonal_complement(shifted, width)
+    masks = gf2.minimal_weight_basis(complement, max_weight=max_weight)
+    masks = [m << keep_low_bits for m in masks]
+    return RecoveredFunctions(masks, len(gf2.row_reduce(masks)), surveys)
+
+
+def solve_alias_pattern(masks: Sequence[int], *, va_bits: int = 48,
+                        keep_low_bits: int = 12) -> int:
+    """Find a flip pattern p with bit va_bits-1 set, zero low bits, and
+    ``parity(m & p) == 0`` for every function mask in *masks*.
+
+    XORing a kernel address with p yields a colliding user address.
+    Preference is given to the minimum-Hamming-weight pattern found
+    among the kernel basis combinations (up to pairs), which is how the
+    compact published masks arise.
+    """
+    width = va_bits - keep_low_bits
+    shifted_masks = [m >> keep_low_bits for m in masks]
+    kernel_basis = gf2.orthogonal_complement(shifted_masks, width)
+    top_bit = va_bits - 1 - keep_low_bits
+    with_top = [v for v in kernel_basis if v >> top_bit & 1]
+    candidates: list[int] = list(with_top)
+    if with_top:
+        anchor = min(with_top, key=gf2.popcount)
+        candidates += [anchor ^ v for v in kernel_basis
+                       if v != anchor and not (v >> top_bit & 1)]
+    if not candidates:
+        raise ValueError("functions admit no privilege-crossing alias")
+    best = min(candidates, key=gf2.popcount)
+    return best << keep_low_bits

@@ -1,0 +1,23 @@
+"""Side-channel substrate: timers, Prime+Probe, Flush+Reload."""
+
+from .flushreload import ReloadBuffer, SLOTS, SLOT_STRIDE
+from .primeprobe import (L1I_SETS, L1I_WAYS, L2_SETS, L2_WAYS,
+                         PrimeProbeL1D, PrimeProbeL1I, PrimeProbeL2,
+                         probe_threshold)
+from .timer import Timer, calibrate_threshold
+
+__all__ = [
+    "L1I_SETS",
+    "L1I_WAYS",
+    "L2_SETS",
+    "L2_WAYS",
+    "PrimeProbeL1D",
+    "PrimeProbeL1I",
+    "PrimeProbeL2",
+    "ReloadBuffer",
+    "SLOTS",
+    "SLOT_STRIDE",
+    "Timer",
+    "calibrate_threshold",
+    "probe_threshold",
+]

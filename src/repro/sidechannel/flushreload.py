@@ -1,0 +1,65 @@
+"""Flush+Reload over memory the attacker shares with the victim.
+
+The MDS leak (paper §7.4) shares a *reload buffer* with the kernel
+through physmap: the attacker's huge page has one physical address,
+reachable both as the user mapping (flush/reload side) and as
+``physmap + PA`` (the kernel-side address the disclosure gadget
+dereferences).  Cache lines are physical, so a transient kernel load
+makes the user reload fast.
+"""
+
+from __future__ import annotations
+
+from ..params import HUGE_PAGE_SIZE
+from .timer import Timer, calibrate_threshold
+
+#: One slot per byte value, each on its own cache line.
+SLOTS = 256
+SLOT_STRIDE = 64
+
+
+class ReloadBuffer:
+    """A 256-slot Flush+Reload buffer in a user huge page."""
+
+    def __init__(self, machine, va: int = 0x0000_0000_7800_0000,
+                 timer: Timer | None = None) -> None:
+        self.machine = machine
+        self.va = va
+        self.timer = timer or Timer(machine)
+        machine.map_user_huge(va)
+        # Touch every slot once so translations and backing exist.
+        for slot in range(SLOTS):
+            machine.user_touch(self.slot_va(slot))
+        self.threshold = calibrate_threshold(self.timer, self.slot_va(0))
+
+    def slot_va(self, slot: int) -> int:
+        if not 0 <= slot < SLOTS:
+            raise ValueError(f"slot out of range: {slot}")
+        return self.va + slot * SLOT_STRIDE
+
+    def flush(self) -> None:
+        """Flush all 256 slots."""
+        for slot in range(SLOTS):
+            self.machine.clflush(self.slot_va(slot))
+
+    def reload(self) -> list[int]:
+        """Reload every slot; returns the slots that hit (fast)."""
+        hits = []
+        for slot in range(SLOTS):
+            if self.timer.time_load(self.slot_va(slot)) < self.threshold:
+                hits.append(slot)
+        return hits
+
+    def leak_byte(self, trigger, *, retries: int = 3) -> int | None:
+        """Flush, run *trigger*, reload; returns the leaked byte.
+
+        Retries when zero or multiple slots hit.  Returns None when no
+        signal is observed after all retries.
+        """
+        for _ in range(retries):
+            self.flush()
+            trigger()
+            hits = self.reload()
+            if len(hits) == 1:
+                return hits[0]
+        return None

@@ -1,0 +1,143 @@
+"""Prime+Probe on the L1 instruction cache and the L2 cache.
+
+L1I: 64 sets indexed purely by page-offset bits [6:12), so any eight
+user pages provide one eviction line per way for every set.
+
+L2: 1024 sets indexed by PA bits [6:16); a single 2 MiB transparent huge
+page (physically contiguous, 2 MiB-aligned) gives 32 same-set lines at
+64 KiB stride for any chosen absolute L2 set — this is why the paper's
+physmap exploit allocates huge pages (§7.2).
+"""
+
+from __future__ import annotations
+
+from ..params import HUGE_PAGE_SIZE, PAGE_SIZE
+from .timer import Timer
+
+L1I_SETS = 64
+L1I_WAYS = 8
+L2_SETS = 1024
+L2_WAYS = 8
+L2_SET_STRIDE = L2_SETS * 64  # 64 KiB between same-set lines
+
+
+class PrimeProbeL1I:
+    """Prime+Probe over the instruction cache via executable user pages."""
+
+    def __init__(self, machine, base_va: int = 0x0000_0000_6000_0000,
+                 timer: Timer | None = None) -> None:
+        self.machine = machine
+        self.base_va = base_va
+        self.timer = timer or Timer(machine)
+        params = machine.mem.hier.params
+        #: Per-line L1-hit/deeper threshold (evicted prime lines usually
+        #: fall only to L2, so the relevant edge is L1 vs L2 latency).
+        self.line_threshold = (params.l1_latency + params.l2_latency) // 2
+        for i in range(L1I_WAYS):
+            machine.map_user(base_va + i * PAGE_SIZE, PAGE_SIZE)
+
+    def _lines(self, set_index: int) -> list[int]:
+        if not 0 <= set_index < L1I_SETS:
+            raise ValueError(f"L1I set out of range: {set_index}")
+        offset = set_index * 64
+        return [self.base_va + i * PAGE_SIZE + offset
+                for i in range(L1I_WAYS)]
+
+    def prime(self, set_index: int) -> None:
+        """Fill every way of *set_index* with attacker lines."""
+        for va in self._lines(set_index):
+            self.machine.user_exec_touch(va)
+
+    def probe(self, set_index: int) -> int:
+        """Total fetch latency over the primed lines (MRU-first)."""
+        return sum(self.timer.time_exec(va)
+                   for va in reversed(self._lines(set_index)))
+
+    def probe_misses(self, set_index: int) -> int:
+        """Number of primed lines that left L1 (per-line thresholding —
+        much better SNR than the summed latency under timer jitter)."""
+        return sum(self.timer.time_exec(va) > self.line_threshold
+                   for va in reversed(self._lines(set_index)))
+
+
+class PrimeProbeL1D:
+    """Prime+Probe over the data cache via user data pages (64 sets)."""
+
+    def __init__(self, machine, base_va: int = 0x0000_0000_6800_0000,
+                 timer: Timer | None = None) -> None:
+        self.machine = machine
+        self.base_va = base_va
+        self.timer = timer or Timer(machine)
+        for i in range(L1I_WAYS):
+            machine.map_user(base_va + i * PAGE_SIZE, PAGE_SIZE, nx=True)
+
+    def _lines(self, set_index: int) -> list[int]:
+        if not 0 <= set_index < L1I_SETS:
+            raise ValueError(f"L1D set out of range: {set_index}")
+        offset = set_index * 64
+        return [self.base_va + i * PAGE_SIZE + offset
+                for i in range(L1I_WAYS)]
+
+    def prime(self, set_index: int) -> None:
+        for va in self._lines(set_index):
+            self.machine.user_touch(va)
+
+    def probe(self, set_index: int) -> int:
+        return sum(self.timer.time_load(va)
+                   for va in reversed(self._lines(set_index)))
+
+    def probe_misses(self, set_index: int) -> int:
+        params = self.machine.mem.hier.params
+        threshold = (params.l1_latency + params.l2_latency) // 2
+        return sum(self.timer.time_load(va) > threshold
+                   for va in reversed(self._lines(set_index)))
+
+
+class PrimeProbeL2:
+    """Prime+Probe over L2 via a 2 MiB huge page (data loads)."""
+
+    def __init__(self, machine, huge_va: int = 0x0000_0000_7000_0000,
+                 timer: Timer | None = None) -> None:
+        self.machine = machine
+        self.huge_va = huge_va
+        self.timer = timer or Timer(machine)
+        machine.map_user_huge(huge_va)
+
+    def _lines(self, set_index: int) -> list[int]:
+        if not 0 <= set_index < L2_SETS:
+            raise ValueError(f"L2 set out of range: {set_index}")
+        offset = set_index * 64
+        return [self.huge_va + offset + k * L2_SET_STRIDE
+                for k in range(L2_WAYS)]
+
+    def prime(self, set_index: int) -> None:
+        for va in self._lines(set_index):
+            self.machine.user_touch(va)
+
+    def probe(self, set_index: int) -> int:
+        return sum(self.timer.time_load(va)
+                   for va in reversed(self._lines(set_index)))
+
+    def probe_misses(self, set_index: int) -> int:
+        """Lines evicted from L2 entirely (memory-latency reloads)."""
+        params = self.machine.mem.hier.params
+        threshold = (params.l2_latency + params.mem_latency) // 2
+        return sum(self.timer.time_load(va) > threshold
+                   for va in reversed(self._lines(set_index)))
+
+    @staticmethod
+    def set_of_phys(pa: int) -> int:
+        """The absolute L2 set a physical address maps to."""
+        return (pa >> 6) & (L2_SETS - 1)
+
+
+def probe_threshold(pp, set_index: int, *, rounds: int = 16,
+                    victim=None) -> float:
+    """Baseline probe latency for *set_index* (no victim activity)."""
+    total = 0
+    for _ in range(rounds):
+        pp.prime(set_index)
+        if victim is not None:
+            victim()
+        total += pp.probe(set_index)
+    return total / rounds

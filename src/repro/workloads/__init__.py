@@ -1,0 +1,5 @@
+"""UnixBench-flavoured workload suite for mitigation-overhead studies."""
+
+from .suite import (SuiteResult, WORKLOADS, mitigation_overhead, run_suite)
+
+__all__ = ["SuiteResult", "WORKLOADS", "mitigation_overhead", "run_suite"]

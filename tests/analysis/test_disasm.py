@@ -1,0 +1,91 @@
+"""Disassembler: linear sweep, recursive descent, basic blocks."""
+
+from repro.analysis import Disassembler
+from repro.isa import Assembler, Cond, Mnemonic, Reg
+
+BASE = 0x40_0000
+
+
+def build(builder):
+    asm = Assembler(BASE)
+    builder(asm)
+    return asm.image()
+
+
+class TestLinearSweep:
+    def test_simple_sequence(self):
+        image = build(lambda asm: (asm.nop(), asm.mov_ri(Reg.RAX, 1),
+                                   asm.ret()))
+        instrs = Disassembler(image).linear_sweep(BASE)
+        assert [i.instr.mnemonic for i in instrs] == \
+            [Mnemonic.NOP, Mnemonic.MOV_RI, Mnemonic.RET]
+        assert instrs[1].pc == BASE + 1
+
+    def test_stops_at_terminator(self):
+        image = build(lambda asm: (asm.ret(), asm.nop(), asm.nop()))
+        instrs = Disassembler(image).linear_sweep(BASE)
+        assert len(instrs) == 1
+
+    def test_stops_at_garbage(self):
+        asm = Assembler(BASE)
+        asm.nop()
+        asm.raw(b"\x06\x07")  # invalid opcodes
+        image = asm.image()
+        instrs = Disassembler(image).linear_sweep(BASE)
+        assert len(instrs) == 1
+
+    def test_unmapped_pc(self):
+        image = build(lambda asm: asm.ret())
+        assert Disassembler(image).instruction_at(0x99_0000) is None
+
+
+class TestBlocks:
+    def test_conditional_splits_blocks(self):
+        def builder(asm):
+            asm.cmp_ri(Reg.RDI, 4)
+            asm.jcc(Cond.AE, "out")
+            asm.mov_ri(Reg.RAX, 1)
+            asm.label("out")
+            asm.ret()
+
+        image = build(builder)
+        blocks = Disassembler(image).discover_blocks(BASE)
+        assert len(blocks) == 3   # entry / fallthrough / out
+        entry = blocks[BASE]
+        assert entry.terminator.instr.mnemonic is Mnemonic.JCC
+        targets = dict(entry.successors())
+        assert set(targets.values()) == {"taken", "fallthrough"}
+
+    def test_call_creates_edge_to_callee(self):
+        def builder(asm):
+            asm.call("fn")
+            asm.ret()
+            asm.label("fn")
+            asm.nop()
+            asm.ret()
+
+        image = build(builder)
+        blocks = Disassembler(image).discover_blocks(BASE)
+        entry = blocks[BASE]
+        labels = [label for _, label in entry.successors()]
+        assert "call" in labels and "fallthrough" in labels
+
+    def test_loop(self):
+        def builder(asm):
+            asm.label("top")
+            asm.sub_ri(Reg.RCX, 1)
+            asm.jcc(Cond.NE, "top")
+            asm.ret()
+
+        image = build(builder)
+        blocks = Disassembler(image).discover_blocks(BASE)
+        top = blocks[BASE]
+        assert (BASE, "taken") in top.successors()
+
+    def test_indirect_has_no_static_successor(self):
+        def builder(asm):
+            asm.jmp_reg(Reg.RAX)
+
+        image = build(builder)
+        blocks = Disassembler(image).discover_blocks(BASE)
+        assert blocks[BASE].successors() == []

@@ -1,0 +1,222 @@
+"""Binary rewriter: lifting, relocation, hardening transforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (GadgetKind, harden_function, lift_function,
+                            emit_function, insert_lfence_after_conditionals,
+                            retpoline_indirect_branches, scan_function)
+from repro.isa import Assembler, BranchKind, Cond, Mnemonic, Reg
+from repro.kernel import Machine
+from repro.pipeline import ZEN2
+
+OLD_BASE = 0x0000_0000_0B00_0000
+NEW_BASE = 0x0000_0000_0B80_0000
+DATA = 0x0000_0000_0BC0_0000
+
+
+def build_gadget_image():
+    """A v1-style function with a loop and a call out of function."""
+    asm = Assembler(OLD_BASE)
+    asm.label("entry")
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.jcc(Cond.AE, "out")
+    asm.mov_ri(Reg.RCX, DATA)
+    asm.add_rr(Reg.RCX, Reg.RDI)
+    asm.loadb(Reg.RAX, Reg.RCX)
+    asm.label("out")
+    asm.ret()
+    return asm.image()
+
+
+class TestLift:
+    def test_lift_decodes_whole_function(self):
+        image = build_gadget_image()
+        code = lift_function(image, OLD_BASE)
+        assert code.mnemonics()[0] is Mnemonic.CMP_RI
+        assert code.mnemonics()[-1] is Mnemonic.RET
+
+    def test_local_branch_becomes_label(self):
+        image = build_gadget_image()
+        code = lift_function(image, OLD_BASE)
+        jcc = next(i for i in code.items
+                   if i.original.mnemonic is Mnemonic.JCC)
+        assert jcc.local_target is not None
+        assert jcc.absolute_target is None
+
+    def test_external_call_stays_absolute(self):
+        asm = Assembler(OLD_BASE)
+        asm.call(0x0000_0000_0BF0_0000)   # outside the function
+        asm.ret()
+        code = lift_function(asm.image(), OLD_BASE)
+        call = code.items[0]
+        assert call.absolute_target == 0x0000_0000_0BF0_0000
+
+    def test_multi_exit_function(self):
+        asm = Assembler(OLD_BASE)
+        asm.cmp_ri(Reg.RDI, 1)
+        asm.jcc(Cond.E, "second")
+        asm.ret()
+        asm.label("second")
+        asm.mov_ri(Reg.RAX, 2)
+        asm.ret()
+        code = lift_function(asm.image(), OLD_BASE)
+        assert code.mnemonics().count(Mnemonic.RET) == 2
+
+
+class TestRelocation:
+    def run_both(self, builder, rdi):
+        """Run original and relocated code; return both RAX values."""
+        results = []
+        for relocate in (False, True):
+            machine = Machine(ZEN2, syscall_noise_evictions=0)
+            machine.map_user(DATA, 4096)
+            asm = Assembler(OLD_BASE)
+            builder(asm)
+            image = asm.image()
+            if relocate:
+                code = lift_function(image, OLD_BASE)
+                image = emit_function(code, NEW_BASE)
+                entry = NEW_BASE
+            else:
+                entry = OLD_BASE
+            machine.load_user_image(image)
+            machine.run_user(entry, regs={Reg.RDI: rdi})
+            results.append(machine.cpu.state.read(Reg.RAX))
+        return results
+
+    @pytest.mark.parametrize("rdi", [0, 5, 99])
+    def test_relocated_function_equivalent(self, rdi):
+        def builder(asm):
+            asm.cmp_ri(Reg.RDI, 64)
+            asm.jcc(Cond.AE, "big")
+            asm.mov_ri(Reg.RAX, 1)
+            asm.jmp("done")
+            asm.label("big")
+            asm.mov_ri(Reg.RAX, 2)
+            asm.label("done")
+            asm.hlt()
+
+        original, relocated = self.run_both(builder, rdi)
+        assert original == relocated
+
+    def test_loop_relocates(self):
+        def builder(asm):
+            asm.mov_ri(Reg.RCX, 5)
+            asm.mov_ri(Reg.RAX, 0)
+            asm.label("top")
+            asm.add_ri(Reg.RAX, 3)
+            asm.sub_ri(Reg.RCX, 1)
+            asm.jcc(Cond.NE, "top")
+            asm.hlt()
+
+        original, relocated = self.run_both(builder, 0)
+        assert original == relocated == 15
+
+
+class TestHardening:
+    def test_lfence_insertion_kills_gadget(self):
+        image = build_gadget_image()
+        assert scan_function(image, OLD_BASE)  # gadget present
+        hardened = harden_function(image, OLD_BASE, NEW_BASE,
+                                   retpoline=False)
+        assert scan_function(hardened, NEW_BASE) == []
+
+    def test_lfence_on_both_sides(self):
+        image = build_gadget_image()
+        code = insert_lfence_after_conditionals(
+            lift_function(image, OLD_BASE))
+        fences = code.mnemonics().count(Mnemonic.LFENCE)
+        assert fences == 2   # fallthrough side + taken side
+
+    def test_hardened_function_architecturally_equivalent(self):
+        """Call both versions through a wrapper; results must match."""
+        machine = Machine(ZEN2, syscall_noise_evictions=0)
+        machine.map_user(DATA, 4096)
+        image = build_gadget_image()
+        hardened = harden_function(image, OLD_BASE, NEW_BASE,
+                                   retpoline=False)
+        machine.load_user_image(image)
+        machine.load_user_image(hardened)
+        wrapper = 0x0000_0000_0BE0_0000
+        for entry, rdi in ((OLD_BASE, 3), (NEW_BASE, 3),
+                           (OLD_BASE, 200), (NEW_BASE, 200)):
+            asm = Assembler(wrapper)
+            asm.call(entry)
+            asm.hlt()
+            segment, _ = asm.finish()
+            machine.write_user(wrapper, segment.data) \
+                if machine.mem.aspace.is_mapped(wrapper) \
+                else machine.load_user_image(asm.image())
+            machine.run_user(wrapper, regs={Reg.RDI: rdi,
+                                            Reg.RAX: 0xFEED})
+            value = machine.cpu.state.read(Reg.RAX)
+            if entry == OLD_BASE:
+                original = value
+            else:
+                assert value == original, rdi
+
+    def test_retpoline_transform_removes_indirect(self):
+        asm = Assembler(OLD_BASE)
+        asm.mov_ri(Reg.RAX, DATA)
+        asm.jmp_reg(Reg.RAX)
+        image = asm.image()
+        code = retpoline_indirect_branches(lift_function(image, OLD_BASE))
+        rewritten = emit_function(code, NEW_BASE)
+        # No jmp* survives in the rewritten bytes.
+        from repro.analysis import Disassembler
+        instrs = Disassembler(rewritten).linear_sweep(NEW_BASE,
+                                                      max_bytes=256)
+        kinds = {i.kind for i in instrs}
+        assert BranchKind.INDIRECT not in kinds
+
+    def test_retpolined_function_still_reaches_target(self):
+        machine = Machine(ZEN2, syscall_noise_evictions=0)
+        target = 0x0000_0000_0BD0_0000
+        tasm = Assembler(target)
+        tasm.mov_ri(Reg.RBX, 0x5AFE)
+        tasm.hlt()
+        machine.load_user_image(tasm.image())
+
+        asm = Assembler(OLD_BASE)
+        asm.mov_ri(Reg.RAX, target)
+        asm.jmp_reg(Reg.RAX)
+        hardened = harden_function(asm.image(), OLD_BASE, NEW_BASE,
+                                   lfence=False)
+        machine.load_user_image(hardened)
+        machine.run_user(NEW_BASE)
+        assert machine.cpu.state.read(Reg.RBX) == 0x5AFE
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_relocation_equivalence_property(rdi, loop_count):
+    """Property: lift + emit at a new base preserves semantics for a
+    family of branchy functions."""
+    def builder(asm):
+        asm.mov_ri(Reg.RCX, loop_count)
+        asm.mov_ri(Reg.RAX, 0)
+        asm.label("top")
+        asm.add_ri(Reg.RAX, 2)
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "top")
+        asm.cmp_ri(Reg.RDI, 100)
+        asm.jcc(Cond.B, "small")
+        asm.add_ri(Reg.RAX, 1000)
+        asm.label("small")
+        asm.hlt()
+
+    values = []
+    for base, relocate in ((OLD_BASE, False), (NEW_BASE, True)):
+        machine = Machine(ZEN2, syscall_noise_evictions=0)
+        asm = Assembler(OLD_BASE)
+        builder(asm)
+        image = asm.image()
+        if relocate:
+            image = emit_function(lift_function(image, OLD_BASE), NEW_BASE)
+        machine.load_user_image(image)
+        machine.run_user(base, regs={Reg.RDI: rdi})
+        values.append(machine.cpu.state.read(Reg.RAX))
+    assert values[0] == values[1]

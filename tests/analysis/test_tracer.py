@@ -1,0 +1,71 @@
+"""Execution tracer: timelines, episode attribution, rendering."""
+
+from repro.analysis import Tracer
+from repro.core import AttackerRuntime
+from repro.isa import Assembler, Reg
+from repro.kernel import Machine, SYS_GETPID
+from repro.pipeline import ZEN2
+
+CODE = 0x0000_0000_0900_0000
+
+
+def test_traces_instructions():
+    machine = Machine(ZEN2)
+    asm = Assembler(CODE)
+    asm.mov_ri(Reg.RAX, 5)
+    asm.add_ri(Reg.RAX, 2)
+    asm.hlt()
+    machine.load_user_image(asm.image())
+    with Tracer(machine) as trace:
+        machine.run_user(CODE)
+    assert len(trace.entries) == 3
+    assert trace.entries[0].pc == CODE
+    assert "mov_ri" in trace.entries[0].text
+    assert trace.entries[-1].cycle >= trace.entries[0].cycle
+
+
+def test_kernel_mode_marked():
+    machine = Machine(ZEN2)
+    with Tracer(machine) as trace:
+        machine.syscall(SYS_GETPID)
+    modes = {entry.kernel_mode for entry in trace.entries}
+    assert modes == {True, False}
+    rendered = trace.render()
+    assert " K " in rendered and " u " in rendered
+
+
+def test_episodes_attributed_to_instruction():
+    machine = Machine(ZEN2, syscall_noise_evictions=0)
+    attacker = AttackerRuntime(machine)
+    src = 0x0000_0000_0910_0AC0
+    target = 0x0000_0000_0920_0000
+    attacker.write_code(target, b"\x90\xf4")
+    attacker.train_indirect(src, target)
+    attacker.write_code(src, b"\x90" * 4 + b"\xf4")
+    with Tracer(machine) as trace:
+        machine.run_user(src)
+    phantom_entries = [e for e in trace.entries if e.episodes]
+    assert phantom_entries
+    assert phantom_entries[0].pc == src
+    assert trace.episode_count(frontend=True) >= 1
+    assert "phantom" in trace.render()
+
+
+def test_tracer_restores_hooks():
+    machine = Machine(ZEN2)
+    with Tracer(machine):
+        pass
+    assert machine.cpu.instr_hook is None
+    assert machine.cpu.record_episodes is False
+
+
+def test_limit_respected():
+    machine = Machine(ZEN2)
+    asm = Assembler(CODE)
+    for _ in range(50):
+        asm.nop()
+    asm.hlt()
+    machine.load_user_image(asm.image())
+    with Tracer(machine, limit=10) as trace:
+        machine.run_user(CODE)
+    assert len(trace.entries) == 10

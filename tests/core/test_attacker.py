@@ -1,0 +1,97 @@
+"""AttackerRuntime: JIT training snippets install the intended entries."""
+
+import pytest
+
+from repro.core import AttackerRuntime
+from repro.isa import BranchKind, Reg
+from repro.kernel import Machine
+from repro.pipeline import ZEN2
+
+SRC = 0x0000_0000_0810_0AC0
+TARGET = 0x0000_0000_0890_0000
+
+
+@pytest.fixture()
+def machine():
+    return Machine(ZEN2, syscall_noise_evictions=0)
+
+
+@pytest.fixture()
+def attacker(machine):
+    return AttackerRuntime(machine)
+
+
+def entry_at(machine, src):
+    return machine.cpu.bpu.btb.lookup(src, kernel_mode=False)
+
+
+class TestTrainers:
+    def test_indirect_user_target(self, machine, attacker):
+        attacker.write_code(TARGET, b"\xf4")
+        assert attacker.train_indirect(SRC, TARGET)
+        entry = entry_at(machine, SRC)
+        assert entry.kind is BranchKind.INDIRECT
+        assert entry.predicted_target(SRC) == TARGET
+
+    def test_indirect_kernel_target_faults_but_trains(self, machine,
+                                                      attacker):
+        kernel_target = machine.kaslr.image_base + 0x1000
+        assert not attacker.train_indirect(SRC, kernel_target)
+        entry = entry_at(machine, SRC)
+        assert entry is not None
+        assert entry.predicted_target(SRC) == kernel_target
+
+    def test_call_indirect(self, machine, attacker):
+        attacker.write_code(TARGET, b"\xc3")  # ret back
+        attacker.write_code(SRC + 2, b"\xf4")  # call rax is 2 bytes
+        assert attacker.train_call_indirect(SRC, TARGET)
+        assert entry_at(machine, SRC).kind is BranchKind.CALL_INDIRECT
+
+    def test_direct(self, machine, attacker):
+        assert attacker.train_direct(SRC, SRC + 0x2000)
+        entry = entry_at(machine, SRC)
+        assert entry.kind is BranchKind.DIRECT
+        assert entry.pc_rel
+        assert entry.predicted_target(SRC) == SRC + 0x2000
+
+    def test_conditional(self, machine, attacker):
+        assert attacker.train_cond(SRC, SRC + 0x2000)
+        assert entry_at(machine, SRC).kind is BranchKind.CONDITIONAL
+
+    def test_ret(self, machine, attacker):
+        assert attacker.train_ret(SRC)
+        assert entry_at(machine, SRC).kind is BranchKind.RETURN
+
+    def test_non_branch_installs_nothing(self, machine, attacker):
+        attacker.execute_nops(SRC)
+        assert entry_at(machine, SRC) is None
+
+    def test_seed_rsb(self, machine, attacker):
+        call_site = 0x0000_0000_0820_0AFB
+        stale = attacker.seed_rsb(call_site)
+        assert stale == call_site + 5
+        assert machine.cpu.bpu.rsb.peek() == stale
+
+
+class TestRuntime:
+    def test_ensure_mapped_idempotent(self, machine, attacker):
+        attacker.ensure_mapped(SRC, 32)
+        attacker.ensure_mapped(SRC, 32)  # second call must not remap
+        attacker.write_code(SRC, b"\x90\xf4")
+        attacker.run(SRC)
+
+    def test_place_gadget(self, machine, attacker):
+        symbols = attacker.place_gadget(
+            TARGET, lambda asm: (asm.label("g"), asm.mov_ri(Reg.RAX, 9),
+                                 asm.hlt()))
+        assert symbols["g"] == TARGET
+        attacker.run(TARGET)
+        assert machine.cpu.state.read(Reg.RAX) == 9
+
+    def test_run_catches_fault(self, machine, attacker):
+        assert not attacker.run(0x0000_0000_0F10_0000)  # unmapped
+
+    def test_run_propagates_when_asked(self, machine, attacker):
+        from repro.errors import PageFault
+        with pytest.raises(PageFault):
+            attacker.run(0x0000_0000_0F10_0000, catch_fault=False)

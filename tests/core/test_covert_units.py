@@ -1,0 +1,57 @@
+"""Covert channel units: determinism, error behaviour, result math."""
+
+import pytest
+
+from repro.core import CovertResult, execute_covert_channel, \
+    fetch_covert_channel
+from repro.kernel import Machine
+from repro.pipeline import ZEN2, ZEN3
+
+
+class TestResultMath:
+    def test_accuracy(self):
+        result = CovertResult(bits=100, correct=93, seconds=2.0)
+        assert result.accuracy == 0.93
+        assert result.bits_per_second == 50.0
+
+    def test_zero_seconds(self):
+        result = CovertResult(bits=10, correct=10, seconds=0.0)
+        assert result.bits_per_second == float("inf")
+
+
+class TestChannels:
+    def test_fetch_deterministic_per_seed(self):
+        a = fetch_covert_channel(Machine(ZEN3, kaslr_seed=4,
+                                         sibling_load=True),
+                                 n_bits=64, seed=9)
+        b = fetch_covert_channel(Machine(ZEN3, kaslr_seed=4,
+                                         sibling_load=True),
+                                 n_bits=64, seed=9)
+        assert a.correct == b.correct
+        assert a.seconds == b.seconds
+
+    def test_different_payloads_different_outcomes(self):
+        machine = Machine(ZEN3, kaslr_seed=4, sibling_load=True)
+        a = fetch_covert_channel(machine, n_bits=32, seed=1)
+        machine2 = Machine(ZEN3, kaslr_seed=4, sibling_load=True)
+        b = fetch_covert_channel(machine2, n_bits=32, seed=2)
+        # Same channel quality, different random payloads.
+        assert a.bits == b.bits == 32
+
+    def test_execute_channel_rejects_zen3(self):
+        with pytest.raises(ValueError):
+            execute_covert_channel(Machine(ZEN3), n_bits=8)
+
+    def test_simulated_time_advances_with_bits(self):
+        short = fetch_covert_channel(
+            Machine(ZEN2, kaslr_seed=4, sibling_load=True), n_bits=16)
+        long = fetch_covert_channel(
+            Machine(ZEN2, kaslr_seed=4, sibling_load=True), n_bits=64)
+        assert long.seconds > short.seconds
+
+    def test_channel_survives_default_noise(self):
+        """With the default syscall thrash the channel stays usable
+        (paper accuracies: 90-100 %)."""
+        machine = Machine(ZEN2, kaslr_seed=8, sibling_load=True)
+        result = fetch_covert_channel(machine, n_bits=128)
+        assert result.accuracy >= 0.9

@@ -1,0 +1,33 @@
+"""Table 1 matrix runner: combo enumeration and key cells."""
+
+from repro.core import ASYMMETRIC_COMBOS, TrainKind, VictimKind, measure_cell
+from repro.core.matrix import format_matrix, run_matrix
+from repro.pipeline import Reach, ZEN1, ZEN3
+
+
+def test_twenty_two_combinations():
+    """5x5 minus the 5 symmetric diagonal plus jmp/jcc displacement
+    variants = 22, as the paper counts."""
+    assert len(ASYMMETRIC_COMBOS) == 22
+    assert (TrainKind.DIRECT, VictimKind.DIRECT) in ASYMMETRIC_COMBOS
+    assert (TrainKind.INDIRECT, VictimKind.INDIRECT) not in ASYMMETRIC_COMBOS
+
+
+def test_zen1_headline_cell_reaches_execute():
+    result = measure_cell(ZEN1, TrainKind.INDIRECT, VictimKind.NON_BRANCH)
+    assert result.reach is Reach.EXECUTE
+
+
+def test_zen3_headline_cell_reaches_decode_only():
+    result = measure_cell(ZEN3, TrainKind.INDIRECT, VictimKind.NON_BRANCH)
+    assert result.reach is Reach.DECODE
+
+
+def test_run_matrix_subset_and_format():
+    combos = [(TrainKind.INDIRECT, VictimKind.NON_BRANCH),
+              (TrainKind.RETURN, VictimKind.DIRECT)]
+    results = run_matrix([ZEN3], combos=combos)
+    assert len(results) == 2
+    table = format_matrix(results)
+    assert "Zen 3" in table
+    assert "ID" in table

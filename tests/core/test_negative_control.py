@@ -1,0 +1,42 @@
+"""The §5.1 negative-control refinement of the ID channel."""
+
+import pytest
+
+from repro.core import TrainKind, TypeConfusionExperiment, VictimKind
+from repro.kernel import Machine
+from repro.pipeline import INTEL_12TH, ZEN2, ZEN3
+
+
+def experiment(uarch, train=TrainKind.INDIRECT,
+               victim=VictimKind.NON_BRANCH):
+    machine = Machine(uarch, syscall_noise_evictions=0)
+    return TypeConfusionExperiment(machine, train, victim)
+
+
+def test_positive_case_passes_control(ecls=None):
+    exp = experiment(ZEN3)
+    assert exp.measure_decode_with_negative_control()
+
+
+def test_zen2_positive(ecls=None):
+    exp = experiment(ZEN2, TrainKind.DIRECT, VictimKind.RETURN)
+    assert exp.measure_decode_with_negative_control()
+
+
+def test_intel_indirect_victim_fails_control():
+    """Intel jmp* victims decode nothing — the control test agrees."""
+    exp = experiment(INTEL_12TH, TrainKind.DIRECT, VictimKind.INDIRECT)
+    assert not exp.measure_decode_with_negative_control()
+
+
+def test_non_branch_training_rejected():
+    exp = experiment(ZEN3, TrainKind.NON_BRANCH, VictimKind.DIRECT)
+    with pytest.raises(ValueError):
+        exp.measure_decode_with_negative_control()
+
+
+def test_control_source_does_not_alias():
+    exp = experiment(ZEN3)
+    control = exp.train_src + 0x40_0000
+    assert not exp.machine.uarch.btb.collides(control, exp.victim_src)
+    assert control & 0xFFF == exp.victim_src & 0xFFF

@@ -1,0 +1,49 @@
+"""Section 7.3 scoring arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (GuessScore, best_guess, bounded_difference,
+                        bounded_score, score_margin)
+from repro.core.primitives import ProbeSample
+
+
+class TestBoundedDifference:
+    def test_within_bound(self):
+        assert bounded_difference(15, 10) == 5
+
+    def test_clamps_positive(self):
+        assert bounded_difference(500, 10) == 10
+
+    def test_clamps_negative(self):
+        assert bounded_difference(10, 500) == -10
+
+    def test_custom_bound(self):
+        assert bounded_difference(500, 10, bound=3) == 3
+
+    @given(st.integers(0, 10000), st.integers(0, 10000))
+    @settings(max_examples=200)
+    def test_always_within_bound(self, signal, baseline):
+        assert -10 <= bounded_difference(signal, baseline) <= 10
+
+
+class TestScore:
+    def test_accumulates(self):
+        samples = [ProbeSample(20, 10), ProbeSample(10, 20),
+                   ProbeSample(900, 0)]
+        assert bounded_score(samples) == 10 - 10 + 10
+
+    def test_best_guess(self):
+        scores = [GuessScore(1, 5), GuessScore(2, 40), GuessScore(3, -2)]
+        assert best_guess(scores).guess == 2
+
+    def test_margin_strong_winner(self):
+        scores = [GuessScore(i, 0) for i in range(60)] + [GuessScore(99, 40)]
+        assert score_margin(scores) == 40
+
+    def test_margin_ambiguous(self):
+        scores = [GuessScore(i, 40) for i in range(10)]
+        assert score_margin(scores) == 0
+
+    def test_margin_single(self):
+        assert score_margin([GuessScore(1, 3)]) == float("inf")

@@ -1,0 +1,158 @@
+"""BTB: indexing functions, aliasing, entry semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import (BTB, BTBIndexing, ZEN1_ALIAS_PATTERN,
+                            ZEN1_TAG_FUNCTIONS, ZEN3_ALIAS_PATTERNS,
+                            ZEN3_BTB_FUNCTIONS)
+from repro.isa import BranchKind
+from repro.params import VA_MASK
+
+KERNEL = 0xFFFF_FFFF_8112_3AC0 & VA_MASK
+
+
+def zen3():
+    return BTBIndexing("zen3", tag_functions=ZEN3_BTB_FUNCTIONS)
+
+
+def zen1():
+    return BTBIndexing("zen1", tag_functions=ZEN1_TAG_FUNCTIONS)
+
+
+def intel():
+    return BTBIndexing("intel", tag_functions=ZEN3_BTB_FUNCTIONS,
+                       privilege_in_tag=True)
+
+
+class TestIndexing:
+    def test_identity_collision(self):
+        assert zen3().collides(KERNEL, KERNEL)
+
+    def test_low_bits_select_set(self):
+        idx = zen3()
+        set_a, _ = idx.index(KERNEL, True)
+        assert set_a == KERNEL & 0xFFF
+        assert not idx.collides(KERNEL, KERNEL ^ 0x40)
+
+    @pytest.mark.parametrize("pattern", ZEN3_ALIAS_PATTERNS)
+    def test_published_zen3_alias_patterns(self, pattern):
+        """Both §6.2 masks produce user aliases of kernel addresses."""
+        user = (KERNEL ^ pattern) & VA_MASK
+        assert not user >> 47  # user-space address
+        assert zen3().collides(KERNEL, user, kernel_a=True, kernel_b=False)
+
+    def test_zen1_alias_pattern(self):
+        user = (KERNEL ^ ZEN1_ALIAS_PATTERN) & VA_MASK
+        assert not user >> 47
+        assert zen1().collides(KERNEL, user)
+
+    def test_zen1_pattern_does_not_work_on_zen3(self):
+        user = (KERNEL ^ ZEN1_ALIAS_PATTERN) & VA_MASK
+        assert not zen3().collides(KERNEL, user)
+
+    def test_intel_privilege_separation(self):
+        """Intel mixes privilege into the tag: the same alias pattern
+        fails across privilege but works within one privilege level."""
+        user = (KERNEL ^ ZEN3_ALIAS_PATTERNS[0]) & VA_MASK
+        idx = intel()
+        assert not idx.collides(KERNEL, user, kernel_a=True, kernel_b=False)
+        assert idx.collides(KERNEL, user, kernel_a=True, kernel_b=True)
+
+    def test_single_bit_flips_never_collide_zen3(self):
+        idx = zen3()
+        for bit in range(12, 48):
+            assert not idx.collides(KERNEL, KERNEL ^ (1 << bit))
+
+
+class TestEntries:
+    def test_train_and_lookup(self):
+        btb = BTB(zen3())
+        btb.train(0x401000, BranchKind.INDIRECT, 0x555000,
+                  kernel_mode=False)
+        entry = btb.lookup(0x401000, kernel_mode=False)
+        assert entry is not None
+        assert entry.kind is BranchKind.INDIRECT
+        assert entry.predicted_target(0x401000) == 0x555000
+
+    def test_cross_privilege_reuse(self):
+        """User-trained entry serves an aliased kernel source (the core
+        of the user->kernel attacks)."""
+        btb = BTB(zen3())
+        user_src = (KERNEL ^ ZEN3_ALIAS_PATTERNS[0]) & VA_MASK
+        btb.train(user_src, BranchKind.INDIRECT, 0x555000,
+                  kernel_mode=False)
+        entry = btb.lookup(KERNEL, kernel_mode=True)
+        assert entry is not None
+        assert entry.kind is BranchKind.INDIRECT
+
+    def test_direct_branches_stored_pc_relative(self):
+        """Figure 5 A: a jmp-trained entry serves target C' = B + (C-A)."""
+        btb = BTB(zen3())
+        train_src, train_target = 0x40_1000, 0x40_3000
+        btb.train(train_src, BranchKind.DIRECT, train_target,
+                  kernel_mode=False)
+        # XOR of the two published patterns is a user->user alias mask
+        # (bit 47 flips twice, every function stays preserved).
+        victim_src = (train_src ^ ZEN3_ALIAS_PATTERNS[0]
+                      ^ ZEN3_ALIAS_PATTERNS[1]) & VA_MASK
+        entry = btb.lookup(victim_src, kernel_mode=False)
+        assert entry is not None
+        assert entry.predicted_target(victim_src) \
+            == victim_src + (train_target - train_src)
+
+    def test_indirect_branches_stored_absolute(self):
+        btb = BTB(zen3())
+        btb.train(0x40_1000, BranchKind.INDIRECT, 0x66_0000,
+                  kernel_mode=False)
+        victim = (0x40_1000 ^ ZEN3_ALIAS_PATTERNS[0]
+                  ^ ZEN3_ALIAS_PATTERNS[1]) & VA_MASK
+        entry = btb.lookup(victim, kernel_mode=False)
+        assert entry.predicted_target(victim) == 0x66_0000
+
+    def test_training_non_branch_rejected(self):
+        btb = BTB(zen3())
+        with pytest.raises(ValueError):
+            btb.train(0x1000, BranchKind.NONE, 0x2000, kernel_mode=False)
+
+    def test_evict(self):
+        btb = BTB(zen3())
+        btb.train(0x1000, BranchKind.DIRECT, 0x2000, kernel_mode=False)
+        btb.evict(0x1000, kernel_mode=False)
+        assert btb.lookup(0x1000, kernel_mode=False) is None
+
+    def test_flush(self):
+        btb = BTB(zen3())
+        btb.train(0x1000, BranchKind.DIRECT, 0x2000, kernel_mode=False)
+        btb.flush()
+        assert len(btb) == 0
+
+    def test_scan_block_ordering(self):
+        btb = BTB(zen3())
+        btb.train(0x1010, BranchKind.DIRECT, 0x2000, kernel_mode=False)
+        btb.train(0x1004, BranchKind.RETURN, 0x3000, kernel_mode=False)
+        sources = [pc for pc, _ in
+                   btb.scan_block(0x1000, 32, kernel_mode=False)]
+        assert sources == [0x1004, 0x1010]
+
+    def test_scan_block_misses_other_blocks(self):
+        btb = BTB(zen3())
+        btb.train(0x1040, BranchKind.DIRECT, 0x2000, kernel_mode=False)
+        assert btb.scan_block(0x1000, 32, kernel_mode=False) == []
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.integers(min_value=0, max_value=(1 << 48) - 1))
+@settings(max_examples=300)
+def test_collision_is_equivalence(a, b):
+    """Property: collides() is symmetric, and XOR-linearity holds —
+    a ~ b iff (a ^ b) is a kernel-of-functions vector with equal low bits."""
+    idx = zen3()
+    assert idx.collides(a, a)
+    assert idx.collides(a, b) == idx.collides(b, a)
+    if idx.collides(a, b):
+        diff = a ^ b
+        assert diff & 0xFFF == 0
+        shifted = (KERNEL ^ diff) & VA_MASK
+        assert idx.collides(KERNEL, shifted)

@@ -1,0 +1,97 @@
+"""BTB set-associativity: capacity, LRU eviction, injection survival."""
+
+import pytest
+
+from repro.frontend import BTB, BTBIndexing, ZEN3_BTB_FUNCTIONS
+from repro.isa import BranchKind
+
+
+def make_btb(ways=4):
+    return BTB(BTBIndexing("zen3", tag_functions=ZEN3_BTB_FUNCTIONS),
+               ways=ways)
+
+
+def same_set_sources(btb, count, base=0x40_0AC0):
+    """Addresses sharing a BTB set (equal low 12 bits) with distinct
+    tags."""
+    sources = []
+    addr = base
+    while len(sources) < count:
+        set_a, tag_a = btb.indexing.index(addr, False)
+        if all(btb.indexing.index(other, False)[1] != tag_a
+               for other in sources):
+            sources.append(addr)
+        addr += 0x1000
+    return sources
+
+
+class TestAssociativity:
+    def test_entries_within_ways_coexist(self):
+        btb = make_btb(ways=4)
+        sources = same_set_sources(btb, 4)
+        for src in sources:
+            btb.train(src, BranchKind.DIRECT, src + 0x100,
+                      kernel_mode=False)
+        for src in sources:
+            assert btb.lookup(src, kernel_mode=False) is not None
+
+    def test_capacity_evicts_lru(self):
+        btb = make_btb(ways=4)
+        sources = same_set_sources(btb, 5)
+        for src in sources[:4]:
+            btb.train(src, BranchKind.DIRECT, src + 0x100,
+                      kernel_mode=False)
+        # Refresh the first entry, then overflow the set.
+        btb.lookup(sources[0], kernel_mode=False)
+        btb.train(sources[4], BranchKind.DIRECT, sources[4] + 0x100,
+                  kernel_mode=False)
+        assert btb.lookup(sources[0], kernel_mode=False) is not None
+        assert btb.lookup(sources[1], kernel_mode=False) is None
+        assert btb.evictions == 1
+
+    def test_injection_evicted_by_branch_pressure(self):
+        """The paper's §7.4 failure mode: enough same-set branch
+        activity silently drops an injected prediction — which is why
+        exploits re-inject every round."""
+        btb = make_btb(ways=4)
+        sources = same_set_sources(btb, 5)
+        injected = sources[0]
+        btb.train(injected, BranchKind.INDIRECT, 0x6000,
+                  kernel_mode=False)
+        for src in sources[1:]:
+            btb.train(src, BranchKind.DIRECT, src + 0x40,
+                      kernel_mode=False)
+        assert btb.lookup(injected, kernel_mode=False) is None
+
+    def test_different_sets_do_not_interfere(self):
+        btb = make_btb(ways=1)
+        btb.train(0x40_0AC0, BranchKind.DIRECT, 0x41_0000,
+                  kernel_mode=False)
+        btb.train(0x40_0B00, BranchKind.DIRECT, 0x41_0100,
+                  kernel_mode=False)
+        assert btb.lookup(0x40_0AC0, kernel_mode=False) is not None
+        assert btb.lookup(0x40_0B00, kernel_mode=False) is not None
+
+    def test_retrain_same_source_updates_in_place(self):
+        btb = make_btb(ways=2)
+        btb.train(0x40_0AC0, BranchKind.DIRECT, 0x41_0000,
+                  kernel_mode=False)
+        btb.train(0x40_0AC0, BranchKind.INDIRECT, 0x42_0000,
+                  kernel_mode=False)
+        entry = btb.lookup(0x40_0AC0, kernel_mode=False)
+        assert entry.kind is BranchKind.INDIRECT
+        assert len(btb) == 1
+
+    def test_bad_ways(self):
+        with pytest.raises(ValueError):
+            make_btb(ways=0)
+
+    def test_set_occupancy(self):
+        btb = make_btb(ways=4)
+        sources = same_set_sources(btb, 3)
+        for src in sources:
+            btb.train(src, BranchKind.DIRECT, src + 0x40,
+                      kernel_mode=False)
+        set_index, _ = btb.indexing.index(sources[0], False)
+        assert btb.set_occupancy(set_index) == 3
+        assert btb.set_occupancy(set_index ^ 1) == 0

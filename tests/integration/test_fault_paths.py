@@ -1,0 +1,76 @@
+"""Negative paths: resource exhaustion, bad inputs, fault robustness."""
+
+import pytest
+
+from repro.errors import (GeneralProtectionFault, MemoryError_, PageFault,
+                          ReproError, SimulationLimit)
+from repro.isa import Assembler, Reg
+from repro.kernel import Machine, SYS_GETPID
+from repro.pipeline import ZEN2
+
+
+class TestResourceLimits:
+    def test_tiny_memory_fails_boot_cleanly(self):
+        with pytest.raises(MemoryError_):
+            Machine(ZEN2, phys_mem=4 << 20)   # smaller than the kernel
+
+    def test_huge_page_exhaustion(self):
+        machine = Machine(ZEN2, phys_mem=64 << 20)
+        with pytest.raises(MemoryError_):
+            for i in range(64):
+                machine.map_user_huge(0x4000_0000 + i * (2 << 20))
+
+    def test_runaway_user_program(self):
+        machine = Machine(ZEN2)
+        code = 0x0000_0000_2B00_0000
+        asm = Assembler(code)
+        asm.label("spin")
+        asm.jmp("spin")
+        machine.load_user_image(asm.image())
+        with pytest.raises(SimulationLimit):
+            machine.run_user(code, max_instructions=500)
+
+
+class TestFaultDelivery:
+    def test_user_exec_of_kernel_address_faults(self):
+        machine = Machine(ZEN2)
+        with pytest.raises(PageFault) as info:
+            machine.run_user(machine.kaslr.image_base + 0x1000)
+        assert info.value.user
+
+    def test_fault_leaves_machine_usable(self):
+        """A crashed attacker program must not wedge the machine."""
+        machine = Machine(ZEN2)
+        with pytest.raises(PageFault):
+            machine.run_user(0x0000_0000_2C00_0000)
+        assert machine.syscall(SYS_GETPID) == 1234
+
+    def test_ud2_is_an_error(self):
+        machine = Machine(ZEN2)
+        code = 0x0000_0000_2D00_0000
+        machine.map_user(code, 4096)
+        machine.write_user(code, b"\x0f\x0b")   # ud2
+        with pytest.raises(ReproError):
+            machine.run_user(code)
+
+    def test_undecodable_bytes_raise(self):
+        from repro.errors import DecodeError
+
+        machine = Machine(ZEN2)
+        code = 0x0000_0000_2E00_0000
+        machine.map_user(code, 4096)
+        machine.write_user(code, b"\x06\x07\x08")
+        with pytest.raises(DecodeError):
+            machine.run_user(code)
+
+    def test_stack_overflow_faults(self):
+        machine = Machine(ZEN2)
+        code = 0x0000_0000_2F00_0000
+        asm = Assembler(code)
+        asm.label("push_forever")
+        asm.push(Reg.RAX)
+        asm.jmp("push_forever")
+        machine.load_user_image(asm.image())
+        with pytest.raises(PageFault) as info:
+            machine.run_user(code, max_instructions=200_000)
+        assert info.value.write

@@ -1,0 +1,82 @@
+"""§5.1's methodological point: why an IF-only channel is not enough.
+
+"Discerning IF from BPU-assisted I-cache prefetching is not possible
+using this method" — an I-cache timing probe cannot tell whether bytes
+*entered the pipeline* or were merely prefetched.  The µop-cache (ID)
+channel exists to disambiguate.  With the prefetchers modelled, these
+tests exhibit the confound and show the ID channel resolving it.
+"""
+
+from dataclasses import replace
+
+from repro.core import TrainKind, TypeConfusionExperiment, VictimKind
+from repro.kernel import Machine
+from repro.pipeline import INTEL_9TH, INTEL_12TH, ZEN3
+
+
+def experiment(uarch, train=TrainKind.INDIRECT,
+               victim=VictimKind.INDIRECT):
+    machine = Machine(uarch, syscall_noise_evictions=0)
+    return TypeConfusionExperiment(machine, train, victim)
+
+
+class TestBpuPrefetchConfound:
+    """Intel jmp*-victim cells: parts with BPU prefetch show IF without
+    ID — fetch alone cannot prove the target entered the pipeline."""
+
+    def test_prefetching_part_shows_if_but_not_id(self):
+        exp = experiment(INTEL_9TH, TrainKind.DIRECT,
+                         VictimKind.INDIRECT)
+        assert exp.measure_fetch()       # looks like transient fetch...
+        exp2 = experiment(INTEL_9TH, TrainKind.DIRECT,
+                          VictimKind.INDIRECT)
+        assert not exp2.measure_decode()  # ...but nothing was decoded
+
+    def test_non_prefetching_part_shows_neither(self):
+        exp = experiment(INTEL_12TH, TrainKind.DIRECT,
+                         VictimKind.INDIRECT)
+        assert not exp.measure_fetch()
+        exp2 = experiment(INTEL_12TH, TrainKind.DIRECT,
+                          VictimKind.INDIRECT)
+        assert not exp2.measure_decode()
+
+    def test_real_phantom_shows_both(self):
+        """On AMD the same probes agree: fetched AND decoded."""
+        exp = experiment(ZEN3, TrainKind.DIRECT, VictimKind.NON_BRANCH)
+        assert exp.measure_fetch()
+        exp2 = experiment(ZEN3, TrainKind.DIRECT, VictimKind.NON_BRANCH)
+        assert exp2.measure_decode()
+
+
+class TestNextLinePrefetchConfound:
+    """A sequential next-line prefetcher warms lines adjacent to
+    architecturally executed code — a false IF signal the ID channel
+    does not reproduce."""
+
+    def test_next_line_pollutes_if_channel(self):
+        uarch = replace(ZEN3, next_line_prefetch=True)
+        machine = Machine(uarch, syscall_noise_evictions=0)
+        page = 0x0000_0000_2800_0000
+        code = page + 0xAC0
+        machine.map_user(page, 4096)
+        # hlt at the end of one line; next line never executes.
+        machine.write_user(code, b"\x90" * 10 + b"\xf4")
+        adjacent = (code & ~63) + 64
+        machine.clflush(adjacent)
+        machine.run_user(code)
+        pa = machine.mem.aspace.translate_noperm(adjacent)
+        assert machine.mem.hier.instr_cached(pa)   # prefetched!
+        # But nothing at the adjacent line was decoded.
+        assert not machine.cpu.uopcache.lookup(adjacent)
+
+    def test_without_prefetcher_line_stays_cold(self):
+        machine = Machine(ZEN3, syscall_noise_evictions=0)
+        page = 0x0000_0000_2800_0000
+        code = page + 0xAC0
+        machine.map_user(page, 4096)
+        machine.write_user(code, b"\x90" * 10 + b"\xf4")
+        adjacent = (code & ~63) + 64
+        machine.clflush(adjacent)
+        machine.run_user(code)
+        pa = machine.mem.aspace.translate_noperm(adjacent)
+        assert not machine.mem.hier.instr_cached(pa)

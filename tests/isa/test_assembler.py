@@ -1,0 +1,174 @@
+"""Assembler: labels, layout, fixups, image composition."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Assembler, Cond, Image, Mnemonic, Reg, Segment, decode
+
+
+class TestLayout:
+    def test_pc_advances_by_encoded_length(self):
+        asm = Assembler(0x1000)
+        asm.nop()
+        assert asm.pc == 0x1001
+        asm.jmp(0x1000)
+        assert asm.pc == 0x1006
+        asm.mov_ri(Reg.RAX, 5)
+        assert asm.pc == 0x1010
+
+    def test_pad_to(self):
+        asm = Assembler(0x1000)
+        asm.nop()
+        asm.pad_to(0x1040)
+        assert asm.pc == 0x1040
+        segment, _ = asm.finish()
+        assert segment.data == b"\x90" * 0x40
+
+    def test_pad_backwards_fails(self):
+        asm = Assembler(0x1000)
+        asm.nop_sled(16)
+        with pytest.raises(AssemblerError):
+            asm.pad_to(0x1008)
+
+    def test_align(self):
+        asm = Assembler(0x1001)
+        asm.align(64)
+        assert asm.pc == 0x1040
+        asm.align(64)
+        assert asm.pc == 0x1040
+
+
+class TestLabels:
+    def test_backward_jump(self):
+        asm = Assembler(0x2000)
+        asm.label("top")
+        asm.nop()
+        asm.jmp("top")
+        segment, symbols = asm.finish()
+        assert symbols["top"] == 0x2000
+        instr = decode(segment.data, 1)
+        # jmp ends at 0x2006; displacement back to 0x2000 is -6.
+        assert instr.disp == -6
+
+    def test_forward_jump(self):
+        asm = Assembler(0x2000)
+        asm.jmp("end")
+        asm.nop_sled(11)
+        asm.label("end")
+        asm.ret()
+        segment, _ = asm.finish()
+        instr = decode(segment.data)
+        assert instr.target(0x2000) == 0x2010
+
+    def test_numeric_target(self):
+        asm = Assembler(0x3000)
+        asm.jmp(0x3100)
+        segment, _ = asm.finish()
+        assert decode(segment.data).target(0x3000) == 0x3100
+
+    def test_call_label(self):
+        asm = Assembler(0x4000)
+        asm.call("fn")
+        asm.hlt()
+        asm.label("fn")
+        asm.ret()
+        segment, symbols = asm.finish()
+        assert decode(segment.data).target(0x4000) == symbols["fn"]
+
+    def test_jcc_label(self):
+        asm = Assembler(0x5000)
+        asm.label("loop")
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "loop")
+        segment, _ = asm.finish()
+        instr = decode(segment.data, 7)
+        assert instr.mnemonic is Mnemonic.JCC
+        assert instr.target(0x5007) == 0x5000
+
+    def test_undefined_label(self):
+        asm = Assembler(0x1000)
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.finish()
+
+    def test_duplicate_label(self):
+        asm = Assembler(0x1000)
+        asm.label("x")
+        with pytest.raises(AssemblerError):
+            asm.label("x")
+
+    def test_short_jump_out_of_range(self):
+        asm = Assembler(0x1000)
+        asm.jmp_short("far")
+        asm.nop_sled(300)
+        asm.label("far")
+        with pytest.raises(AssemblerError):
+            asm.finish()
+
+
+class TestImage:
+    def test_overlap_rejected(self):
+        image = Image()
+        image.add(Segment(0x1000, b"\x90" * 16))
+        with pytest.raises(AssemblerError):
+            image.add(Segment(0x100F, b"\x90"))
+
+    def test_adjacent_allowed(self):
+        image = Image()
+        image.add(Segment(0x1000, b"\x90" * 16))
+        image.add(Segment(0x1010, b"\xc3"))
+        assert image.read(0x1010, 1) == b"\xc3"
+
+    def test_read_across_gap_fails(self):
+        image = Image()
+        image.add(Segment(0x1000, b"\x90" * 4))
+        with pytest.raises(AssemblerError):
+            image.read(0x1002, 4)
+
+    def test_merge_symbols(self):
+        a = Assembler(0x1000)
+        a.label("a")
+        a.ret()
+        b = Assembler(0x2000)
+        b.label("b")
+        b.ret()
+        image = a.image()
+        image.merge(b.image())
+        assert image.symbols == {"a": 0x1000, "b": 0x2000}
+
+    def test_merge_duplicate_symbol_rejected(self):
+        a = Assembler(0x1000)
+        a.label("x")
+        a.ret()
+        b = Assembler(0x2000)
+        b.label("x")
+        b.ret()
+        image = a.image()
+        with pytest.raises(AssemblerError):
+            image.merge(b.image())
+
+
+class TestDisassemblyStream:
+    def test_decode_stream_matches_emitted(self):
+        asm = Assembler(0x8000)
+        asm.push(Reg.RBP)
+        asm.mov_rr(Reg.RBP, Reg.RSP)
+        asm.mov_ri(Reg.RSI, 0x4000)
+        asm.sub_ri(Reg.RSP, 8)
+        asm.load(Reg.RAX, Reg.RDI, 0x10)
+        asm.store(Reg.RBP, -8, Reg.RAX)
+        asm.lfence()
+        asm.pop(Reg.RBP)
+        asm.ret()
+        segment, _ = asm.finish()
+        mnems = []
+        pos = 0
+        while pos < len(segment.data):
+            instr = decode(segment.data, pos)
+            mnems.append(instr.mnemonic)
+            pos += instr.length
+        assert mnems == [
+            Mnemonic.PUSH, Mnemonic.MOV_RR, Mnemonic.MOV_RI, Mnemonic.SUB_RI,
+            Mnemonic.MOV_RM, Mnemonic.MOV_MR, Mnemonic.LFENCE, Mnemonic.POP,
+            Mnemonic.RET,
+        ]

@@ -1,0 +1,72 @@
+"""All 16 condition codes, property-tested against reference predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (ArchState, Cond, Instruction, Mnemonic, Reg,
+                       condition_met, execute)
+from repro.params import MASK64
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def signed(x):
+    return x - (1 << 64) if x >> 63 else x
+
+
+def flags_after_cmp(a, b):
+    state = ArchState()
+    state.write(Reg.RAX, a)
+    instr = Instruction(Mnemonic.CMP_RI, dest=Reg.RAX, imm=0, length=7)
+    # Use register-register compare to cover full 64-bit b.
+    state.write(Reg.RBX, b)
+    instr = Instruction(Mnemonic.CMP_RR, dest=Reg.RAX, src=Reg.RBX,
+                        length=3)
+    execute(instr, 0, state, lambda a_, s: 0, lambda a_, s, v: None)
+    return state.flags
+
+
+#: cc -> reference predicate over (a, b) after ``cmp a, b``.
+REFERENCE = {
+    Cond.E: lambda a, b: a == b,
+    Cond.NE: lambda a, b: a != b,
+    Cond.B: lambda a, b: a < b,                      # unsigned
+    Cond.AE: lambda a, b: a >= b,
+    Cond.BE: lambda a, b: a <= b,
+    Cond.A: lambda a, b: a > b,
+    Cond.L: lambda a, b: signed(a) < signed(b),      # signed
+    Cond.GE: lambda a, b: signed(a) >= signed(b),
+    Cond.LE: lambda a, b: signed(a) <= signed(b),
+    Cond.G: lambda a, b: signed(a) > signed(b),
+    Cond.S: lambda a, b: bool(((a - b) & MASK64) >> 63),
+    Cond.NS: lambda a, b: not (((a - b) & MASK64) >> 63),
+}
+
+
+@pytest.mark.parametrize("cc", sorted(REFERENCE, key=lambda c: c.value))
+@given(a=u64, b=u64)
+@settings(max_examples=60)
+def test_condition_matches_reference(cc, a, b):
+    flags = flags_after_cmp(a, b)
+    assert condition_met(cc, flags) == REFERENCE[cc](a, b)
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=60)
+def test_complementary_pairs(a, b):
+    """cc and its complement always disagree."""
+    flags = flags_after_cmp(a, b)
+    for cc, inverse in ((Cond.E, Cond.NE), (Cond.B, Cond.AE),
+                        (Cond.BE, Cond.A), (Cond.L, Cond.GE),
+                        (Cond.LE, Cond.G), (Cond.S, Cond.NS),
+                        (Cond.O, Cond.NO), (Cond.P, Cond.NP)):
+        assert condition_met(cc, flags) != condition_met(inverse, flags)
+
+
+def test_overflow_conditions():
+    # INT64_MIN - 1 overflows.
+    flags = flags_after_cmp(1 << 63, 1)
+    assert condition_met(Cond.O, flags)
+    flags = flags_after_cmp(5, 1)
+    assert not condition_met(Cond.O, flags)

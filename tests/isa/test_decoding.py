@@ -1,0 +1,189 @@
+"""Decoder unit tests plus encode/decode roundtrip property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.isa import (Cond, Instruction, Mnemonic, Reg, decode, encode,
+                       NOPL_SEQUENCES)
+
+REGS = list(Reg)
+CONDS = list(Cond)
+
+
+class TestDecodeBasics:
+    def test_nop(self):
+        instr = decode(b"\x90")
+        assert instr.mnemonic is Mnemonic.NOP
+        assert instr.length == 1
+
+    def test_decode_at_offset(self):
+        instr = decode(b"\x90\x90\xc3", offset=2)
+        assert instr.mnemonic is Mnemonic.RET
+        assert instr.length == 1
+
+    def test_jmp(self):
+        instr = decode(bytes.fromhex("e900100000"))
+        assert instr.mnemonic is Mnemonic.JMP
+        assert instr.disp == 0x1000
+        assert instr.length == 5
+
+    def test_branch_target_relative_to_end(self):
+        instr = decode(bytes.fromhex("e900100000"))
+        assert instr.target(0x400000) == 0x400000 + 5 + 0x1000
+
+    def test_listing3_gadget(self):
+        # mov r12, QWORD PTR [r12+0xbe0]
+        instr = decode(bytes.fromhex("4d8ba424e00b0000"))
+        assert instr.mnemonic is Mnemonic.MOV_RM
+        assert instr.dest is Reg.R12
+        assert instr.base is Reg.R12
+        assert instr.disp == 0xBE0
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            decode(bytes.fromhex("e90010"))
+
+    def test_garbage(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x06")  # invalid in 64-bit mode
+
+    def test_unsupported_modrm(self):
+        with pytest.raises(DecodeError):
+            decode(bytes.fromhex("488b00"))  # mod=00 not in subset
+
+    def test_nopl_all_lengths(self):
+        for length, seq in NOPL_SEQUENCES.items():
+            instr = decode(seq)
+            assert instr.mnemonic is Mnemonic.NOPL
+            assert instr.length == length
+
+
+def instruction_strategy():
+    """Generate arbitrary well-formed instructions of every mnemonic."""
+    reg = st.sampled_from(REGS)
+    imm32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+    imm64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+    disp8 = st.integers(min_value=-128, max_value=127)
+    shift = st.integers(min_value=0, max_value=63)
+    nopl_len = st.sampled_from(sorted(NOPL_SEQUENCES))
+
+    def simple(m):
+        return st.just(Instruction(m))
+
+    return st.one_of(
+        simple(Mnemonic.NOP),
+        st.builds(lambda n: Instruction(Mnemonic.NOPL, imm=n), nopl_len),
+        st.builds(lambda d: Instruction(Mnemonic.JMP, disp=d), imm32),
+        st.builds(lambda d: Instruction(Mnemonic.JMP_SHORT, disp=d), disp8),
+        st.builds(lambda c, d: Instruction(Mnemonic.JCC, cc=c, disp=d),
+                  st.sampled_from(CONDS), imm32),
+        st.builds(lambda d: Instruction(Mnemonic.CALL, disp=d), imm32),
+        st.builds(lambda r: Instruction(Mnemonic.JMP_REG, dest=r), reg),
+        st.builds(lambda r: Instruction(Mnemonic.CALL_REG, dest=r), reg),
+        simple(Mnemonic.RET),
+        st.builds(lambda r, i: Instruction(Mnemonic.MOV_RI, dest=r, imm=i),
+                  reg, imm64),
+        st.builds(lambda d, s: Instruction(Mnemonic.MOV_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, b, i: Instruction(Mnemonic.MOV_RM, dest=d,
+                                              base=b, disp=i),
+                  reg, reg, imm32),
+        st.builds(lambda d, b, i: Instruction(Mnemonic.MOVB_RM, dest=d,
+                                              base=b, disp=i),
+                  reg, reg, imm32),
+        st.builds(lambda s, b, i: Instruction(Mnemonic.MOV_MR, src=s,
+                                              base=b, disp=i),
+                  reg, reg, imm32),
+        st.builds(lambda d, b, i: Instruction(Mnemonic.LEA, dest=d, base=b,
+                                              disp=i),
+                  reg, reg, imm32),
+        st.builds(lambda d, i: Instruction(Mnemonic.ADD_RI, dest=d, imm=i),
+                  reg, imm32),
+        st.builds(lambda d, i: Instruction(Mnemonic.SUB_RI, dest=d, imm=i),
+                  reg, imm32),
+        st.builds(lambda d, i: Instruction(Mnemonic.AND_RI, dest=d, imm=i),
+                  reg, imm32),
+        st.builds(lambda d, i: Instruction(Mnemonic.CMP_RI, dest=d, imm=i),
+                  reg, imm32),
+        st.builds(lambda d, s: Instruction(Mnemonic.ADD_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.SUB_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.XOR_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.OR_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.CMP_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, i: Instruction(Mnemonic.SHL_RI, dest=d, imm=i),
+                  reg, shift),
+        st.builds(lambda d, i: Instruction(Mnemonic.SHR_RI, dest=d, imm=i),
+                  reg, shift),
+        st.builds(lambda r: Instruction(Mnemonic.PUSH, dest=r), reg),
+        st.builds(lambda r: Instruction(Mnemonic.POP, dest=r), reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.TEST_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.XCHG_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda d, s: Instruction(Mnemonic.IMUL_RR, dest=d, src=s),
+                  reg, reg),
+        st.builds(lambda c, d, s: Instruction(Mnemonic.CMOV, cc=c, dest=d,
+                                              src=s),
+                  st.sampled_from(CONDS), reg, reg),
+        st.builds(lambda r: Instruction(Mnemonic.INC, dest=r), reg),
+        st.builds(lambda r: Instruction(Mnemonic.DEC, dest=r), reg),
+        st.builds(lambda r: Instruction(Mnemonic.NEG, dest=r), reg),
+        st.builds(lambda r: Instruction(Mnemonic.NOT, dest=r), reg),
+        simple(Mnemonic.LFENCE),
+        simple(Mnemonic.MFENCE),
+        simple(Mnemonic.SYSCALL),
+        simple(Mnemonic.SYSRET),
+        simple(Mnemonic.RDTSC),
+        simple(Mnemonic.HLT),
+        simple(Mnemonic.UD2),
+    )
+
+
+class TestRoundtrip:
+    @given(instruction_strategy())
+    @settings(max_examples=500)
+    def test_encode_decode_roundtrip(self, instr):
+        raw = encode(instr)
+        back = decode(raw)
+        assert back.length == len(raw)
+        assert back.mnemonic is instr.mnemonic
+        assert back.dest == instr.dest
+        assert back.src == instr.src
+        assert back.base == instr.base
+        assert back.cc == instr.cc
+        assert back.disp == instr.disp
+        if instr.mnemonic is Mnemonic.NOPL:
+            assert back.imm == len(raw)
+        else:
+            assert back.imm == instr.imm
+
+    @given(instruction_strategy(), st.binary(max_size=8))
+    @settings(max_examples=200)
+    def test_decode_ignores_trailing_bytes(self, instr, tail):
+        raw = encode(instr)
+        back = decode(raw + tail)
+        assert back.length == len(raw)
+        assert back.mnemonic is instr.mnemonic
+
+    @given(st.binary(min_size=1, max_size=16))
+    @settings(max_examples=300)
+    def test_decode_never_crashes_on_garbage(self, blob):
+        """Arbitrary bytes either decode or raise DecodeError — nothing else.
+
+        The pipeline decodes speculatively fetched bytes which may be
+        data; the decoder must be total over byte strings.
+        """
+        try:
+            instr = decode(blob)
+        except DecodeError:
+            return
+        assert 1 <= instr.length <= len(blob)
+        # Whatever decoded must re-encode to the same prefix.
+        assert encode(instr) == blob[:instr.length]

@@ -1,0 +1,177 @@
+"""The extended ALU subset: test/inc/dec/neg/not/imul/xchg/cmov."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (ArchState, Cond, Instruction, Mnemonic, Reg,
+                       condition_met, decode, encode, execute)
+from repro.params import MASK64
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def run(instr, state):
+    return execute(instr, 0x1000, state,
+                   lambda a, s: 0, lambda a, s, v: None)
+
+
+def signed(x):
+    return x - (1 << 64) if x >> 63 else x
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("instr,expected", [
+        (Instruction(Mnemonic.TEST_RR, dest=Reg.RAX, src=Reg.RBX),
+         "4885d8"),
+        (Instruction(Mnemonic.INC, dest=Reg.RAX), "48ffc0"),
+        (Instruction(Mnemonic.DEC, dest=Reg.RCX), "48ffc9"),
+        (Instruction(Mnemonic.NEG, dest=Reg.RDX), "48f7da"),
+        (Instruction(Mnemonic.NOT, dest=Reg.RBX), "48f7d3"),
+        (Instruction(Mnemonic.IMUL_RR, dest=Reg.RAX, src=Reg.RBX),
+         "480fafc3"),
+        (Instruction(Mnemonic.XCHG_RR, dest=Reg.RAX, src=Reg.RBX),
+         "4887d8"),
+        (Instruction(Mnemonic.CMOV, cc=Cond.E, dest=Reg.RAX, src=Reg.RBX),
+         "480f44c3"),
+    ])
+    def test_known_bytes(self, instr, expected):
+        assert encode(instr).hex() == expected
+
+    @pytest.mark.parametrize("mnemonic", [
+        Mnemonic.TEST_RR, Mnemonic.INC, Mnemonic.DEC, Mnemonic.NEG,
+        Mnemonic.NOT, Mnemonic.IMUL_RR, Mnemonic.XCHG_RR,
+    ])
+    def test_roundtrip_extended_regs(self, mnemonic):
+        instr = Instruction(mnemonic, dest=Reg.R13, src=Reg.R9)
+        back = decode(encode(instr))
+        assert back.mnemonic is mnemonic
+        assert back.dest is Reg.R13
+
+
+class TestSemantics:
+    def test_inc_dec(self):
+        state = ArchState()
+        state.write(Reg.RAX, 41)
+        run(Instruction(Mnemonic.INC, dest=Reg.RAX, length=3), state)
+        assert state.read(Reg.RAX) == 42
+        run(Instruction(Mnemonic.DEC, dest=Reg.RAX, length=3), state)
+        assert state.read(Reg.RAX) == 41
+
+    def test_inc_preserves_carry(self):
+        state = ArchState()
+        state.flags.cf = True
+        state.write(Reg.RAX, MASK64)
+        run(Instruction(Mnemonic.INC, dest=Reg.RAX, length=3), state)
+        assert state.read(Reg.RAX) == 0
+        assert state.flags.zf
+        assert state.flags.cf   # unlike add, inc keeps CF
+
+    def test_neg(self):
+        state = ArchState()
+        state.write(Reg.RAX, 5)
+        run(Instruction(Mnemonic.NEG, dest=Reg.RAX, length=3), state)
+        assert state.read(Reg.RAX) == (-5) & MASK64
+        assert state.flags.cf
+        state.write(Reg.RBX, 0)
+        run(Instruction(Mnemonic.NEG, dest=Reg.RBX, length=3), state)
+        assert not state.flags.cf
+
+    def test_not_leaves_flags(self):
+        state = ArchState()
+        state.flags.zf = True
+        state.write(Reg.RAX, 0)
+        run(Instruction(Mnemonic.NOT, dest=Reg.RAX, length=3), state)
+        assert state.read(Reg.RAX) == MASK64
+        assert state.flags.zf
+
+    def test_test_sets_flags_without_write(self):
+        state = ArchState()
+        state.write(Reg.RAX, 0b1100)
+        state.write(Reg.RBX, 0b0011)
+        run(Instruction(Mnemonic.TEST_RR, dest=Reg.RAX, src=Reg.RBX,
+                        length=3), state)
+        assert state.flags.zf
+        assert state.read(Reg.RAX) == 0b1100
+
+    def test_imul(self):
+        state = ArchState()
+        state.write(Reg.RAX, 7)
+        state.write(Reg.RBX, (-6) & MASK64)
+        run(Instruction(Mnemonic.IMUL_RR, dest=Reg.RAX, src=Reg.RBX,
+                        length=4), state)
+        assert state.read(Reg.RAX) == (-42) & MASK64
+        assert not state.flags.of
+
+    def test_imul_overflow(self):
+        state = ArchState()
+        state.write(Reg.RAX, 1 << 62)
+        state.write(Reg.RBX, 4)
+        run(Instruction(Mnemonic.IMUL_RR, dest=Reg.RAX, src=Reg.RBX,
+                        length=4), state)
+        assert state.flags.of and state.flags.cf
+
+    def test_xchg(self):
+        state = ArchState()
+        state.write(Reg.RAX, 1)
+        state.write(Reg.RBX, 2)
+        run(Instruction(Mnemonic.XCHG_RR, dest=Reg.RAX, src=Reg.RBX,
+                        length=3), state)
+        assert state.read(Reg.RAX) == 2
+        assert state.read(Reg.RBX) == 1
+
+    def test_cmov_taken_and_not(self):
+        state = ArchState()
+        state.write(Reg.RAX, 0xAAA)
+        state.write(Reg.RBX, 0xBBB)
+        state.flags.zf = True
+        run(Instruction(Mnemonic.CMOV, cc=Cond.E, dest=Reg.RAX,
+                        src=Reg.RBX, length=4), state)
+        assert state.read(Reg.RAX) == 0xBBB
+        state.flags.zf = False
+        state.write(Reg.RBX, 0xCCC)
+        run(Instruction(Mnemonic.CMOV, cc=Cond.E, dest=Reg.RAX,
+                        src=Reg.RBX, length=4), state)
+        assert state.read(Reg.RAX) == 0xBBB   # condition false: no move
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=80)
+def test_imul_matches_python(a, b):
+    state = ArchState()
+    state.write(Reg.RAX, a)
+    state.write(Reg.RBX, b)
+    run(Instruction(Mnemonic.IMUL_RR, dest=Reg.RAX, src=Reg.RBX,
+                    length=4), state)
+    assert state.read(Reg.RAX) == (signed(a) * signed(b)) & MASK64
+
+
+@given(a=u64)
+@settings(max_examples=80)
+def test_neg_not_identities(a):
+    state = ArchState()
+    state.write(Reg.RAX, a)
+    run(Instruction(Mnemonic.NOT, dest=Reg.RAX, length=3), state)
+    run(Instruction(Mnemonic.NEG, dest=Reg.RAX, length=3), state)
+    # -(~a) == a + 1 (mod 2^64)
+    assert state.read(Reg.RAX) == (a + 1) & MASK64
+
+
+def test_branchless_select_idiom():
+    """cmov is the speculation-free alternative §2.4's masking papers
+    recommend: select without a conditional branch."""
+    from repro.isa import Assembler
+    from repro.kernel import Machine
+    from repro.pipeline import ZEN2
+
+    machine = Machine(ZEN2, syscall_noise_evictions=0)
+    code = 0x0000_0000_3000_0000
+    asm = Assembler(code)
+    asm.cmp_ri(Reg.RDI, 64)
+    asm.cmov(Cond.AE, Reg.RDI, Reg.R8)     # idx = oob ? 0 : idx
+    asm.hlt()
+    machine.load_user_image(asm.image())
+    machine.run_user(code, regs={Reg.RDI: 1000, Reg.R8: 0})
+    assert machine.cpu.state.read(Reg.RDI) == 0
+    # No conditional branch: no direction misprediction possible.
+    assert machine.cpu.pmc.read("resteer_backend") == 0

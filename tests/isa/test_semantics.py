@@ -1,0 +1,212 @@
+"""Architectural semantics: ALU, flags, branches, memory, traps."""
+
+import pytest
+
+from repro.isa import (ArchState, Cond, Instruction, Mnemonic, Reg,
+                       condition_met, execute)
+from repro.params import MASK64
+
+
+class FakeMemory:
+    def __init__(self):
+        self.data = {}
+        self.loads = []
+        self.stores = []
+
+    def load(self, addr, size):
+        self.loads.append((addr, size))
+        return int.from_bytes(
+            bytes(self.data.get(addr + i, 0) for i in range(size)), "little")
+
+    def store(self, addr, size, value):
+        self.stores.append((addr, size, value))
+        for i in range(size):
+            self.data[addr + i] = (value >> (8 * i)) & 0xFF
+
+
+@pytest.fixture
+def state():
+    return ArchState()
+
+
+@pytest.fixture
+def mem():
+    return FakeMemory()
+
+
+def run(instr, state, mem, pc=0x1000, length=4):
+    instr = Instruction(**{**instr.__dict__, "length": length}) \
+        if instr.length == 0 else instr
+    return execute(instr, pc, state, mem.load, mem.store)
+
+
+class TestMovAlu:
+    def test_mov_ri(self, state, mem):
+        run(Instruction(Mnemonic.MOV_RI, dest=Reg.RAX, imm=0xDEAD), state, mem)
+        assert state.read(Reg.RAX) == 0xDEAD
+
+    def test_mov_rr(self, state, mem):
+        state.write(Reg.RBX, 7)
+        run(Instruction(Mnemonic.MOV_RR, dest=Reg.RCX, src=Reg.RBX), state, mem)
+        assert state.read(Reg.RCX) == 7
+
+    def test_add_wraps(self, state, mem):
+        state.write(Reg.RAX, MASK64)
+        run(Instruction(Mnemonic.ADD_RI, dest=Reg.RAX, imm=1), state, mem)
+        assert state.read(Reg.RAX) == 0
+        assert state.flags.zf
+        assert state.flags.cf
+
+    def test_sub_sets_sign(self, state, mem):
+        state.write(Reg.RAX, 1)
+        run(Instruction(Mnemonic.SUB_RI, dest=Reg.RAX, imm=2), state, mem)
+        assert state.read(Reg.RAX) == MASK64
+        assert state.flags.sf
+        assert state.flags.cf
+
+    def test_xor_self_zeroes(self, state, mem):
+        state.write(Reg.R9, 0x1234)
+        run(Instruction(Mnemonic.XOR_RR, dest=Reg.R9, src=Reg.R9), state, mem)
+        assert state.read(Reg.R9) == 0
+        assert state.flags.zf
+
+    def test_shifts(self, state, mem):
+        state.write(Reg.RBX, 0x3F)
+        run(Instruction(Mnemonic.SHL_RI, dest=Reg.RBX, imm=6), state, mem)
+        assert state.read(Reg.RBX) == 0x3F << 6
+        run(Instruction(Mnemonic.SHR_RI, dest=Reg.RBX, imm=6), state, mem)
+        assert state.read(Reg.RBX) == 0x3F
+
+    def test_and_mask_byte(self, state, mem):
+        # The P3 disclosure-gadget idiom: isolate one byte, shift to
+        # a cache-line-aligned offset (bits [13:6]).
+        state.write(Reg.RDI, 0xAABBCCDD)
+        run(Instruction(Mnemonic.AND_RI, dest=Reg.RDI, imm=0xFF), state, mem)
+        run(Instruction(Mnemonic.SHL_RI, dest=Reg.RDI, imm=6), state, mem)
+        assert state.read(Reg.RDI) == 0xDD << 6
+
+    def test_lea(self, state, mem):
+        state.write(Reg.RBP, 0x8000)
+        run(Instruction(Mnemonic.LEA, dest=Reg.RAX, base=Reg.RBP, disp=-16),
+            state, mem)
+        assert state.read(Reg.RAX) == 0x7FF0
+        assert mem.loads == []
+
+
+class TestCmpJcc:
+    def test_cmp_below(self, state, mem):
+        state.write(Reg.RDI, 5)
+        run(Instruction(Mnemonic.CMP_RI, dest=Reg.RDI, imm=10), state, mem)
+        assert condition_met(Cond.B, state.flags)
+        assert not condition_met(Cond.AE, state.flags)
+
+    def test_cmp_equal(self, state, mem):
+        state.write(Reg.RDI, 10)
+        run(Instruction(Mnemonic.CMP_RI, dest=Reg.RDI, imm=10), state, mem)
+        assert condition_met(Cond.E, state.flags)
+        assert condition_met(Cond.BE, state.flags)
+        assert not condition_met(Cond.B, state.flags)
+
+    def test_signed_conditions(self, state, mem):
+        state.write(Reg.RAX, (-5) & MASK64)
+        run(Instruction(Mnemonic.CMP_RI, dest=Reg.RAX, imm=3), state, mem)
+        assert condition_met(Cond.L, state.flags)
+        assert not condition_met(Cond.GE, state.flags)
+
+    def test_jcc_taken(self, state, mem):
+        state.flags.zf = True
+        instr = Instruction(Mnemonic.JCC, cc=Cond.E, disp=0x100, length=6)
+        res = execute(instr, 0x1000, state, mem.load, mem.store)
+        assert res.taken
+        assert res.next_pc == 0x1000 + 6 + 0x100
+
+    def test_jcc_not_taken(self, state, mem):
+        state.flags.zf = False
+        instr = Instruction(Mnemonic.JCC, cc=Cond.E, disp=0x100, length=6)
+        res = execute(instr, 0x1000, state, mem.load, mem.store)
+        assert res.taken is False
+        assert res.next_pc == 0x1006
+
+
+class TestBranches:
+    def test_jmp(self, state, mem):
+        instr = Instruction(Mnemonic.JMP, disp=-0x10, length=5)
+        res = execute(instr, 0x2000, state, mem.load, mem.store)
+        assert res.taken and res.next_pc == 0x2005 - 0x10
+
+    def test_jmp_reg(self, state, mem):
+        state.write(Reg.RAX, 0x5000)
+        instr = Instruction(Mnemonic.JMP_REG, dest=Reg.RAX, length=2)
+        res = execute(instr, 0x2000, state, mem.load, mem.store)
+        assert res.next_pc == 0x5000
+
+    def test_call_pushes_return_address(self, state, mem):
+        state.write(Reg.RSP, 0x9000)
+        instr = Instruction(Mnemonic.CALL, disp=0x100, length=5)
+        res = execute(instr, 0x2000, state, mem.load, mem.store)
+        assert state.read(Reg.RSP) == 0x8FF8
+        assert mem.stores == [(0x8FF8, 8, 0x2005)]
+        assert res.next_pc == 0x2105
+
+    def test_ret_pops(self, state, mem):
+        state.write(Reg.RSP, 0x8FF8)
+        mem.store(0x8FF8, 8, 0x2005)
+        mem.stores.clear()
+        instr = Instruction(Mnemonic.RET, length=1)
+        res = execute(instr, 0x3000, state, mem.load, mem.store)
+        assert res.next_pc == 0x2005
+        assert state.read(Reg.RSP) == 0x9000
+
+    def test_call_ret_roundtrip(self, state, mem):
+        state.write(Reg.RSP, 0x9000)
+        call = Instruction(Mnemonic.CALL, disp=0x100, length=5)
+        execute(call, 0x2000, state, mem.load, mem.store)
+        ret = Instruction(Mnemonic.RET, length=1)
+        res = execute(ret, 0x2105, state, mem.load, mem.store)
+        assert res.next_pc == 0x2005
+        assert state.read(Reg.RSP) == 0x9000
+
+
+class TestMemory:
+    def test_load_store(self, state, mem):
+        state.write(Reg.RBX, 0x7000)
+        state.write(Reg.RCX, 0xCAFEBABE)
+        run(Instruction(Mnemonic.MOV_MR, src=Reg.RCX, base=Reg.RBX, disp=8),
+            state, mem)
+        run(Instruction(Mnemonic.MOV_RM, dest=Reg.RDX, base=Reg.RBX, disp=8),
+            state, mem)
+        assert state.read(Reg.RDX) == 0xCAFEBABE
+
+    def test_byte_load_zero_extends(self, state, mem):
+        mem.store(0x7000, 8, 0xAABB)
+        state.write(Reg.RBX, 0x7000)
+        state.write(Reg.RDX, MASK64)
+        run(Instruction(Mnemonic.MOVB_RM, dest=Reg.RDX, base=Reg.RBX), state, mem)
+        assert state.read(Reg.RDX) == 0xBB
+
+    def test_push_pop(self, state, mem):
+        state.write(Reg.RSP, 0x9000)
+        state.write(Reg.R14, 42)
+        run(Instruction(Mnemonic.PUSH, dest=Reg.R14), state, mem)
+        run(Instruction(Mnemonic.POP, dest=Reg.R15), state, mem)
+        assert state.read(Reg.R15) == 42
+        assert state.read(Reg.RSP) == 0x9000
+
+
+class TestTraps:
+    @pytest.mark.parametrize("mnemonic,trap", [
+        (Mnemonic.SYSCALL, "syscall"),
+        (Mnemonic.SYSRET, "sysret"),
+        (Mnemonic.HLT, "hlt"),
+        (Mnemonic.UD2, "ud2"),
+    ])
+    def test_traps(self, state, mem, mnemonic, trap):
+        res = run(Instruction(mnemonic), state, mem)
+        assert res.trap == trap
+
+    def test_rdtsc(self, state, mem):
+        instr = Instruction(Mnemonic.RDTSC, length=2)
+        execute(instr, 0, state, mem.load, mem.store,
+                rdtsc=lambda: 0x1_2345_6789)
+        assert state.read(Reg.RAX) == 0x2345_6789
+        assert state.read(Reg.RDX) == 0x1

@@ -1,0 +1,46 @@
+"""µop cracking coverage for every mnemonic."""
+
+from repro.isa import Instruction, Mnemonic, Reg, UopKind, crack, uop_count
+
+
+def test_nop_cracks_to_nop():
+    uops = crack(Instruction(Mnemonic.NOP, length=1), 0x100)
+    assert [u.kind for u in uops] == [UopKind.NOP]
+    assert uops[0].pc == 0x100
+
+
+def test_load_is_single_load_uop():
+    uops = crack(Instruction(Mnemonic.MOV_RM, dest=Reg.RAX, base=Reg.RBX,
+                             length=8), 0)
+    assert [u.kind for u in uops] == [UopKind.LOAD]
+    assert uops[0].is_memory
+
+
+def test_call_cracks_to_store_plus_branch():
+    uops = crack(Instruction(Mnemonic.CALL, disp=0, length=5), 0)
+    assert [u.kind for u in uops] == [UopKind.STORE, UopKind.BRANCH]
+    assert [u.index for u in uops] == [0, 1]
+
+
+def test_ret_cracks_to_load_plus_branch():
+    uops = crack(Instruction(Mnemonic.RET, length=1), 0)
+    assert [u.kind for u in uops] == [UopKind.LOAD, UopKind.BRANCH]
+
+
+def test_every_mnemonic_cracks():
+    operands = dict(dest=Reg.RAX, src=Reg.RBX, base=Reg.RCX, imm=1)
+    for mnemonic in Mnemonic:
+        instr = Instruction(mnemonic, **operands, length=4)
+        uops = crack(instr, 0)
+        assert len(uops) == uop_count(instr) >= 1
+
+
+def test_fence_uops():
+    assert crack(Instruction(Mnemonic.LFENCE, length=3), 0)[0].kind \
+        is UopKind.FENCE
+
+
+def test_branch_uop_not_memory():
+    uop = crack(Instruction(Mnemonic.JMP, disp=0, length=5), 0)[0]
+    assert uop.kind is UopKind.BRANCH
+    assert not uop.is_memory

@@ -1,0 +1,42 @@
+"""KASLR: slot counts, determinism, candidate lists."""
+
+from repro.kernel import (KERNEL_IMAGE_REGION, KERNEL_IMAGE_STRIDE, Kaslr,
+                          PHYSMAP_REGION, PHYSMAP_STRIDE)
+from repro.params import KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS
+
+
+def test_candidate_counts_match_paper():
+    assert len(Kaslr.image_candidates()) == 488
+    assert len(Kaslr.physmap_candidates()) == 25600
+
+
+def test_randomize_deterministic_per_seed():
+    assert Kaslr.randomize(7) == Kaslr.randomize(7)
+    assert Kaslr.randomize(7) != Kaslr.randomize(8)
+
+
+def test_bases_are_candidates():
+    k = Kaslr.randomize(3)
+    assert k.image_base in Kaslr.image_candidates()
+    assert k.physmap_base in Kaslr.physmap_candidates()
+
+
+def test_image_base_alignment():
+    for seed in range(20):
+        base = Kaslr.randomize(seed).image_base
+        assert base % KERNEL_IMAGE_STRIDE == 0
+        assert KERNEL_IMAGE_REGION <= base \
+            < KERNEL_IMAGE_REGION + KERNEL_IMAGE_SLOTS * KERNEL_IMAGE_STRIDE
+
+
+def test_physmap_base_alignment():
+    for seed in range(20):
+        base = Kaslr.randomize(seed).physmap_base
+        assert base % PHYSMAP_STRIDE == 0
+        assert PHYSMAP_REGION <= base \
+            < PHYSMAP_REGION + PHYSMAP_SLOTS * PHYSMAP_STRIDE
+
+
+def test_slots_cover_space():
+    slots = {Kaslr.randomize(seed).image_slot for seed in range(300)}
+    assert len(slots) > 100  # randomization actually spreads

@@ -1,0 +1,97 @@
+"""Kernel layout: dispatcher, paper offsets, reference offsets, modules."""
+
+import pytest
+
+from repro.kernel import Machine, SYS_GETPID
+from repro.kernel.layout import (DISCLOSURE_GADGET_OFFSET, FDGET_POS_OFFSET,
+                                 TASK_PID_NR_NS_OFFSET, reference_offsets)
+from repro.kernel.modules import COVERT_BRANCHES, build_modules
+from repro.pipeline import ZEN2
+
+
+class TestReferenceOffsets:
+    def test_paper_offsets_present(self):
+        offsets = reference_offsets()
+        assert offsets["__task_pid_nr_ns"] == TASK_PID_NR_NS_OFFSET
+        assert offsets["physmap_gadget"] == DISCLOSURE_GADGET_OFFSET
+        assert offsets["__fdget_pos"] == FDGET_POS_OFFSET
+
+    def test_call_site_inside_fdget_pos(self):
+        offsets = reference_offsets()
+        assert FDGET_POS_OFFSET < offsets["fdget_call_site"] \
+            < FDGET_POS_OFFSET + 0x40
+
+    def test_offsets_independent_of_kaslr(self):
+        """Symbol offsets are a property of the binary, not the boot."""
+        offsets = reference_offsets()
+        for seed in (1, 2):
+            machine = Machine(ZEN2, kaslr_seed=seed)
+            for name, offset in offsets.items():
+                assert machine.kernel.sym(name) \
+                    == machine.kaslr.image_base + offset
+
+    def test_offsets_deterministic(self):
+        assert reference_offsets() == reference_offsets()
+
+
+class TestModules:
+    @pytest.fixture(scope="class")
+    def modules(self):
+        return build_modules(0xFFFF_FFFF_C000_0000, 0xFFFF_FFFF_D000_0000)
+
+    def test_covert_branch_symbols(self, modules):
+        for i in range(COVERT_BRANCHES):
+            assert f"covert_branch_{i}" in modules.symbols
+
+    def test_expected_entry_points(self, modules):
+        for name in ("covert_fn", "mds_read_data", "p3_gadget",
+                     "covert_load_gadget", "rev_fn", "noise_fn",
+                     "btc_fn", "btc_safe_fn", "parse_data"):
+            assert name in modules.symbols, name
+
+    def test_mds_call_site_is_a_call(self, modules):
+        from repro.isa import Mnemonic, decode
+
+        call_site = modules.sym("mds_call_site")
+        raw = modules.image.read(call_site, 5)
+        assert decode(raw).mnemonic is Mnemonic.CALL
+
+    def test_p3_gadget_fits_phantom_window(self, modules):
+        """shl+add+load must fit Zen 1/2's 4-uop execute window."""
+        from repro.analysis import Disassembler
+        from repro.isa import uop_count
+
+        disasm = Disassembler(modules.image)
+        pc = modules.sym("p3_gadget")
+        total = 0
+        for _ in range(3):   # shl, add, loadb
+            decoded = disasm.instruction_at(pc)
+            total += uop_count(decoded.instr)
+            pc = decoded.end
+        assert total <= ZEN2.phantom_exec_uops
+
+
+class TestDispatcher:
+    def test_dispatcher_has_no_indirect_branches(self):
+        """§3's threat model: retpoline-era kernels dispatch without
+        exploitable jmp* — ours is compare+direct-branch chains."""
+        from repro.analysis import Disassembler
+        from repro.isa import BranchKind
+
+        machine = Machine(ZEN2)
+        disasm = Disassembler(machine.kernel.image)
+        instrs = disasm.linear_sweep(machine.kernel.sym("syscall_entry"),
+                                     max_bytes=512)
+        kinds = {i.kind for i in instrs}
+        assert BranchKind.INDIRECT not in kinds
+        assert BranchKind.CALL_INDIRECT not in kinds
+
+    def test_every_syscall_number_dispatches(self):
+        from repro.kernel import (SYS_BTC, SYS_BTC_SAFE, SYS_COVERT,
+                                  SYS_MDS, SYS_NOISE, SYS_READV, SYS_REV)
+
+        machine = Machine(ZEN2)
+        for nr in (SYS_GETPID, SYS_READV, SYS_COVERT, SYS_MDS, SYS_REV,
+                   SYS_NOISE, SYS_BTC, SYS_BTC_SAFE):
+            machine.syscall(nr, 1, 0)
+            assert not machine.cpu.kernel_mode

@@ -1,0 +1,74 @@
+"""Hierarchy: latency ordering, inclusivity, flushes."""
+
+from repro.memory import HierarchyParams, MemoryHierarchy
+
+
+def test_latency_ordering():
+    hier = MemoryHierarchy()
+    first = hier.access_data(0x1000)
+    second = hier.access_data(0x1000)
+    assert first == hier.params.mem_latency
+    assert second == hier.params.l1_latency
+    assert second < first
+
+
+def test_l2_hit_latency_between():
+    hier = MemoryHierarchy()
+    hier.access_data(0x1000)
+    # Evict from L1 only by filling its set (L1: 64 sets, 8 ways; L2 is
+    # 1024 sets so these don't collide in L2).
+    conflicts = [0x1000 + i * 64 * 64 for i in range(1, 9)]
+    for addr in conflicts:
+        hier.access_data(addr)
+    assert not hier.l1d.lookup(0x1000)
+    assert hier.l2.lookup(0x1000)
+    lat = hier.access_data(0x1000)
+    assert lat == hier.params.l2_latency
+
+
+def test_inclusive_back_invalidation():
+    """Evicting a line from L2 must evict it from L1 (paper section 7.2's
+    L2 Prime+Probe relies on this)."""
+    hier = MemoryHierarchy()
+    victim = 0x10000
+    hier.access_data(victim)
+    assert hier.l1d.lookup(victim)
+    # Fill the L2 set of `victim` with 8 conflicting lines.
+    stride = hier.l2.num_sets * 64
+    for i in range(1, 9):
+        hier.access_data(victim + i * stride)
+    assert not hier.l2.lookup(victim)
+    assert not hier.l1d.lookup(victim)
+
+
+def test_instr_and_data_paths_separate_l1():
+    hier = MemoryHierarchy()
+    hier.access_instr(0x2000)
+    assert hier.l1i.lookup(0x2000)
+    assert not hier.l1d.lookup(0x2000)
+    # But both share L2.
+    assert hier.l2.lookup(0x2000)
+
+
+def test_flush_line_removes_everywhere():
+    hier = MemoryHierarchy()
+    hier.access_instr(0x3000)
+    hier.access_data(0x3000)
+    hier.flush_line(0x3000)
+    assert not hier.instr_cached(0x3000)
+    assert not hier.data_cached(0x3000)
+    assert hier.access_data(0x3000) == hier.params.mem_latency
+
+
+def test_prefetch_instr_fills_without_stats():
+    hier = MemoryHierarchy()
+    hier.prefetch_instr(0x4000)
+    assert hier.instr_cached(0x4000)
+    assert hier.l1i.stats.misses == 0
+
+
+def test_custom_latencies():
+    params = HierarchyParams(l1_latency=3, l2_latency=11, mem_latency=200)
+    hier = MemoryHierarchy(params)
+    assert hier.access_data(0) == 200
+    assert hier.access_data(0) == 3

@@ -1,0 +1,81 @@
+"""Linear range mappings (kernel image / physmap) in the address space."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.memory import AddressSpace
+from repro.params import PAGE_SIZE
+
+KVA = 0xFFFF_8880_0000_0000
+
+
+@pytest.fixture
+def aspace():
+    space = AddressSpace()
+    space.map_linear(KVA, 0, 1 << 30, nx=True)
+    return space
+
+
+class TestLinearTranslate:
+    def test_identity_offset(self, aspace):
+        assert aspace.translate(KVA + 0x1234_5678) == 0x1234_5678
+
+    def test_end_exclusive(self, aspace):
+        assert aspace.translate(KVA + (1 << 30) - 1) == (1 << 30) - 1
+        with pytest.raises(PageFault):
+            aspace.translate(KVA + (1 << 30))
+
+    def test_nx_enforced(self, aspace):
+        with pytest.raises(PageFault):
+            aspace.translate(KVA, exec_=True)
+
+    def test_supervisor_only(self, aspace):
+        with pytest.raises(PageFault):
+            aspace.translate(KVA, user_mode=True)
+
+    def test_pte_synthesised(self, aspace):
+        pte = aspace.pte(KVA + 5 * PAGE_SIZE)
+        assert pte is not None
+        assert pte.nx
+        assert pte.pfn == 5
+
+    def test_is_mapped(self, aspace):
+        assert aspace.is_mapped(KVA + 0x100)
+        assert not aspace.is_mapped(KVA - PAGE_SIZE)
+
+
+class TestOverrides:
+    def test_set_attrs_materialises_page(self, aspace):
+        """The §6.2 trick on a range-backed page: make it user-visible."""
+        aspace.set_attrs(KVA + 0x3000, user=True, nx=False)
+        assert aspace.translate(KVA + 0x3000, user_mode=True,
+                                exec_=True) == 0x3000
+        # Neighbouring pages keep the range's attributes.
+        with pytest.raises(PageFault):
+            aspace.translate(KVA + 0x4000, user_mode=True)
+
+    def test_explicit_pte_shadows_range(self, aspace):
+        aspace.map_page(KVA + 0x5000, 0x7_0000, user=True, nx=True)
+        assert aspace.translate(KVA + 0x5000, user_mode=True) == 0x7_0000
+
+
+class TestValidation:
+    def test_overlapping_ranges_rejected(self, aspace):
+        with pytest.raises(ValueError):
+            aspace.map_linear(KVA + (1 << 29), 0, 1 << 30)
+
+    def test_unaligned_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_linear(KVA + 1, 0, PAGE_SIZE)
+        with pytest.raises(ValueError):
+            space.map_linear(KVA, 0, PAGE_SIZE + 1)
+
+    def test_noncanonical_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_linear(0x0008_0000_0000_0000, 0, PAGE_SIZE)
+
+    def test_adjacent_ranges_allowed(self, aspace):
+        aspace.map_linear(KVA + (1 << 30), 1 << 30, 1 << 30)
+        assert aspace.translate(KVA + (1 << 30)) == 1 << 30

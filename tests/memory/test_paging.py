@@ -1,0 +1,118 @@
+"""Page tables: translation, permissions, faults, huge pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFault
+from repro.memory import AddressSpace
+from repro.params import HUGE_PAGE_SIZE, PAGE_SIZE, canonical
+
+KERNEL_VA = 0xFFFF_FFFF_8000_0000
+USER_VA = 0x0000_5555_0000_0000
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace()
+
+
+class TestTranslate:
+    def test_identity_offset(self, aspace):
+        aspace.map_page(USER_VA, 0x4000, user=True)
+        assert aspace.translate(USER_VA + 0x123, user_mode=True) \
+            == 0x4123
+
+    def test_unmapped_faults_not_present(self, aspace):
+        with pytest.raises(PageFault) as info:
+            aspace.translate(USER_VA)
+        assert not info.value.present
+
+    def test_user_cannot_touch_supervisor(self, aspace):
+        aspace.map_page(KERNEL_VA, 0x8000, user=False)
+        with pytest.raises(PageFault) as info:
+            aspace.translate(KERNEL_VA, user_mode=True)
+        assert info.value.present and info.value.user
+        # Supervisor access succeeds.
+        assert aspace.translate(KERNEL_VA) == 0x8000
+
+    def test_nx_blocks_exec_only(self, aspace):
+        aspace.map_page(USER_VA, 0x4000, user=True, nx=True)
+        assert aspace.translate(USER_VA, user_mode=True) == 0x4000
+        with pytest.raises(PageFault) as info:
+            aspace.translate(USER_VA, exec_=True, user_mode=True)
+        assert info.value.exec_
+
+    def test_readonly_blocks_write(self, aspace):
+        aspace.map_page(USER_VA, 0x4000, user=True, writable=False)
+        with pytest.raises(PageFault) as info:
+            aspace.translate(USER_VA, write=True, user_mode=True)
+        assert info.value.write
+
+    def test_kernel_address_canonical_form(self, aspace):
+        aspace.map_page(KERNEL_VA, 0x8000)
+        # Translation accepts the truncated 48-bit alias as well.
+        assert aspace.translate(canonical(KERNEL_VA)) == 0x8000
+
+
+class TestAttrs:
+    def test_set_attrs_retypes_page(self, aspace):
+        """Paper section 6.2: make kernel page K user-accessible."""
+        aspace.map_page(KERNEL_VA, 0x8000, user=False)
+        aspace.set_attrs(KERNEL_VA, user=True)
+        assert aspace.translate(KERNEL_VA, user_mode=True) == 0x8000
+
+    def test_set_attrs_unmapped_raises(self, aspace):
+        with pytest.raises(KeyError):
+            aspace.set_attrs(USER_VA, user=True)
+
+    def test_set_unknown_attr_raises(self, aspace):
+        aspace.map_page(USER_VA, 0x4000)
+        with pytest.raises(AttributeError):
+            aspace.set_attrs(USER_VA, bogus=1)
+
+
+class TestMapping:
+    def test_unaligned_rejected(self, aspace):
+        with pytest.raises(ValueError):
+            aspace.map_page(USER_VA + 1, 0x4000)
+        with pytest.raises(ValueError):
+            aspace.map_page(USER_VA, 0x4001)
+
+    def test_noncanonical_rejected(self, aspace):
+        with pytest.raises(ValueError):
+            aspace.map_page(0x0001_0000_0000_0000, 0x4000)
+
+    def test_map_range_contiguous(self, aspace):
+        aspace.map_range(USER_VA, 0x100000, 4 * PAGE_SIZE, user=True)
+        for i in range(4):
+            assert aspace.translate(USER_VA + i * PAGE_SIZE, user_mode=True) \
+                == 0x100000 + i * PAGE_SIZE
+
+    def test_huge_page(self, aspace):
+        aspace.map_huge_page(0x4020_0000, 0x20_0000, user=True)
+        assert aspace.pte(0x4020_0000).huge
+        assert aspace.translate(0x4020_0000 + HUGE_PAGE_SIZE - 1,
+                                user_mode=True) \
+            == 0x20_0000 + HUGE_PAGE_SIZE - 1
+
+    def test_huge_page_alignment(self, aspace):
+        with pytest.raises(ValueError):
+            aspace.map_huge_page(0x4020_0000 + PAGE_SIZE, 0x20_0000)
+
+    def test_unmap(self, aspace):
+        aspace.map_page(USER_VA, 0x4000)
+        aspace.unmap(USER_VA)
+        assert not aspace.is_mapped(USER_VA)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 47) - PAGE_SIZE),
+       st.integers(min_value=0, max_value=PAGE_SIZE - 1))
+@settings(max_examples=200)
+def test_translation_preserves_page_offset(va_page, offset):
+    """Property: PA offset within page always equals VA offset."""
+    aspace = AddressSpace()
+    va = (va_page // PAGE_SIZE) * PAGE_SIZE
+    aspace.map_page(va, 0x7000, user=True)
+    assert aspace.translate(va + offset, user_mode=True) & (PAGE_SIZE - 1) \
+        == offset

@@ -1,0 +1,53 @@
+"""Physical memory: sparse backing, bounds, cross-page access."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import PhysicalMemory
+from repro.params import PAGE_SIZE
+
+
+def test_zero_initialised():
+    mem = PhysicalMemory(1 << 20)
+    assert mem.read(0x1234, 8) == bytes(8)
+
+
+def test_read_write_roundtrip():
+    mem = PhysicalMemory(1 << 20)
+    mem.write(0x100, b"hello world")
+    assert mem.read(0x100, 11) == b"hello world"
+
+
+def test_cross_page_write():
+    mem = PhysicalMemory(1 << 20)
+    addr = PAGE_SIZE - 4
+    mem.write(addr, b"12345678")
+    assert mem.read(addr, 8) == b"12345678"
+    assert mem.read(PAGE_SIZE, 4) == b"5678"
+
+
+def test_int_accessors():
+    mem = PhysicalMemory(1 << 20)
+    mem.write_int(0x40, 8, 0x1122334455667788)
+    assert mem.read_int(0x40, 8) == 0x1122334455667788
+    assert mem.read_int(0x40, 4) == 0x55667788  # little endian low half
+
+
+def test_out_of_range():
+    mem = PhysicalMemory(1 << 20)
+    with pytest.raises(MemoryError_):
+        mem.read(1 << 20, 1)
+    with pytest.raises(MemoryError_):
+        mem.write((1 << 20) - 4, b"12345678")
+
+
+def test_sparse_is_lazy():
+    mem = PhysicalMemory(64 << 30)  # 64 GB like the EPYC 7252 testbed
+    mem.write(48 << 30, b"x")
+    assert mem.read(48 << 30, 1) == b"x"
+    assert len(mem._pages) == 1
+
+
+def test_bad_size_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(12345)

@@ -1,0 +1,108 @@
+"""MemorySystem facade: loads, stores, fetches, image loading, clflush."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.isa import Assembler
+from repro.memory import MemorySystem
+from repro.params import PAGE_SIZE
+
+USER_VA = 0x0000_5555_0000_0000
+KERNEL_VA = 0xFFFF_FFFF_8000_0000
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(64 << 20)
+
+
+class TestDataPath:
+    def test_read_write_roundtrip(self, mem):
+        mem.map_anonymous(USER_VA, PAGE_SIZE, user=True)
+        mem.write_data(USER_VA + 8, 8, 0xDEADBEEF, user_mode=True)
+        value, _ = mem.read_data(USER_VA + 8, 8, user_mode=True)
+        assert value == 0xDEADBEEF
+
+    def test_miss_slower_than_hit(self, mem):
+        mem.map_anonymous(USER_VA, PAGE_SIZE, user=True)
+        _, cold = mem.read_data(USER_VA, 8, user_mode=True)
+        _, warm = mem.read_data(USER_VA, 8, user_mode=True)
+        assert warm < cold
+
+    def test_user_mode_enforced(self, mem):
+        mem.map_anonymous(KERNEL_VA, PAGE_SIZE, user=False)
+        with pytest.raises(PageFault):
+            mem.read_data(KERNEL_VA, 8, user_mode=True)
+        value, _ = mem.read_data(KERNEL_VA, 8, user_mode=False)
+        assert value == 0
+
+
+class TestCodePath:
+    def test_fetch_reads_bytes(self, mem):
+        asm = Assembler(USER_VA)
+        asm.nop()
+        asm.ret()
+        mem.load_image(asm.image(), user=True)
+        raw, _ = mem.fetch_code(USER_VA, 2, user_mode=True)
+        assert raw == b"\x90\xc3"
+
+    def test_fetch_nx_faults(self, mem):
+        mem.map_anonymous(USER_VA, PAGE_SIZE, user=True, nx=True)
+        with pytest.raises(PageFault) as info:
+            mem.fetch_code(USER_VA, 16, user_mode=True)
+        assert info.value.exec_
+
+    def test_fetch_across_page_boundary(self, mem):
+        mem.map_anonymous(USER_VA, 2 * PAGE_SIZE, user=True)
+        raw, _ = mem.fetch_code(USER_VA + PAGE_SIZE - 8, 16, user_mode=True)
+        assert raw == bytes(16)
+
+    def test_fetch_warms_icache(self, mem):
+        mem.map_anonymous(USER_VA, PAGE_SIZE, user=True)
+        _, cold = mem.fetch_code(USER_VA, 32, user_mode=True)
+        _, warm = mem.fetch_code(USER_VA, 32, user_mode=True)
+        assert warm < cold
+
+
+class TestImageLoading:
+    def test_symbols_usable(self, mem):
+        asm = Assembler(KERNEL_VA)
+        asm.label("entry")
+        asm.nop_sled(10)
+        asm.label("gadget")
+        asm.ret()
+        image = asm.image()
+        mem.load_image(image)
+        raw, _ = mem.fetch_code(image.symbols["gadget"], 1)
+        assert raw == b"\xc3"
+
+    def test_unaligned_segment_base(self, mem):
+        asm = Assembler(KERNEL_VA + 0x520)  # like kernel offset 0xf6520
+        asm.nopl(8)
+        asm.push(__import__("repro.isa", fromlist=["Reg"]).Reg.RBP)
+        mem.load_image(asm.image())
+        raw, _ = mem.fetch_code(KERNEL_VA + 0x520, 8)
+        assert raw == bytes.fromhex("0f1f840000000000")
+
+
+class TestClflush:
+    def test_clflush_forces_memory_latency(self, mem):
+        mem.map_anonymous(USER_VA, PAGE_SIZE, user=True)
+        mem.read_data(USER_VA, 8, user_mode=True)
+        mem.clflush(USER_VA)
+        _, lat = mem.read_data(USER_VA, 8, user_mode=True)
+        assert lat >= mem.hier.params.mem_latency
+
+    def test_clflush_unmapped_is_noop(self, mem):
+        mem.clflush(USER_VA)  # must not raise
+
+
+class TestFrameAllocator:
+    def test_huge_alloc_aligned(self, mem):
+        pa = mem.frames.alloc_huge()
+        assert pa % (2 * 1024 * 1024) == 0
+
+    def test_exhaustion(self):
+        small = MemorySystem(1 << 20)
+        with pytest.raises(Exception):
+            small.frames.alloc(2 << 20)

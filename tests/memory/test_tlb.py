@@ -1,0 +1,58 @@
+"""TLB: hit/miss timing, capacity, flushes."""
+
+from repro.memory import TLB
+from repro.params import PAGE_SIZE
+
+
+def test_first_access_misses():
+    tlb = TLB()
+    assert tlb.access(0x1000) == tlb.walk_penalty
+    assert tlb.misses == 1
+
+
+def test_second_access_hits():
+    tlb = TLB()
+    tlb.access(0x1000)
+    assert tlb.access(0x1FFF) == 0   # same page
+    assert tlb.hits == 1
+
+
+def test_different_page_misses():
+    tlb = TLB()
+    tlb.access(0x1000)
+    assert tlb.access(0x2000) == tlb.walk_penalty
+
+
+def test_capacity_eviction_lru():
+    tlb = TLB(entries=4)
+    for i in range(5):
+        tlb.access(i * PAGE_SIZE)
+    # Page 0 is the LRU victim.
+    assert tlb.access(0) == tlb.walk_penalty
+    assert tlb.access(4 * PAGE_SIZE) == 0
+
+
+def test_lru_refresh():
+    tlb = TLB(entries=2)
+    tlb.access(0)
+    tlb.access(PAGE_SIZE)
+    tlb.access(0)              # refresh page 0
+    tlb.access(2 * PAGE_SIZE)  # evicts page 1, not page 0
+    assert tlb.access(0) == 0
+    assert tlb.access(PAGE_SIZE) == tlb.walk_penalty
+
+
+def test_flush_all():
+    tlb = TLB()
+    tlb.access(0x1000)
+    tlb.flush()
+    assert tlb.access(0x1000) == tlb.walk_penalty
+
+
+def test_flush_page():
+    tlb = TLB()
+    tlb.access(0x1000)
+    tlb.access(0x2000)
+    tlb.flush_page(0x1000)
+    assert tlb.access(0x2000) == 0
+    assert tlb.access(0x1000) == tlb.walk_penalty

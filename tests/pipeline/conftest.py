@@ -1,0 +1,50 @@
+"""Shared helpers for pipeline tests: bare-metal user-mode CPU setups."""
+
+import pytest
+
+from repro.errors import HaltRequested
+from repro.isa import Assembler
+from repro.memory import MemorySystem
+from repro.pipeline import CPU, ZEN2
+from repro.params import PAGE_SIZE
+
+USER_CODE = 0x0000_0010_0000
+USER_STACK = 0x0000_7FF0_0000
+USER_DATA = 0x0000_0200_0000
+
+
+class Harness:
+    """A CPU with memory, a stack, and convenience runners."""
+
+    def __init__(self, uarch=ZEN2, phys=256 << 20):
+        self.mem = MemorySystem(phys)
+        self.cpu = CPU(uarch, self.mem)
+        self.cpu.record_episodes = True
+        self.mem.map_anonymous(USER_STACK - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                               user=True, nx=True)
+        self.cpu.state.write(
+            __import__("repro.isa", fromlist=["Reg"]).Reg.RSP, USER_STACK)
+
+    def load(self, asm: Assembler, **attrs) -> dict:
+        image = asm.image()
+        self.mem.load_image(image, user=True, **attrs)
+        return image.symbols
+
+    def run(self, pc: int, max_instructions: int = 100_000) -> None:
+        try:
+            self.cpu.run(pc, max_instructions=max_instructions)
+        except HaltRequested:
+            return
+        raise AssertionError("program did not halt")
+
+    def pa(self, va: int) -> int:
+        return self.mem.aspace.translate_noperm(va)
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+def make_harness(uarch):
+    return Harness(uarch=uarch)

@@ -1,0 +1,199 @@
+"""Backend (execute-detected) speculation: ret mispredicts, nesting,
+fences, store-buffer isolation."""
+
+import pytest
+
+from repro.isa import Assembler, BranchKind, Cond, Reg
+from repro.params import PAGE_SIZE
+from repro.pipeline import Reach, ZEN2
+
+from .conftest import Harness, USER_CODE, USER_DATA
+
+
+class TestReturnMisprediction:
+    def test_rsb_mispredict_opens_window(self):
+        """Overwrite the on-stack return address after the call: the RSB
+        predicts the stale target, which executes transiently
+        (ret2spec-style)."""
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.call("fn")
+        asm.label("stale")          # RSB prediction: here
+        asm.load(Reg.RBX, Reg.RCX)  # transient signal
+        asm.hlt()
+        asm.label("fn")
+        # Overwrite [rsp] with 'real', then return.
+        asm.mov_ri(Reg.RAX, 0)      # patched below
+        slot = asm.pc - 8
+        asm.store(Reg.RSP, 0, Reg.RAX)
+        asm.ret()
+        asm.label("real")
+        asm.hlt()
+        segment, symbols = asm.finish()
+        data = bytearray(segment.data)
+        data[slot - USER_CODE:slot - USER_CODE + 8] = \
+            symbols["real"].to_bytes(8, "little")
+        from repro.isa import Image, Segment
+        image = Image()
+        image.add(Segment(USER_CODE, bytes(data)), symbols)
+        harness.mem.load_image(image, user=True)
+
+        probe = USER_DATA + 0x200
+        harness.cpu.state.write(Reg.RCX, probe)
+        harness.run(USER_CODE)
+        # Architecturally we ended at 'real'; transiently 'stale' ran.
+        assert harness.mem.hier.data_cached(harness.pa(probe))
+        assert harness.cpu.pmc.read("resteer_backend") >= 1
+
+
+class TestWindowTermination:
+    def build_v1(self, harness, *, insert=None):
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        if insert is not None:
+            insert(asm)
+        asm.add_rr(Reg.RSI, Reg.RDI)
+        asm.load(Reg.RAX, Reg.RSI)
+        asm.label("out")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 0x800)
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+
+    def test_lfence_stops_the_window(self):
+        """§8.2: lfence at the source of bad speculation blocks the
+        transient load."""
+        harness = Harness(uarch=ZEN2)
+        self.build_v1(harness, insert=lambda asm: asm.lfence())
+        harness.run(USER_CODE)
+        assert not harness.mem.hier.data_cached(
+            harness.pa(USER_DATA + 0x800))
+
+    def test_without_lfence_window_leaks(self):
+        harness = Harness(uarch=ZEN2)
+        self.build_v1(harness)
+        harness.run(USER_CODE)
+        assert harness.mem.hier.data_cached(harness.pa(USER_DATA + 0x800))
+
+    def test_window_bounded_by_uop_budget(self):
+        """A long transient path stops at backend_window_uops."""
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        for _ in range(harness.cpu.uarch.backend_window_uops + 8):
+            asm.add_ri(Reg.RBX, 1)
+        asm.load(Reg.RAX, Reg.RSI)   # beyond the window: never issues
+        asm.label("out")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 0x800)
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+        harness.run(USER_CODE)
+        assert not harness.mem.hier.data_cached(harness.pa(USER_DATA))
+
+
+class TestTransientIsolation:
+    def test_transient_stores_never_commit(self):
+        """Stores on the wrong path stay in the store buffer."""
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        asm.mov_ri(Reg.RAX, 0xE1)
+        asm.store(Reg.RSI, 0, Reg.RAX)
+        asm.label("out")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 99)   # out of bounds: taken
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+        harness.run(USER_CODE)
+        value, _ = harness.mem.read_data(USER_DATA, 8, user_mode=True)
+        assert value == 0
+
+    def test_store_to_load_forwarding_in_window(self):
+        """Within the window, a transient load sees the transient store
+        (store-buffer forwarding) — but memory is untouched."""
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, 2 * PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        asm.mov_ri(Reg.RAX, 0x40)            # line offset to signal
+        asm.store(Reg.RSI, 0, Reg.RAX)
+        asm.load(Reg.RBX, Reg.RSI)           # forwarded: rbx = 0x40
+        asm.add_rr(Reg.RDX, Reg.RBX)
+        asm.loadb(Reg.R9, Reg.RDX)           # signal at USER_DATA+0x1040
+        asm.label("out")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 99)
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+        harness.cpu.state.write(Reg.RDX, USER_DATA + 0x1000)
+        harness.run(USER_CODE)
+        assert harness.mem.hier.data_cached(
+            harness.pa(USER_DATA + 0x1040))
+
+    def test_architectural_registers_unchanged(self):
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        asm.mov_ri(Reg.R15, 0xBAD)
+        asm.label("out")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 99)
+        harness.cpu.state.write(Reg.R15, 0x600D)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.R15) == 0x600D
+
+
+class TestNestedPhantom:
+    def test_phantom_inside_spectre_window(self):
+        """§7.4's composition: a type-confused prediction at a direct
+        call inside a v1 window redirects with the *transient* register
+        state."""
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, 2 * PAGE_SIZE, user=True)
+        gadget = 0x0000_0000_0077_0000
+        gasm = Assembler(gadget)
+        gasm.shl_ri(Reg.RDX, 6)
+        gasm.add_rr(Reg.RDX, Reg.RSI)
+        gasm.loadb(Reg.R9, Reg.RDX)
+        gasm.ret()
+        harness.load(gasm)
+
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "out")
+        asm.add_rr(Reg.RCX, Reg.RDI)
+        asm.loadb(Reg.RDX, Reg.RCX)        # rdx = secret byte (transient)
+        asm.label("call_site")
+        asm.call("helper")
+        asm.label("out")
+        asm.hlt()
+        asm.label("helper")
+        asm.ret()
+        symbols = harness.load(asm)
+
+        # Secret byte 0x2A at USER_DATA+0x900 (out of bounds).
+        harness.mem.phys.write(harness.pa(USER_DATA + 0x900), b"\x2a")
+        harness.cpu.bpu.btb.train(symbols["call_site"],
+                                  BranchKind.INDIRECT, gadget,
+                                  kernel_mode=False)
+        harness.cpu.state.write(Reg.RDI, 0x900)
+        harness.cpu.state.write(Reg.RCX, USER_DATA)
+        harness.cpu.state.write(Reg.RSI, USER_DATA + 0x1000)
+        harness.run(USER_CODE)
+        # Reload-buffer slot 0x2A was filled by the nested phantom.
+        assert harness.mem.hier.data_cached(
+            harness.pa(USER_DATA + 0x1000 + 0x2A * 64))
+        nested = [e for e in harness.cpu.episodes if e.nested]
+        assert nested and nested[0].reach is Reach.EXECUTE

@@ -1,0 +1,59 @@
+"""Microarchitecture configs: the phantom latency race per model."""
+
+import pytest
+
+from repro.pipeline import (ALL_MICROARCHES, AMD_MICROARCHES,
+                            INTEL_MICROARCHES, ZEN1, ZEN2, ZEN3, ZEN4,
+                            by_name)
+
+
+def test_eight_models():
+    assert len(ALL_MICROARCHES) == 8
+    assert len(AMD_MICROARCHES) == 4
+    assert len(INTEL_MICROARCHES) == 4
+
+
+def test_zen12_reach_execute():
+    """Observation O3: only Zen 1 and Zen 2 lose the race to the decoder."""
+    for uarch in (ZEN1, ZEN2):
+        assert uarch.phantom_reaches_execute
+        assert uarch.phantom_exec_uops >= 3  # enough for a P3 gadget
+
+    for uarch in (ZEN3, ZEN4) + INTEL_MICROARCHES:
+        assert not uarch.phantom_reaches_execute
+
+
+def test_zen1_lacks_suppress_bit():
+    assert not ZEN1.supports_suppress_bp_on_non_br
+    assert ZEN2.supports_suppress_bp_on_non_br
+
+
+def test_only_zen4_has_auto_ibrs():
+    assert ZEN4.supports_auto_ibrs
+    assert not any(u.supports_auto_ibrs
+                   for u in ALL_MICROARCHES if u is not ZEN4)
+
+
+def test_intel_privilege_separated_btb():
+    for uarch in INTEL_MICROARCHES:
+        assert uarch.btb.privilege_in_tag
+        assert uarch.indirect_victim_opaque
+    for uarch in AMD_MICROARCHES:
+        assert not uarch.btb.privilege_in_tag
+
+
+def test_zen3_zen4_share_functions():
+    assert ZEN3.btb.tag_functions == ZEN4.btb.tag_functions
+    assert ZEN1.btb.tag_functions == ZEN2.btb.tag_functions
+    assert ZEN1.btb.tag_functions != ZEN3.btb.tag_functions
+
+
+def test_by_name():
+    assert by_name("zen 2") is ZEN2
+    with pytest.raises(KeyError):
+        by_name("zen 9")
+
+
+def test_clock_frequencies_reasonable():
+    for uarch in ALL_MICROARCHES:
+        assert 2.0 < uarch.clock_ghz < 6.0

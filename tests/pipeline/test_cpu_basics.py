@@ -1,0 +1,169 @@
+"""CPU architectural execution: programs, traps, timing, counters."""
+
+import pytest
+
+from repro.errors import PageFault, SimulationLimit
+from repro.isa import Assembler, Cond, Reg
+from repro.params import PAGE_SIZE
+
+from .conftest import Harness, USER_CODE, USER_DATA
+
+
+class TestPrograms:
+    def test_arithmetic(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RAX, 10)
+        asm.mov_ri(Reg.RBX, 32)
+        asm.add_rr(Reg.RAX, Reg.RBX)
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) == 42
+
+    def test_loop(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RCX, 10)
+        asm.mov_ri(Reg.RAX, 0)
+        asm.label("loop")
+        asm.add_ri(Reg.RAX, 3)
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "loop")
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) == 30
+
+    def test_memory_roundtrip(self, harness):
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RBX, USER_DATA)
+        asm.mov_ri(Reg.RAX, 0xC0FFEE)
+        asm.store(Reg.RBX, 0x10, Reg.RAX)
+        asm.load(Reg.RDX, Reg.RBX, 0x10)
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RDX) == 0xC0FFEE
+
+    def test_call_ret(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.call("fn")
+        asm.hlt()
+        asm.label("fn")
+        asm.mov_ri(Reg.RAX, 7)
+        asm.ret()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) == 7
+
+    def test_indirect_jump(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RAX, 0)  # patched below via label math
+        target_slot = asm.pc - 8  # imm64 field of the mov
+        asm.jmp_reg(Reg.RAX)
+        asm.nop_sled(8)
+        asm.label("dest")
+        asm.mov_ri(Reg.RBX, 99)
+        asm.hlt()
+        segment, symbols = asm.finish()
+        data = bytearray(segment.data)
+        dest = symbols["dest"]
+        data[target_slot - USER_CODE:target_slot - USER_CODE + 8] = \
+            dest.to_bytes(8, "little")
+        from repro.isa import Image, Segment
+        image = Image()
+        image.add(Segment(USER_CODE, bytes(data)), symbols)
+        harness.mem.load_image(image, user=True)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RBX) == 99
+
+    def test_rdtsc_monotonic(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.rdtsc()
+        asm.mov_rr(Reg.RSI, Reg.RAX)
+        asm.nop_sled(50)
+        asm.rdtsc()
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) \
+            > harness.cpu.state.read(Reg.RSI)
+
+
+class TestFaultsAndLimits:
+    def test_unmapped_fetch_faults(self, harness):
+        with pytest.raises(PageFault):
+            harness.cpu.run(0x0000_4000_0000, max_instructions=10)
+
+    def test_unmapped_load_faults(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RBX, 0x4000_0000)
+        asm.load(Reg.RAX, Reg.RBX)
+        asm.hlt()
+        harness.load(asm)
+        with pytest.raises(PageFault):
+            harness.run(USER_CODE)
+
+    def test_instruction_budget(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.label("spin")
+        asm.jmp("spin")
+        harness.load(asm)
+        with pytest.raises(SimulationLimit):
+            harness.cpu.run(USER_CODE, max_instructions=100)
+
+    def test_user_cannot_execute_supervisor_page(self, harness):
+        kva = 0xFFFF_FFFF_8000_0000
+        harness.mem.map_anonymous(kva, PAGE_SIZE, user=False)
+        with pytest.raises(PageFault):
+            harness.cpu.run(kva, max_instructions=1)
+
+
+class TestTimingAndCounters:
+    def test_warm_run_faster(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RCX, 1)
+        asm.label("again")
+        asm.nop_sled(64)
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NS, "again")  # runs twice (rcx: 1 -> 0 -> -1)
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        # Second pass hits the µop cache.
+        assert harness.cpu.pmc.read("op_cache_hit") > 30
+
+    def test_instruction_count(self, harness):
+        asm = Assembler(USER_CODE)
+        for _ in range(10):
+            asm.nop()
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.pmc.read("instructions") == 11
+
+    def test_branch_counters(self, harness):
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RCX, 5)
+        asm.label("loop")
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "loop")
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.pmc.read("branch_retired") == 5
+
+    def test_decode_cache_invalidation(self, harness):
+        """Self-modifying code must be re-decoded after invalidate_code."""
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RAX, 1)
+        asm.hlt()
+        harness.load(asm)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) == 1
+        # Patch the immediate in place.
+        pa = harness.pa(USER_CODE)
+        harness.mem.phys.write(pa + 2, (77).to_bytes(8, "little"))
+        harness.cpu.invalidate_code(USER_CODE, USER_CODE + 16)
+        harness.run(USER_CODE)
+        assert harness.cpu.state.read(Reg.RAX) == 77

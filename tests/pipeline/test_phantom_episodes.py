@@ -1,0 +1,333 @@
+"""Phantom speculation behaviour of the CPU.
+
+These tests drive real training and victim code through the simulator
+and then inspect microarchitectural state — they are the white-box
+counterparts of the paper's observation channels.
+"""
+
+import pytest
+
+from repro.isa import Assembler, BranchKind, Cond, Reg
+from repro.params import PAGE_SIZE
+from repro.pipeline import Reach, ZEN1, ZEN2, ZEN3, ZEN4
+
+from .conftest import Harness, USER_CODE, USER_DATA
+
+# User->user alias for the Zen 1/2 folding functions: flipping b12 and
+# b24 together preserves every g_i.
+ZEN12_USER_ALIAS = (1 << 12) | (1 << 24)
+
+TRAIN_SRC = 0x0000_0040_1AC0
+VICTIM_SRC = TRAIN_SRC ^ ZEN12_USER_ALIAS
+TARGET = 0x0000_0066_0000
+PROBE = USER_DATA + 0x1C0
+
+
+def build_training(harness, *, target=TARGET):
+    """Map and run: ``mov rax, target ; jmp rax`` with the jmp at
+    TRAIN_SRC, target contains a load of [rcx] then hlt."""
+    asm = Assembler(TRAIN_SRC - 10)
+    asm.mov_ri(Reg.RAX, target)
+    jmp_pc = asm.jmp_reg(Reg.RAX)
+    assert jmp_pc == TRAIN_SRC
+    harness.load(asm)
+
+    tgt = Assembler(target)
+    tgt.load(Reg.RBX, Reg.RCX)   # the transient-execution signal
+    tgt.hlt()
+    harness.load(tgt)
+
+    harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+    harness.cpu.state.write(Reg.RCX, PROBE)
+    harness.run(TRAIN_SRC - 10)
+
+
+def build_victim(harness):
+    """nop sled at the aliased source; no branch anywhere."""
+    asm = Assembler(VICTIM_SRC - 6)
+    asm.nop_sled(12)
+    asm.hlt()
+    harness.load(asm)
+
+
+def run_victim(harness):
+    # Reset the observation state the training polluted.
+    harness.mem.clflush(PROBE)
+    harness.mem.clflush(TARGET)
+    harness.cpu.uopcache.invalidate_window(TARGET)
+    harness.cpu.episodes.clear()
+    harness.cpu.state.write(Reg.RCX, PROBE)
+    harness.run(VICTIM_SRC - 6)
+
+
+class TestPhantomOnNonBranch:
+    """Training jmp*, victim non-branch (the headline Phantom case)."""
+
+    @pytest.fixture(params=[ZEN1, ZEN2, ZEN3, ZEN4],
+                    ids=lambda u: u.name)
+    def trained(self, request):
+        harness = Harness(uarch=request.param)
+        build_training(harness)
+        build_victim(harness)
+        return harness
+
+    def test_episode_detected_by_decoder(self, trained):
+        run_victim(trained)
+        episodes = [e for e in trained.cpu.episodes if e.frontend_resteer
+                    and e.predicted_kind is BranchKind.INDIRECT]
+        assert episodes, "no phantom episode triggered"
+        episode = episodes[0]
+        assert episode.actual_kind is BranchKind.NONE
+        assert episode.target == TARGET
+        assert episode.source_pc == VICTIM_SRC
+
+    def test_transient_fetch_always(self, trained):
+        """O1: the target enters the I-cache on every tested µarch."""
+        run_victim(trained)
+        assert trained.mem.hier.instr_cached(trained.pa(TARGET))
+
+    def test_transient_decode_always(self, trained):
+        """O2: the target enters the µop cache on every tested µarch."""
+        run_victim(trained)
+        assert trained.cpu.uopcache.lookup(TARGET)
+
+    def test_transient_execute_only_zen12(self, trained):
+        """O3: the load at the target fires on Zen 1/2 only."""
+        run_victim(trained)
+        probe_cached = trained.mem.hier.data_cached(trained.pa(PROBE))
+        if trained.cpu.uarch.phantom_reaches_execute:
+            assert probe_cached
+        else:
+            assert not probe_cached
+
+    def test_architectural_state_untouched(self, trained):
+        before = trained.cpu.state.read(Reg.RBX)
+        run_victim(trained)
+        assert trained.cpu.state.read(Reg.RBX) == before
+
+
+class TestPhantomTargetConditions:
+    def test_unmapped_target_no_signal(self):
+        """Training toward an unmapped page: the trainer catches the
+        architectural page fault (the paper's §6.2 technique), the BTB
+        entry survives, and the phantom fetch leaves nothing behind."""
+        from repro.errors import PageFault
+
+        harness = Harness(uarch=ZEN2)
+        unmapped = 0x0000_0077_0000
+        asm = Assembler(TRAIN_SRC - 10)
+        asm.mov_ri(Reg.RAX, unmapped)
+        asm.jmp_reg(Reg.RAX)
+        harness.load(asm)
+        with pytest.raises(PageFault):
+            harness.run(TRAIN_SRC - 10)
+        assert harness.cpu.bpu.btb.lookup(TRAIN_SRC,
+                                          kernel_mode=False) is not None
+        build_victim(harness)
+        harness.cpu.episodes.clear()
+        harness.run(VICTIM_SRC - 6)
+        episodes = [e for e in harness.cpu.episodes if e.frontend_resteer
+                    and e.predicted_kind is BranchKind.INDIRECT]
+        assert episodes and episodes[0].reach is Reach.NONE
+
+    def test_nx_target_fetch_blocked(self):
+        """P1's discriminator: NX targets never enter the I-cache."""
+        harness = Harness(uarch=ZEN2)
+        nx_target = 0x0000_0088_0000
+        harness.mem.map_anonymous(nx_target, PAGE_SIZE, user=True, nx=True)
+        build_victim(harness)
+        harness.cpu.bpu.btb.train(VICTIM_SRC, BranchKind.INDIRECT,
+                                  nx_target, kernel_mode=False)
+        harness.cpu.episodes.clear()
+        harness.run(VICTIM_SRC - 6)
+        episode = [e for e in harness.cpu.episodes
+                   if e.target == nx_target][0]
+        assert episode.reach is Reach.NONE
+        assert not harness.mem.hier.instr_cached(harness.pa(nx_target))
+
+
+class TestTypeConfusionMatrixSamples:
+    """Spot checks of asymmetric combinations (full matrix: benchmarks)."""
+
+    def test_victim_direct_jmp_trained_indirect(self):
+        """jmp victim with jmp* training: decoder detects the type
+        mismatch; phantom reach applies."""
+        harness = Harness(uarch=ZEN2)
+        build_training(harness)
+        asm = Assembler(VICTIM_SRC - 6)
+        asm.nop_sled(6)
+        asm.jmp("next")       # a real direct branch at VICTIM_SRC
+        asm.label("next")
+        asm.hlt()
+        harness.load(asm)
+        run_victim(harness)
+        episodes = [e for e in harness.cpu.episodes
+                    if e.source_pc == VICTIM_SRC and e.frontend_resteer]
+        assert episodes
+        assert episodes[0].actual_kind is BranchKind.DIRECT
+        assert episodes[0].reach is Reach.EXECUTE
+
+    def test_direct_jmp_displacement_mismatch(self):
+        """Same-kind jmp with different displacement is also
+        decoder-detectable (asymmetric displacement case)."""
+        harness = Harness(uarch=ZEN3)
+        # Train a direct jmp at TRAIN_SRC.
+        asm = Assembler(TRAIN_SRC)
+        asm.jmp(TRAIN_SRC + 0x800)
+        harness.load(asm)
+        cont = Assembler(TRAIN_SRC + 0x800)
+        cont.hlt()
+        harness.load(cont)
+        harness.run(TRAIN_SRC)
+        # Victim: jmp with a different displacement at the aliased pc.
+        victim = TRAIN_SRC ^ 0x3000_0000  # user alias? must collide
+        # Build a colliding address for zen3 functions instead:
+        from repro.frontend import ZEN3_ALIAS_PATTERNS
+        victim = (TRAIN_SRC ^ ZEN3_ALIAS_PATTERNS[0]
+                  ^ ZEN3_ALIAS_PATTERNS[1])
+        vasm = Assembler(victim)
+        vasm.jmp(victim + 0x900)
+        harness.load(vasm)
+        vcont = Assembler(victim + 0x900)
+        vcont.hlt()
+        harness.load(vcont)
+        harness.cpu.episodes.clear()
+        harness.run(victim)
+        episodes = [e for e in harness.cpu.episodes
+                    if e.source_pc == victim and e.frontend_resteer]
+        assert episodes, "displacement mismatch not detected"
+        # Predicted target is PC-relative: victim + trained displacement.
+        assert episodes[0].target == victim + 0x800
+        # Phantom C' was transiently fetched.
+        assert harness.mem.hier.instr_cached(harness.pa(victim + 0x800))
+
+    def test_sls_on_untrained_ret(self):
+        """Victim ret with no prediction: fall-through bytes are
+        transiently fetched (straight-line speculation)."""
+        harness = Harness(uarch=ZEN1)
+        asm = Assembler(USER_CODE)
+        asm.call("fn")
+        asm.hlt()
+        asm.label("fn")
+        asm.ret()
+        asm.label("after_ret")
+        asm.nop_sled(16)
+        asm.hlt()
+        symbols = harness.load(asm)
+        harness.run(USER_CODE)
+        sls = [e for e in harness.cpu.episodes
+               if e.source_pc == symbols["fn"]]
+        assert sls
+        assert sls[0].target == symbols["after_ret"]
+        assert sls[0].reach >= Reach.FETCH
+
+
+class TestBackendWindows:
+    def test_spectre_v1_window(self):
+        """Conditional predicted not-taken but actually taken: the
+        fall-through (load) path runs transiently with the out-of-bounds
+        index — the Listing 4 pattern."""
+        harness = Harness(uarch=ZEN2)
+        secret_page = USER_DATA + 0x10000
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        harness.mem.map_anonymous(secret_page, PAGE_SIZE, user=True)
+
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "skip")
+        asm.add_rr(Reg.RSI, Reg.RDI)
+        asm.load(Reg.RAX, Reg.RSI)   # array[user_index]
+        asm.label("skip")
+        asm.hlt()
+        harness.load(asm)
+
+        # Out-of-bounds: rdi such that rsi+rdi lands in the secret page.
+        harness.cpu.state.write(Reg.RDI, secret_page - USER_DATA)
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+        harness.run(USER_CODE)
+
+        assert harness.mem.hier.data_cached(harness.pa(secret_page))
+        assert harness.cpu.state.read(Reg.RAX) == 0  # not architectural
+        assert harness.cpu.pmc.read("resteer_backend") == 1
+
+    def test_in_bounds_no_window(self):
+        harness = Harness(uarch=ZEN2)
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        asm = Assembler(USER_CODE)
+        asm.cmp_ri(Reg.RDI, 16)
+        asm.jcc(Cond.AE, "skip")
+        asm.add_rr(Reg.RSI, Reg.RDI)
+        asm.load(Reg.RAX, Reg.RSI)
+        asm.label("skip")
+        asm.hlt()
+        harness.load(asm)
+        harness.cpu.state.write(Reg.RDI, 8)
+        harness.cpu.state.write(Reg.RSI, USER_DATA)
+        harness.run(USER_CODE)
+        assert harness.cpu.pmc.read("resteer_backend") == 0
+
+    def test_btb_injection_wrong_indirect_target(self):
+        """Classic BTI: matching kinds, wrong target -> backend window
+        transiently executes the injected target."""
+        harness = Harness(uarch=ZEN2)
+        gadget = 0x0000_0070_0000
+        harness.mem.map_anonymous(USER_DATA, PAGE_SIZE, user=True)
+        gasm = Assembler(gadget)
+        gasm.load(Reg.RBX, Reg.RCX)
+        gasm.hlt()
+        harness.load(gasm)
+
+        asm = Assembler(USER_CODE)
+        asm.mov_ri(Reg.RAX, 0)
+        slot = asm.pc - 8
+        asm.jmp_reg(Reg.RAX)
+        asm.label("legit")
+        asm.hlt()
+        segment, symbols = asm.finish()
+        data = bytearray(segment.data)
+        data[slot - USER_CODE:slot - USER_CODE + 8] = \
+            symbols["legit"].to_bytes(8, "little")
+        from repro.isa import Image, Segment
+        image = Image()
+        image.add(Segment(USER_CODE, bytes(data)), symbols)
+        harness.mem.load_image(image, user=True)
+
+        jmp_pc = slot + 8
+        harness.cpu.bpu.btb.train(jmp_pc, BranchKind.INDIRECT, gadget,
+                                  kernel_mode=False)
+        harness.cpu.state.write(Reg.RCX, USER_DATA + 0x340)
+        harness.run(USER_CODE)
+        assert harness.mem.hier.data_cached(harness.pa(USER_DATA + 0x340))
+        assert harness.cpu.pmc.read("resteer_backend") == 1
+
+
+class TestMitigationMSRs:
+    def test_suppress_bp_on_non_br_blocks_execute_only(self):
+        """O4: with the MSR bit set, a phantom at a non-branch still
+        fetches and decodes, but no longer executes (Zen 2)."""
+        harness = Harness(uarch=ZEN2)
+        harness.cpu.msr.suppress_bp_on_non_br = True
+        build_training(harness)
+        build_victim(harness)
+        run_victim(harness)
+        assert harness.mem.hier.instr_cached(harness.pa(TARGET))
+        assert harness.cpu.uopcache.lookup(TARGET)
+        assert not harness.mem.hier.data_cached(harness.pa(PROBE))
+
+    def test_suppress_not_supported_on_zen1(self):
+        """Zen 1 lacks the MSR: setting the bit changes nothing."""
+        harness = Harness(uarch=ZEN1)
+        harness.cpu.msr.suppress_bp_on_non_br = True
+        build_training(harness)
+        build_victim(harness)
+        run_victim(harness)
+        assert harness.mem.hier.data_cached(harness.pa(PROBE))
+
+    def test_ibpb_blocks_everything(self):
+        harness = Harness(uarch=ZEN2)
+        build_training(harness)
+        build_victim(harness)
+        harness.cpu.bpu.ibpb()
+        run_victim(harness)
+        assert not [e for e in harness.cpu.episodes
+                    if e.predicted_kind is BranchKind.INDIRECT]

@@ -1,0 +1,145 @@
+"""Collision sampling and function recovery against ground-truth functions.
+
+The oracle here is built directly from Figure 7's functions; the
+integration test against the simulated BTB lives in tests/integration.
+"""
+
+import random
+
+import pytest
+
+from repro.revtools import (brute_force_patterns, gf2, recover_functions,
+                            sample_collisions, solve_alias_pattern)
+
+# Figure 7 ground truth (Zen 3 cross-privilege functions).
+ZEN3_FUNCTIONS = [
+    (1 << 47) | (1 << 35) | (1 << 23),
+    (1 << 47) | (1 << 36) | (1 << 24) | (1 << 12),
+    (1 << 47) | (1 << 37) | (1 << 25) | (1 << 13),
+    (1 << 47) | (1 << 38) | (1 << 26) | (1 << 14),
+    (1 << 47) | (1 << 39) | (1 << 26) | (1 << 13),
+    (1 << 47) | (1 << 39) | (1 << 27) | (1 << 15),
+    (1 << 47) | (1 << 40) | (1 << 28) | (1 << 16),
+    (1 << 47) | (1 << 41) | (1 << 29) | (1 << 17),
+    (1 << 47) | (1 << 42) | (1 << 30) | (1 << 18),
+    (1 << 47) | (1 << 43) | (1 << 31) | (1 << 19),
+    (1 << 47) | (1 << 44) | (1 << 32) | (1 << 20),
+    (1 << 47) | (1 << 45) | (1 << 33) | (1 << 21),
+]
+
+LOW12 = (1 << 12) - 1
+
+
+def oracle(a: int, b: int) -> bool:
+    """Ground-truth collision: same low 12 bits and equal functions."""
+    if (a ^ b) & LOW12:
+        return False
+    return all(gf2.apply_mask(f, a) == gf2.apply_mask(f, b)
+               for f in ZEN3_FUNCTIONS)
+
+
+KERNEL_ADDR = 0xFFFF_FFFF_8120_0000 & ((1 << 48) - 1)
+
+
+class TestPaperAliasMasks:
+    """The two published Zen 3/4 alias patterns must satisfy the
+    ground-truth functions (sanity of our transcription of Figure 7)."""
+
+    @pytest.mark.parametrize("pattern", [
+        0xFFFFBFF800000000, 0xFFFF8003FF800000,
+    ])
+    def test_published_masks_collide(self, pattern):
+        low48 = pattern & ((1 << 48) - 1)
+        assert oracle(KERNEL_ADDR, KERNEL_ADDR ^ low48)
+        # And they cross the privilege boundary.
+        assert (low48 >> 47) & 1
+
+
+class TestSampling:
+    def test_collision_rate_matches_function_count(self):
+        """12 functions + pinned low bits -> ~2^-12 collision rate."""
+        rng = random.Random(42)
+        survey = sample_collisions(oracle, KERNEL_ADDR, samples=80_000,
+                                   rng=rng)
+        rate = len(survey.colliding) / survey.samples
+        assert 0.5 / 4096 < rate < 2.0 / 4096
+
+    def test_difference_vectors_have_zero_low_bits(self):
+        rng = random.Random(43)
+        survey = sample_collisions(oracle, KERNEL_ADDR, samples=30_000,
+                                   rng=rng)
+        for diff in survey.difference_vectors:
+            assert diff & LOW12 == 0
+
+
+class TestRecovery:
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        rng = random.Random(7)
+        return recover_functions(oracle, [KERNEL_ADDR, KERNEL_ADDR ^ 0x40000],
+                                 samples_per_addr=120_000, rng=rng)
+
+    def test_recovers_full_function_space(self, recovered):
+        assert gf2.row_reduce(recovered.masks) \
+            == gf2.row_reduce(ZEN3_FUNCTIONS)
+
+    def test_recovered_masks_are_sparse(self, recovered):
+        assert all(gf2.popcount(m) <= 4 for m in recovered.masks)
+
+    def test_alias_pattern_crosses_privilege(self, recovered):
+        alias = recovered.alias_mask()
+        assert alias >> 47 & 1
+        assert oracle(KERNEL_ADDR, KERNEL_ADDR ^ alias)
+
+    def test_solver_alias_for_ground_truth(self):
+        alias = solve_alias_pattern(ZEN3_FUNCTIONS)
+        assert alias >> 47 & 1
+        assert alias & LOW12 == 0
+        assert oracle(KERNEL_ADDR, KERNEL_ADDR ^ alias)
+
+    def test_empty_data_yields_no_functions(self):
+        result = recover_functions(lambda a, b: False, [KERNEL_ADDR],
+                                   samples_per_addr=100,
+                                   rng=random.Random(1))
+        assert result.masks == []
+
+
+class TestBruteForce:
+    def test_small_flip_search_never_collides(self):
+        """Reproduces the paper's negative result: a user-space alias of
+        a Zen 3 kernel address (bit 47 flipped) needs every one of the
+        12 functions repaired, which a small additional-flip budget
+        cannot do."""
+        result = brute_force_patterns(oracle, KERNEL_ADDR, max_bits=3)
+        assert result.patterns == []
+        assert result.exhausted
+
+    def test_minimum_alias_weight_is_twelve(self):
+        """The cheapest user alias (the published 0xffffbff8... pattern)
+        flips 12 bits of the low 48; brute force below that fails, at
+        that weight it succeeds."""
+        pattern = 0xFFFFBFF800000000 & ((1 << 48) - 1)
+        assert gf2.popcount(pattern) == 12
+        assert oracle(KERNEL_ADDR, KERNEL_ADDR ^ pattern)
+
+    def test_budget_respected(self):
+        result = brute_force_patterns(oracle, KERNEL_ADDR, max_bits=6,
+                                      budget=1000)
+        assert result.tested == 1000
+        assert not result.exhausted
+
+    def test_finds_pattern_when_one_exists(self):
+        """With a single weight-3 function involving bit 47 the brute
+        force succeeds quickly."""
+        simple = (1 << 47) | (1 << 13) | (1 << 14)
+
+        def simple_oracle(a, b):
+            diff = a ^ b
+            return diff & LOW12 == 0 and gf2.parity(simple & diff) == 0
+
+        result = brute_force_patterns(simple_oracle, KERNEL_ADDR,
+                                      bit_range=(12, 15), max_bits=2,
+                                      stop_after=1)
+        assert result.patterns
+        diff = result.patterns[0]
+        assert gf2.parity(simple & diff) == 0

@@ -1,0 +1,88 @@
+"""Prime+Probe: detecting victim activity in chosen cache sets."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.params import PAGE_SIZE
+from repro.pipeline import ZEN2
+from repro.sidechannel import (L1I_SETS, L2_SETS, PrimeProbeL1I,
+                               PrimeProbeL2, probe_threshold)
+
+VICTIM_CODE = 0x0000_0000_2200_0000
+VICTIM_DATA = 0x0000_0000_2300_0000
+
+
+@pytest.fixture()
+def machine():
+    # No syscall noise: these tests characterise the channel itself.
+    return Machine(ZEN2, syscall_noise_evictions=0)
+
+
+class TestL1I:
+    def test_probe_after_prime_is_fast(self, machine):
+        pp = PrimeProbeL1I(machine)
+        pp.prime(11)
+        fast = pp.probe(11)
+        # All 8 ways should hit L1.
+        assert fast < 8 * machine.mem.hier.params.l2_latency
+
+    def test_victim_fetch_detected_in_matching_set(self, machine):
+        machine.map_user(VICTIM_CODE, PAGE_SIZE)
+        pp = PrimeProbeL1I(machine)
+        target_set = 13
+        victim_va = VICTIM_CODE + target_set * 64
+
+        pp.prime(target_set)
+        baseline = pp.probe(target_set)
+
+        pp.prime(target_set)
+        machine.user_exec_touch(victim_va)
+        signal = pp.probe(target_set)
+        assert signal > baseline
+
+    def test_victim_fetch_invisible_in_other_set(self, machine):
+        machine.map_user(VICTIM_CODE, PAGE_SIZE)
+        pp = PrimeProbeL1I(machine)
+        pp.prime(20)
+        baseline = pp.probe(20)
+        pp.prime(20)
+        machine.user_exec_touch(VICTIM_CODE + 45 * 64)
+        quiet = pp.probe(20)
+        assert abs(quiet - baseline) < machine.mem.hier.params.mem_latency
+
+    def test_set_bounds(self, machine):
+        pp = PrimeProbeL1I(machine)
+        with pytest.raises(ValueError):
+            pp.prime(L1I_SETS)
+
+
+class TestL2:
+    def test_prime_fills_absolute_set(self, machine):
+        pp = PrimeProbeL2(machine)
+        target_set = 600
+        pp.prime(target_set)
+        occupied = machine.mem.hier.l2.set_occupancy(target_set)
+        assert occupied == 8
+
+    def test_victim_load_detected(self, machine):
+        machine.map_user(VICTIM_DATA, PAGE_SIZE)
+        pp = PrimeProbeL2(machine)
+        victim_pa = machine.mem.aspace.translate_noperm(VICTIM_DATA)
+        target_set = PrimeProbeL2.set_of_phys(victim_pa)
+
+        pp.prime(target_set)
+        baseline = pp.probe(target_set)
+        pp.prime(target_set)
+        machine.user_touch(VICTIM_DATA)
+        signal = pp.probe(target_set)
+        assert signal > baseline
+
+    def test_set_of_phys(self):
+        assert PrimeProbeL2.set_of_phys(0) == 0
+        assert PrimeProbeL2.set_of_phys(64) == 1
+        assert PrimeProbeL2.set_of_phys(1024 * 64) == 0
+
+    def test_probe_threshold_helper(self, machine):
+        pp = PrimeProbeL2(machine)
+        base = probe_threshold(pp, 100, rounds=4)
+        assert base > 0

@@ -1,0 +1,72 @@
+"""Per-line miss counting: the jitter-robust Prime+Probe readout."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.params import PAGE_SIZE
+from repro.pipeline import ZEN2
+from repro.sidechannel import PrimeProbeL1D, PrimeProbeL1I, PrimeProbeL2
+
+VICTIM_CODE = 0x0000_0000_2900_0000
+VICTIM_DATA = 0x0000_0000_2A00_0000
+
+
+@pytest.fixture()
+def machine():
+    return Machine(ZEN2, syscall_noise_evictions=0)
+
+
+class TestL1IMissCounting:
+    def test_quiet_set_zero_misses(self, machine):
+        pp = PrimeProbeL1I(machine)
+        pp.prime(17)
+        assert pp.probe_misses(17) == 0
+
+    def test_one_victim_line_one_miss(self, machine):
+        machine.map_user(VICTIM_CODE, PAGE_SIZE)
+        pp = PrimeProbeL1I(machine)
+        pp.prime(17)
+        machine.user_exec_touch(VICTIM_CODE + 17 * 64)
+        assert pp.probe_misses(17) == 1
+
+    def test_misses_bounded_by_ways(self, machine):
+        machine.map_user(VICTIM_CODE, 16 * PAGE_SIZE)
+        pp = PrimeProbeL1I(machine)
+        pp.prime(17)
+        for i in range(16):
+            machine.user_exec_touch(VICTIM_CODE + i * PAGE_SIZE + 17 * 64)
+        assert pp.probe_misses(17) <= 8
+
+
+class TestL1D:
+    def test_data_victim_detected(self, machine):
+        machine.map_user(VICTIM_DATA, PAGE_SIZE, nx=True)
+        pp = PrimeProbeL1D(machine)
+        pp.prime(22)
+        machine.user_touch(VICTIM_DATA + 22 * 64)
+        assert pp.probe_misses(22) == 1
+
+    def test_wrong_set_not_detected(self, machine):
+        machine.map_user(VICTIM_DATA, PAGE_SIZE, nx=True)
+        pp = PrimeProbeL1D(machine)
+        pp.prime(22)
+        machine.user_touch(VICTIM_DATA + 23 * 64)
+        assert pp.probe_misses(22) == 0
+
+
+class TestL2MissCounting:
+    def test_l2_eviction_detected_as_memory_reload(self, machine):
+        """An L2 miss costs memory latency — the probe_misses threshold
+        sits between L2 and memory."""
+        machine.map_user(VICTIM_DATA, PAGE_SIZE, nx=True)
+        pp = PrimeProbeL2(machine)
+        victim_pa = machine.mem.aspace.translate_noperm(VICTIM_DATA)
+        target_set = PrimeProbeL2.set_of_phys(victim_pa)
+        pp.prime(target_set)
+        machine.user_touch(VICTIM_DATA)
+        assert pp.probe_misses(target_set) >= 1
+
+    def test_quiet_l2_set(self, machine):
+        pp = PrimeProbeL2(machine)
+        pp.prime(303)
+        assert pp.probe_misses(303) == 0

@@ -1,0 +1,73 @@
+"""CLI: every command runs through the public API and exits cleanly."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_uarches(capsys):
+    code, out = run(capsys, "uarches")
+    assert code == 0
+    assert "Zen 2" in out and "Intel 13th gen" in out
+    assert "fetch+decode" in out and "uops" in out
+
+
+def test_matrix_single_uarch(capsys):
+    code, out = run(capsys, "matrix", "--uarch", "zen 1")
+    assert code == 0
+    assert "Zen 1" in out
+    assert "EX" in out
+
+
+def test_kaslr(capsys):
+    code, out = run(capsys, "kaslr", "--uarch", "zen 3", "--seed", "5")
+    assert code == 0
+    assert "SUCCESS" in out
+
+
+def test_covert(capsys):
+    code, out = run(capsys, "covert", "--uarch", "zen 4", "--bits", "64")
+    assert code == 0
+    assert "fetch channel" in out
+    assert "execute channel" not in out   # Zen 4 has no execute window
+
+
+def test_covert_zen2_has_execute(capsys):
+    code, out = run(capsys, "covert", "--uarch", "zen 2", "--bits", "64")
+    assert code == 0
+    assert "execute channel" in out
+
+
+def test_gadgets(capsys):
+    code, out = run(capsys, "gadgets", "--functions", "120", "--seed", "1")
+    assert code == 0
+    assert "Phantom-exploitable" in out
+
+
+def test_rev_btb(capsys):
+    code, out = run(capsys, "rev-btb", "--samples", "120000")
+    assert code == 0
+    assert "b47" in out
+    assert "alias pattern" in out
+
+
+def test_trace(capsys):
+    code, out = run(capsys, "trace", "--nr", "39", "--limit", "40")
+    assert code == 0
+    assert "syscall" in out
+    assert " K " in out   # kernel-mode instructions traced
+
+
+def test_unknown_uarch_errors(capsys):
+    with pytest.raises(KeyError):
+        main(["kaslr", "--uarch", "zen 9"])
+
+
+def test_missing_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main([])

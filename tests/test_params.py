@@ -1,0 +1,61 @@
+"""Address-arithmetic helpers in repro.params."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import params
+
+
+class TestCanonical:
+    def test_user_addresses_unchanged(self):
+        assert params.canonical(0x7FFF_FFFF_FFFF) == 0x7FFF_FFFF_FFFF
+        assert params.canonical(0) == 0
+
+    def test_kernel_addresses_sign_extended(self):
+        assert params.canonical(0x0000_8000_0000_0000) \
+            == 0xFFFF_8000_0000_0000
+        assert params.canonical(0xFFFF_FFFF_8000_0000) \
+            == 0xFFFF_FFFF_8000_0000
+
+    def test_is_canonical(self):
+        assert params.is_canonical(0x7FFF_FFFF_FFFF)
+        assert params.is_canonical(0xFFFF_8000_0000_0000)
+        assert not params.is_canonical(0x0001_0000_0000_0000)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=200)
+    def test_canonical_idempotent(self, va):
+        once = params.canonical(va)
+        assert params.canonical(once) == once
+        assert params.is_canonical(once)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=200)
+    def test_canonical_preserves_low_bits(self, va):
+        assert params.canonical(va) & params.VA_MASK == va
+
+
+class TestClassifiers:
+    def test_is_kernel_va(self):
+        assert params.is_kernel_va(0xFFFF_FFFF_8000_0000)
+        assert not params.is_kernel_va(0x0000_5555_0000_0000)
+
+    def test_page_base(self):
+        assert params.page_base(0x1234) == 0x1000
+        assert params.page_base(0x1000) == 0x1000
+
+    def test_line_base(self):
+        assert params.line_base(0x12F) == 0x100
+        assert params.line_base(0x140) == 0x140
+
+
+class TestConstants:
+    def test_search_spaces_match_paper(self):
+        assert params.KERNEL_IMAGE_SLOTS == 488
+        assert params.PHYSMAP_SLOTS == 25600
+
+    def test_geometry(self):
+        assert params.PAGE_SIZE == 1 << params.PAGE_SHIFT
+        assert params.HUGE_PAGE_SIZE == 1 << params.HUGE_PAGE_SHIFT
+        assert params.CACHE_LINE == 1 << params.CACHE_LINE_SHIFT
+        assert params.FETCH_BLOCK == 32

@@ -1,0 +1,41 @@
+"""Workload suite: determinism and mitigation overhead shape."""
+
+import pytest
+
+from repro.kernel import Machine, MitigationConfig
+from repro.pipeline import ZEN1, ZEN2
+from repro.workloads import WORKLOADS, mitigation_overhead, run_suite
+
+
+def test_all_workloads_run():
+    machine = Machine(ZEN2)
+    for name, workload in WORKLOADS.items():
+        before = machine.cycles
+        workload(machine)
+        assert machine.cycles > before, name
+
+
+def test_suite_deterministic():
+    a = run_suite(ZEN2, runs=1)
+    b = run_suite(ZEN2, runs=1)
+    assert a.cycles == b.cycles
+
+
+def test_geometric_mean_positive():
+    result = run_suite(ZEN2, runs=1)
+    assert result.geometric_mean() > 0
+    assert len(result.cycles) == 6
+
+
+def test_overhead_small_but_positive():
+    """§6.3: SuppressBPOnNonBr costs well under 1 % (paper: 0.69 %)."""
+    overhead = mitigation_overhead(ZEN2, runs=1)
+    assert 0.0 < overhead < 0.02
+
+
+def test_overhead_zero_on_zen1():
+    """Zen 1 does not support the bit: setting it changes nothing."""
+    base = run_suite(ZEN1, runs=1)
+    hardened = run_suite(ZEN1, runs=1, mitigations=MitigationConfig(
+        suppress_bp_on_non_br=True))
+    assert hardened.cycles == base.cycles
