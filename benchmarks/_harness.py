@@ -9,6 +9,7 @@ default scale is reduced so the whole bench suite stays in CI budgets.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -21,12 +22,32 @@ def scale(default, full):
     return full if FULL else default
 
 
-def emit(name: str, lines: list[str]) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def emit(name: str, lines: list[str], manifest=None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    When a :class:`repro.telemetry.RunManifest` is supplied, its JSON
+    document is archived next to the table as ``<name>.manifest.json``
+    (a stable name, so ``repro stats`` can diff successive runs).
+    """
     text = "\n".join(lines)
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if manifest is not None:
+        manifest.write(RESULTS_DIR, name=f"{name}.manifest.json")
+
+
+@contextmanager
+def telemetry_run(command: str, **config):
+    """Metrics-enabled manifest for one benchmark experiment."""
+    from repro.telemetry import REGISTRY, RunManifest
+
+    REGISTRY.reset()
+    REGISTRY.enable()
+    try:
+        yield RunManifest.begin(command, config)
+    finally:
+        REGISTRY.disable()
 
 
 def run_once(benchmark, fn):

@@ -13,12 +13,20 @@ from repro.core.matrix import format_matrix, run_matrix
 from repro.pipeline import (ALL_MICROARCHES, AMD_MICROARCHES,
                             INTEL_MICROARCHES, Reach, ZEN1, ZEN2)
 
-from _harness import emit, run_once
+from _harness import emit, run_once, telemetry_run
 
 
 def test_table1_speculation_matrix(benchmark):
-    results = run_once(benchmark, lambda: run_matrix(ALL_MICROARCHES))
-    emit("table1", format_matrix(results).splitlines())
+    with telemetry_run("bench-table1",
+                       uarches=[u.name for u in ALL_MICROARCHES]) as manifest:
+        with manifest.phase("matrix"):
+            results = run_once(benchmark,
+                               lambda: run_matrix(ALL_MICROARCHES))
+        reach_counts = {}
+        for r in results:
+            reach_counts[r.reach.name] = reach_counts.get(r.reach.name, 0) + 1
+        manifest.finish("success", cells=len(results), reach=reach_counts)
+    emit("table1", format_matrix(results).splitlines(), manifest=manifest)
 
     by_key = {(r.uarch, r.train, r.victim): r.reach for r in results}
 

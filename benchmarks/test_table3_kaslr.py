@@ -13,26 +13,32 @@ from repro.core import break_kernel_image_kaslr
 from repro.kernel import Machine
 from repro.pipeline import ZEN2, ZEN3, ZEN4
 
-from _harness import emit, run_once, scale
+from _harness import emit, run_once, scale, telemetry_run
 
 RUNS = scale(3, 10)
 
 
 def test_table3_kernel_image_kaslr(benchmark):
-    def experiment():
-        rows = []
-        for uarch in (ZEN2, ZEN3, ZEN4):
-            outcomes = []
-            for run in range(RUNS):
-                machine = Machine(uarch, kaslr_seed=1000 + run,
-                                  rng_seed=run)
-                result = break_kernel_image_kaslr(machine)
-                outcomes.append((result.correct(machine.kaslr),
-                                 result.seconds))
-            rows.append((uarch, outcomes))
-        return rows
+    with telemetry_run("bench-table3", runs=RUNS,
+                       uarches=[u.name for u in (ZEN2, ZEN3, ZEN4)]) \
+            as manifest:
+        def experiment():
+            rows = []
+            for uarch in (ZEN2, ZEN3, ZEN4):
+                outcomes = []
+                with manifest.phase(uarch.name):
+                    for run in range(RUNS):
+                        machine = Machine(uarch, kaslr_seed=1000 + run,
+                                          rng_seed=run)
+                        result = break_kernel_image_kaslr(machine)
+                        outcomes.append((result.correct(machine.kaslr),
+                                         result.seconds))
+                rows.append((uarch, outcomes))
+            return rows
 
-    rows = run_once(benchmark, experiment)
+        rows = run_once(benchmark, experiment)
+        manifest.finish("success", accuracy={
+            u.name: sum(ok for ok, _ in o) / len(o) for u, o in rows})
 
     lines = [f"Table 3 — kernel image KASLR via P1, {RUNS} runs "
              f"(fresh KASLR each)",
@@ -43,7 +49,7 @@ def test_table3_kernel_image_kaslr(benchmark):
         med = median(seconds for _, seconds in outcomes)
         lines.append(f"{uarch.name:7s} {uarch.model:20s} "
                      f"{accuracy * 100:8.1f}% {med * 1000:18.3f} ms")
-    emit("table3", lines)
+    emit("table3", lines, manifest=manifest)
 
     accuracies = {u.name: sum(ok for ok, _ in o) / len(o)
                   for u, o in rows}

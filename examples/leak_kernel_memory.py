@@ -19,12 +19,14 @@ from repro.core import (break_kernel_image_kaslr, break_physmap_kaslr,
                         find_physical_address, leak_kernel_memory)
 from repro.kernel import Machine
 from repro.pipeline import ZEN2
+from repro.telemetry import enable_metrics, one_line_summary
 
 RELOAD_BUFFER_VA = 0x0000_0000_7A00_0000
 LEAK_BYTES = 128
 
 
 def main() -> None:
+    enable_metrics(uarch=ZEN2.name)
     machine = Machine(ZEN2, kaslr_seed=99, phys_mem=1 << 30)
     print(f"victim: {machine.uarch.model}, 1 GiB RAM, KASLR on\n")
 
@@ -58,6 +60,7 @@ def main() -> None:
         print("\nkernel memory leaked byte-for-byte. Mitigations "
               "bypassed: phantom speculation is decoder-detected, not "
               "execute-detected.")
+    print(f"\n{one_line_summary(machine)}")
 
 
 if __name__ == "__main__":

@@ -14,13 +14,16 @@ Run:  python examples/quickstart.py
 from repro.core import TrainKind, TypeConfusionExperiment, VictimKind
 from repro.kernel import Machine
 from repro.pipeline import ZEN2, ZEN3
+from repro.telemetry import enable_metrics, one_line_summary
 
 
 def show(uarch) -> None:
     print(f"--- {uarch.name} ({uarch.model}) ---")
     results = {}
+    machines = []
     for channel in ("fetch", "decode", "execute"):
         machine = Machine(uarch, syscall_noise_evictions=0)
+        machines.append(machine)
         experiment = TypeConfusionExperiment(
             machine, TrainKind.INDIRECT, VictimKind.NON_BRANCH)
         results[channel] = getattr(experiment, f"measure_{channel}")()
@@ -31,12 +34,14 @@ def show(uarch) -> None:
           f"{'observed' if results['decode'] else 'not observed'}")
     print(f"  transient execute (D-cache timing):        "
           f"{'observed' if results['execute'] else 'not observed'}")
+    print(f"  {one_line_summary(*machines)}")
     print()
 
 
 def main() -> None:
     print("Phantom quickstart: speculation on an instruction that is "
           "not a branch\n")
+    enable_metrics()
     show(ZEN2)   # frontend loses the race: fetch + decode + execute
     show(ZEN3)   # decoder wins: fetch + decode only
     print("Zen 2's phantom window is long enough to execute a memory "

@@ -4,6 +4,10 @@ Attach a :class:`Tracer` to a machine, run code, and render a text
 timeline interleaving architectural instructions with the phantom /
 Spectre episodes they triggered — the tool we reach for when a new
 experiment misbehaves.
+
+Internally the tracer records typed :class:`~repro.telemetry.trace.TraceEvent`
+objects (schema ``phantom.trace/1``); the text renderer is one sink over
+that stream, and :meth:`Tracer.write_jsonl` is another.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..pipeline import EpisodeRecord, Reach
+from ..telemetry.trace import JsonLinesSink, TraceEvent
 
 
 @dataclass
@@ -24,13 +29,37 @@ class TraceEntry:
     episodes: list[EpisodeRecord] = field(default_factory=list)
 
 
+def _episode_fields(ep: EpisodeRecord) -> dict:
+    return {
+        "source_pc": ep.source_pc,
+        "predicted_kind": ep.predicted_kind.value if ep.predicted_kind else None,
+        "actual_kind": ep.actual_kind.value,
+        "target": ep.target,
+        "reach": ep.reach.name,
+        "flavour": "phantom" if ep.frontend_resteer else "spectre",
+        "cross_privilege": ep.cross_privilege,
+        "nested": ep.nested,
+    }
+
+
 class Tracer:
-    """Records an instruction/episode timeline from a machine."""
+    """Records an instruction/episode timeline from a machine.
+
+    Episodes recorded after the ``limit``-th instruction are not dropped:
+    the first overflow attaches its pending episodes to the final entry
+    and emits a ``trace_truncated`` event; later episodes land in
+    :attr:`orphan_episodes`, as do episodes recorded before the first
+    instruction retires.
+    """
 
     def __init__(self, machine, *, limit: int = 10_000) -> None:
         self.machine = machine
         self.limit = limit
         self.entries: list[TraceEntry] = []
+        self.events: list[TraceEvent] = []
+        self.orphan_episodes: list[EpisodeRecord] = []
+        self.truncated = False
+        self.dropped_instructions = 0
         self._armed = False
 
     # -- recording -----------------------------------------------------------
@@ -51,22 +80,59 @@ class Tracer:
         cpu.record_episodes = self._saved_record
         self._armed = False
         self._attach_remaining_episodes()
+        if self.orphan_episodes:
+            self.events.append(TraceEvent(
+                "orphan_episodes", cpu.cycles,
+                {"count": len(self.orphan_episodes)}))
 
     def _on_instruction(self, pc: int, instr) -> None:
+        cpu = self.machine.cpu
         if len(self.entries) >= self.limit:
+            if not self.truncated:
+                # Pending episodes belong to the last traced instruction;
+                # attach them before marking the cut.
+                self._attach_remaining_episodes()
+                self.truncated = True
+                self.events.append(TraceEvent(
+                    "trace_truncated", cpu.cycles, {"limit": self.limit}))
+            self.dropped_instructions += 1
+            self._attach_remaining_episodes()
             return
         self._attach_remaining_episodes()
-        cpu = self.machine.cpu
         self.entries.append(TraceEntry(
             pc=pc, text=str(instr), cycle=cpu.cycles,
             kernel_mode=cpu.kernel_mode))
+        self.events.append(TraceEvent(
+            "retire", cpu.cycles,
+            {"pc": pc, "text": str(instr), "kernel_mode": cpu.kernel_mode}))
 
     def _attach_remaining_episodes(self) -> None:
         cpu = self.machine.cpu
         new = cpu.episodes[self._episode_mark:]
         self._episode_mark = len(cpu.episodes)
-        if self.entries and new:
+        if not new:
+            return
+        for ep in new:
+            self.events.append(TraceEvent(
+                "episode", ep.cycle, _episode_fields(ep)))
+        if self.entries and not self.truncated:
             self.entries[-1].episodes.extend(new)
+        else:
+            # Before the first instruction, or past the truncation point:
+            # keep them visible instead of attaching to nothing.
+            self.orphan_episodes.extend(new)
+
+    # -- structured export -----------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Dump the typed event stream as JSON-lines; returns event count."""
+        sink = JsonLinesSink(path)
+        try:
+            for event in self.events:
+                sink.emit(event)
+        finally:
+            sink.close()
+        return len(self.events)
 
     # -- rendering -------------------------------------------------------------
 
@@ -74,6 +140,16 @@ class Tracer:
     def _reach_tag(reach: Reach) -> str:
         return {Reach.NONE: "--", Reach.FETCH: "IF", Reach.DECODE: "ID",
                 Reach.EXECUTE: "EX"}[reach]
+
+    @classmethod
+    def _episode_line(cls, ep: EpisodeRecord) -> str:
+        flavour = "phantom" if ep.frontend_resteer else "spectre"
+        nested = " nested" if ep.nested else ""
+        predicted = (ep.predicted_kind.value
+                     if ep.predicted_kind else "none")
+        return (f"{'':>10s} |  {flavour}{nested}: predicted "
+                f"{predicted} at {ep.source_pc:#x} -> "
+                f"{ep.target:#x} reach={cls._reach_tag(ep.reach)}")
 
     def render(self, *, show_episodes: bool = True) -> str:
         """Text timeline: ``cycle  mode  pc  instruction`` plus episode
@@ -86,14 +162,17 @@ class Tracer:
             if not show_episodes:
                 continue
             for ep in entry.episodes:
-                flavour = "phantom" if ep.frontend_resteer else "spectre"
-                nested = " nested" if ep.nested else ""
-                predicted = (ep.predicted_kind.value
-                             if ep.predicted_kind else "none")
-                lines.append(
-                    f"{'':>10s} |  {flavour}{nested}: predicted "
-                    f"{predicted} at {ep.source_pc:#x} -> "
-                    f"{ep.target:#x} reach={self._reach_tag(ep.reach)}")
+                lines.append(self._episode_line(ep))
+        if self.truncated:
+            lines.append(f"{'':>10s} ~  trace truncated at limit="
+                         f"{self.limit} ({self.dropped_instructions} "
+                         f"instructions dropped)")
+        if self.orphan_episodes and show_episodes:
+            lines.append(f"{'':>10s} ~  {len(self.orphan_episodes)} "
+                         f"orphan episode(s) not attached to any "
+                         f"traced instruction:")
+            for ep in self.orphan_episodes:
+                lines.append(self._episode_line(ep))
         return "\n".join(lines)
 
     def episode_count(self, *, frontend: bool | None = None) -> int:
@@ -102,4 +181,7 @@ class Tracer:
             for ep in entry.episodes:
                 if frontend is None or ep.frontend_resteer == frontend:
                     total += 1
+        for ep in self.orphan_episodes:
+            if frontend is None or ep.frontend_resteer == frontend:
+                total += 1
         return total

@@ -13,7 +13,13 @@ Commands
 * ``rev-btb``   — §6.2 BTB function recovery (Figure 7)
 * ``gadgets``   — §9.3 gadget census over a synthetic corpus
 * ``trace``     — run a syscall under the execution tracer
+* ``stats``     — summarize one run manifest, or diff two
 * ``uarches``   — list the modelled microarchitectures
+
+Every experiment command accepts ``--json`` (print a
+``phantom.run-manifest/1`` document instead of text), ``--trace-out
+FILE`` (stream a ``phantom.trace/1`` JSON-lines event trace), and
+``--results-dir DIR`` (archive the manifest).
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ import random
 import sys
 
 from .pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
+from .telemetry import (JsonLinesSink, REGISTRY, RunManifest, TRACE,
+                        diff_manifests, summarize_manifest)
 
 
 def _add_uarch(parser, default="zen 2", choices_amd_only=False):
@@ -30,6 +38,80 @@ def _add_uarch(parser, default="zen 2", choices_amd_only=False):
                         help="microarchitecture name (e.g. 'zen 3')")
     parser.add_argument("--seed", type=int, default=0,
                         help="KASLR/RNG seed (a 'reboot')")
+
+
+def _add_telemetry(parser):
+    parser.add_argument("--json", action="store_true",
+                        help="print the run manifest as JSON "
+                             "(suppresses normal text output)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a phantom.trace/1 JSON-lines event "
+                             "trace to FILE")
+    parser.add_argument("--results-dir", metavar="DIR", default=None,
+                        help="archive the run manifest under DIR")
+
+
+class _Run:
+    """Telemetry harness shared by every experiment command.
+
+    Enables the process metrics registry for the duration of the run,
+    attaches the ``--trace-out`` sink, builds the run manifest, and
+    routes text output (suppressed when ``--json`` asks for the
+    manifest document only).
+    """
+
+    def __init__(self, args, command: str, machine=None,
+                 **extra_config) -> None:
+        self.args = args
+        self.command = command
+        self.machine = machine
+        self.extra_config = extra_config
+        self.json_only = bool(getattr(args, "json", False))
+        self._sink = None
+        self.manifest: RunManifest | None = None
+
+    def __enter__(self) -> "_Run":
+        REGISTRY.reset()
+        if self.machine is not None:
+            REGISTRY.set_base_labels(uarch=self.machine.uarch.name)
+        REGISTRY.enable()
+        trace_out = getattr(self.args, "trace_out", None)
+        if trace_out:
+            self._sink = JsonLinesSink(trace_out)
+            TRACE.add_sink(self._sink)
+        self.manifest = RunManifest.begin(self.command,
+                                          machine=self.machine,
+                                          **self.extra_config)
+        return self
+
+    def phase(self, name: str):
+        return self.manifest.phase(name, machine=self.machine)
+
+    def text(self, line: str = "") -> None:
+        if not self.json_only:
+            print(line)
+
+    def finish(self, status: str, **outcome) -> None:
+        self.manifest.finish(status, machine=self.machine, **outcome)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            if exc_type is None:
+                if self.manifest.outcome.get("status") == "unknown":
+                    self.finish("success")
+                if self.json_only:
+                    print(self.manifest.to_json())
+                results_dir = getattr(self.args, "results_dir", None)
+                if results_dir:
+                    path = self.manifest.write(results_dir)
+                    self.text(f"manifest: {path}")
+        finally:
+            if self._sink is not None:
+                TRACE.remove_sink(self._sink)
+                self._sink.close()
+                self._sink = None
+            REGISTRY.disable()
+        return False
 
 
 def cmd_uarches(args) -> int:
@@ -52,7 +134,15 @@ def cmd_matrix(args) -> int:
         uarches = AMD_MICROARCHES
     else:
         uarches = (by_name(args.uarch),)
-    print(format_matrix(run_matrix(uarches)))
+    with _Run(args, "matrix", uarch=args.uarch,
+              uarches=[u.name for u in uarches]) as run:
+        with run.phase("matrix"):
+            results = run_matrix(uarches)
+        reach: dict[str, int] = {}
+        for cell in results:
+            reach[cell.reach.name] = reach.get(cell.reach.name, 0) + 1
+        run.finish("success", cells=len(results), reach=reach)
+        run.text(format_matrix(results))
     return 0
 
 
@@ -61,12 +151,18 @@ def cmd_kaslr(args) -> int:
     from .kernel import Machine
 
     machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-    result = break_kernel_image_kaslr(machine)
-    ok = result.correct(machine.kaslr)
-    print(f"guessed image base: {result.guessed_base:#x}")
-    print(f"actual image base:  {machine.kaslr.image_base:#x}")
-    print(f"{'SUCCESS' if ok else 'FAILURE'} in "
-          f"{result.seconds * 1000:.2f} simulated ms")
+    with _Run(args, "kaslr", machine) as run:
+        with run.phase("break-image-kaslr"):
+            result = break_kernel_image_kaslr(machine)
+        ok = result.correct(machine.kaslr)
+        run.finish("success" if ok else "failure",
+                   guessed_base=f"{result.guessed_base:#x}",
+                   actual_base=f"{machine.kaslr.image_base:#x}",
+                   simulated_ms=result.seconds * 1000)
+        run.text(f"guessed image base: {result.guessed_base:#x}")
+        run.text(f"actual image base:  {machine.kaslr.image_base:#x}")
+        run.text(f"{'SUCCESS' if ok else 'FAILURE'} in "
+                 f"{result.seconds * 1000:.2f} simulated ms")
     return 0 if ok else 1
 
 
@@ -75,15 +171,24 @@ def cmd_physmap(args) -> int:
     from .kernel import Machine
 
     machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-    image = break_kernel_image_kaslr(machine)
-    result = break_physmap_kaslr(machine, image.guessed_base)
-    ok = result.correct(machine.kaslr)
-    print(f"guessed physmap: "
-          f"{result.guessed_base and hex(result.guessed_base)}")
-    print(f"actual physmap:  {machine.kaslr.physmap_base:#x}")
-    print(f"{'SUCCESS' if ok else 'FAILURE'} after "
-          f"{result.candidates_scanned} candidates, "
-          f"{result.seconds * 1000:.2f} simulated ms")
+    with _Run(args, "physmap", machine) as run:
+        with run.phase("break-image-kaslr"):
+            image = break_kernel_image_kaslr(machine)
+        with run.phase("break-physmap-kaslr"):
+            result = break_physmap_kaslr(machine, image.guessed_base)
+        ok = result.correct(machine.kaslr)
+        run.finish("success" if ok else "failure",
+                   guessed_physmap=(result.guessed_base
+                                    and f"{result.guessed_base:#x}"),
+                   actual_physmap=f"{machine.kaslr.physmap_base:#x}",
+                   candidates_scanned=result.candidates_scanned,
+                   simulated_ms=result.seconds * 1000)
+        run.text(f"guessed physmap: "
+                 f"{result.guessed_base and hex(result.guessed_base)}")
+        run.text(f"actual physmap:  {machine.kaslr.physmap_base:#x}")
+        run.text(f"{'SUCCESS' if ok else 'FAILURE'} after "
+                 f"{result.candidates_scanned} candidates, "
+                 f"{result.seconds * 1000:.2f} simulated ms")
     return 0 if ok else 1
 
 
@@ -94,20 +199,31 @@ def cmd_leak(args) -> int:
 
     machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
                       phys_mem=1 << 30)
-    image = break_kernel_image_kaslr(machine)
-    physmap = break_physmap_kaslr(machine, image.guessed_base)
-    buffer_va = 0x0000_0000_7A00_0000
-    machine.map_user_huge(buffer_va)
-    find_physical_address(machine, image.guessed_base,
-                          physmap.guessed_base, buffer_va)
-    result = leak_kernel_memory(machine, image.guessed_base,
-                                physmap.guessed_base,
-                                n_bytes=args.bytes)
-    print(f"leaked {len(result.leaked)} bytes, accuracy "
-          f"{result.accuracy * 100:.1f}%, "
-          f"{result.bytes_per_second:,.0f} B/s simulated")
-    print(f"first 32 bytes: {result.leaked[:32].hex()}")
-    return 0 if result.accuracy == 1.0 else 1
+    with _Run(args, "leak", machine, n_bytes=args.bytes) as run:
+        with run.phase("break-image-kaslr"):
+            image = break_kernel_image_kaslr(machine)
+        with run.phase("break-physmap-kaslr"):
+            physmap = break_physmap_kaslr(machine, image.guessed_base)
+        with run.phase("find-physical-address"):
+            buffer_va = 0x0000_0000_7A00_0000
+            machine.map_user_huge(buffer_va)
+            find_physical_address(machine, image.guessed_base,
+                                  physmap.guessed_base, buffer_va)
+        with run.phase("leak-kernel-memory"):
+            result = leak_kernel_memory(machine, image.guessed_base,
+                                        physmap.guessed_base,
+                                        n_bytes=args.bytes)
+        ok = result.accuracy == 1.0
+        run.finish("success" if ok else "failure",
+                   leaked_bytes=len(result.leaked),
+                   accuracy=result.accuracy,
+                   bytes_per_second=result.bytes_per_second,
+                   first_32_bytes=result.leaked[:32].hex())
+        run.text(f"leaked {len(result.leaked)} bytes, accuracy "
+                 f"{result.accuracy * 100:.1f}%, "
+                 f"{result.bytes_per_second:,.0f} B/s simulated")
+        run.text(f"first 32 bytes: {result.leaked[:32].hex()}")
+    return 0 if ok else 1
 
 
 def cmd_covert(args) -> int:
@@ -116,14 +232,24 @@ def cmd_covert(args) -> int:
 
     machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
                       sibling_load=True)
-    result = fetch_covert_channel(machine, n_bits=args.bits)
-    print(f"fetch channel:   accuracy {result.accuracy * 100:6.2f}%  "
-          f"{result.bits_per_second:,.0f} bits/s simulated")
-    if machine.uarch.phantom_reaches_execute:
-        machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-        result = execute_covert_channel(machine, n_bits=args.bits)
-        print(f"execute channel: accuracy {result.accuracy * 100:6.2f}%  "
-              f"{result.bits_per_second:,.0f} bits/s simulated")
+    with _Run(args, "covert", machine, n_bits=args.bits) as run:
+        outcome = {}
+        with run.phase("fetch-channel"):
+            result = fetch_covert_channel(machine, n_bits=args.bits)
+        outcome["fetch_accuracy"] = result.accuracy
+        outcome["fetch_bits_per_second"] = result.bits_per_second
+        run.text(f"fetch channel:   accuracy {result.accuracy * 100:6.2f}%  "
+                 f"{result.bits_per_second:,.0f} bits/s simulated")
+        if machine.uarch.phantom_reaches_execute:
+            machine2 = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+            with run.phase("execute-channel"):
+                result = execute_covert_channel(machine2, n_bits=args.bits)
+            outcome["execute_accuracy"] = result.accuracy
+            outcome["execute_bits_per_second"] = result.bits_per_second
+            run.text(f"execute channel: accuracy "
+                     f"{result.accuracy * 100:6.2f}%  "
+                     f"{result.bits_per_second:,.0f} bits/s simulated")
+        run.finish("success", **outcome)
     return 0
 
 
@@ -139,27 +265,42 @@ def cmd_rev_btb(args) -> int:
         btb.train(a, BranchKind.INDIRECT, 0x4000, kernel_mode=False)
         return btb.lookup(b, kernel_mode=False) is not None
 
-    kernel_addr = 0xFFFF_FFFF_8123_4AC0 & ((1 << 48) - 1)
-    recovered = recover_functions(
-        oracle, [kernel_addr, kernel_addr ^ 0x40_0000],
-        samples_per_addr=args.samples, rng=random.Random(args.seed))
-    for line in recovered.formatted():
-        print(line)
-    alias = solve_alias_pattern(recovered.masks)
-    print(f"alias pattern: K ^ {alias:#018x}")
+    with _Run(args, "rev-btb", uarch=uarch.name,
+              samples=args.samples, seed=args.seed) as run:
+        with run.phase("recover-functions"):
+            kernel_addr = 0xFFFF_FFFF_8123_4AC0 & ((1 << 48) - 1)
+            recovered = recover_functions(
+                oracle, [kernel_addr, kernel_addr ^ 0x40_0000],
+                samples_per_addr=args.samples,
+                rng=random.Random(args.seed))
+        with run.phase("solve-alias-pattern"):
+            alias = solve_alias_pattern(recovered.masks)
+        run.finish("success", alias_pattern=f"{alias:#018x}",
+                   masks=len(recovered.masks))
+        for line in recovered.formatted():
+            run.text(line)
+        run.text(f"alias pattern: K ^ {alias:#018x}")
     return 0
 
 
 def cmd_gadgets(args) -> int:
     from .analysis import generate_corpus, scan_corpus
 
-    corpus = generate_corpus(total=args.functions, seed=args.seed)
-    summary = scan_corpus(corpus.image, corpus.entries)
-    print(f"functions scanned:        {args.functions}")
-    print(f"conventional v1 gadgets:  {summary.spectre_v1}")
-    print(f"single-load MDS gadgets:  {summary.mds_single_load}")
-    print(f"Phantom-exploitable:      {summary.phantom_exploitable} "
-          f"({summary.amplification:.2f}x)")
+    with _Run(args, "gadgets", functions=args.functions,
+              seed=args.seed) as run:
+        with run.phase("generate-corpus"):
+            corpus = generate_corpus(total=args.functions, seed=args.seed)
+        with run.phase("scan-corpus"):
+            summary = scan_corpus(corpus.image, corpus.entries)
+        run.finish("success", spectre_v1=summary.spectre_v1,
+                   mds_single_load=summary.mds_single_load,
+                   phantom_exploitable=summary.phantom_exploitable,
+                   amplification=summary.amplification)
+        run.text(f"functions scanned:        {args.functions}")
+        run.text(f"conventional v1 gadgets:  {summary.spectre_v1}")
+        run.text(f"single-load MDS gadgets:  {summary.mds_single_load}")
+        run.text(f"Phantom-exploitable:      {summary.phantom_exploitable} "
+                 f"({summary.amplification:.2f}x)")
     return 0
 
 
@@ -168,9 +309,48 @@ def cmd_trace(args) -> int:
     from .kernel import Machine
 
     machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-    with Tracer(machine, limit=args.limit) as trace:
-        machine.syscall(args.nr, args.rdi, args.rsi)
-    print(trace.render())
+    with _Run(args, "trace", machine, syscall_nr=args.nr,
+              limit=args.limit) as run:
+        with run.phase("trace-syscall"):
+            with Tracer(machine, limit=args.limit) as trace:
+                machine.syscall(args.nr, args.rdi, args.rsi)
+        run.finish("success",
+                   instructions=len(trace.entries),
+                   episodes=trace.episode_count(),
+                   truncated=trace.truncated,
+                   dropped_instructions=trace.dropped_instructions,
+                   orphan_episodes=len(trace.orphan_episodes))
+        run.text(trace.render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from .telemetry import SchemaError, validate_manifest
+
+    if len(args.manifest) > 2:
+        print("stats takes one manifest (summary) or two (diff)",
+              file=sys.stderr)
+        return 2
+    docs = []
+    for path in args.manifest:
+        try:
+            doc = RunManifest.load(path)
+            validate_manifest(doc)
+        except OSError as exc:
+            print(f"stats: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, SchemaError) as exc:
+            reason = str(exc).splitlines()[0]
+            print(f"stats: {path} is not a run manifest: {reason}",
+                  file=sys.stderr)
+            return 2
+        docs.append(doc)
+    if len(docs) == 1:
+        print("\n".join(summarize_manifest(docs[0])))
+    else:
+        print("\n".join(diff_manifests(docs[0], docs[1])))
     return 0
 
 
@@ -187,34 +367,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("matrix", help="Table 1 speculation matrix")
     p.add_argument("--uarch", default="amd",
                    help="'all', 'amd', or one name")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser("kaslr", help="break kernel-image KASLR (§7.1)")
     _add_uarch(p, default="zen 3")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_kaslr)
 
     p = sub.add_parser("physmap", help="break physmap KASLR (§7.2)")
     _add_uarch(p, default="zen 2")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_physmap)
 
     p = sub.add_parser("leak", help="full §7 chain: leak kernel memory")
     _add_uarch(p, default="zen 2")
     p.add_argument("--bytes", type=int, default=128)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_leak)
 
     p = sub.add_parser("covert", help="covert-channel capacity (§6.4)")
     _add_uarch(p, default="zen 4")
     p.add_argument("--bits", type=int, default=1024)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_covert)
 
     p = sub.add_parser("rev-btb", help="recover BTB functions (§6.2)")
     _add_uarch(p, default="zen 3")
     p.add_argument("--samples", type=int, default=200_000)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_rev_btb)
 
     p = sub.add_parser("gadgets", help="gadget census (§9.3)")
     p.add_argument("--functions", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_gadgets)
 
     p = sub.add_parser("trace", help="trace a syscall's speculation")
@@ -223,14 +410,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rdi", type=int, default=0)
     p.add_argument("--rsi", type=int, default=0)
     p.add_argument("--limit", type=int, default=200)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("stats",
+                       help="summarize one run manifest, or diff two")
+    p.add_argument("manifest", nargs="+",
+                   help="manifest file(s) written by --json/--results-dir")
+    p.set_defaults(fn=cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:   # e.g. `repro stats ... | head`
+        return 0
 
 
 if __name__ == "__main__":   # pragma: no cover

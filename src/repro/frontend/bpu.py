@@ -13,10 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..isa import BranchKind
+from ..telemetry import metrics as _metrics
 from .bhb import BHB
 from .btb import BTB, BTBEntry, BTBIndexing
 from .cond import ConditionalPredictor
 from .rsb import RSB
+
+_REG = _metrics.REGISTRY
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,10 @@ class BPU:
         self.rsb = RSB(rsb_depth)
         self.cond = ConditionalPredictor(pht_entries)
         self.bhb = BHB()
+        self._m_predictions = _metrics.counter("bpu_predictions")
+        self._m_cross_priv = _metrics.counter(
+            "bpu_predictions", cross_privilege="true")
+        self._m_trainings = _metrics.counter("bpu_trainings")
 
     # -- prediction (frontend, pre-decode) ---------------------------------
 
@@ -57,6 +64,10 @@ class BPU:
                 continue
             prediction = self._resolve(pc, entry, kernel_mode)
             if prediction is not None:
+                if _REG.enabled:
+                    self._m_predictions.value += 1
+                    if prediction.cross_privilege:
+                        self._m_cross_priv.value += 1
                 return prediction
         return None
 
@@ -92,6 +103,8 @@ class BPU:
         direction updates the PHT; calls push the RSB (the matching pop
         happens in :meth:`predict_return_pop` / at ret execution).
         """
+        if _REG.enabled:
+            self._m_trainings.value += 1
         if kind is BranchKind.CONDITIONAL:
             self.cond.update(pc, taken)
         if taken and target is not None:

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field, replace
 from ..isa import BranchKind
 from ..params import MASK64, VA_MASK, canonical
 from ..revtools.gf2 import parity
+from ..telemetry import metrics as _metrics
+
+_REG = _metrics.REGISTRY
 
 #: Figure 7 — Zen 3/4 cross-privilege tag functions (bit 47 in each).
 ZEN3_TAG_FUNCTIONS: tuple[int, ...] = (
@@ -177,6 +180,9 @@ class BTB:
         self.installs = 0
         self.hits = 0
         self.evictions = 0
+        self._m_installs = _metrics.counter("btb_installs")
+        self._m_hits = _metrics.counter("btb_hits")
+        self._m_evictions = _metrics.counter("btb_evictions")
 
     def _key(self, va: int, kernel_mode: bool) -> tuple[int, int]:
         cache_key = (va, kernel_mode and self.indexing.privilege_in_tag)
@@ -212,7 +218,11 @@ class BTB:
         if len(ways) > self.ways:
             ways.popitem(last=False)
             self.evictions += 1
+            if _REG.enabled:
+                self._m_evictions.value += 1
         self.installs += 1
+        if _REG.enabled:
+            self._m_installs.value += 1
 
     def evict(self, source_pc: int, *, kernel_mode: bool) -> None:
         """Drop the entry a source address selects (untraining)."""
@@ -231,6 +241,8 @@ class BTB:
         if entry is not None:
             ways.move_to_end(tag)
             self.hits += 1
+            if _REG.enabled:
+                self._m_hits.value += 1
         return entry
 
     def scan_block(self, block_start: int, block_len: int, *,

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from ..memory.cache import Cache
 from ..params import CACHE_LINE
+from ..telemetry import metrics as _metrics
+
+_REG = _metrics.REGISTRY
 
 
 class UopCache:
@@ -26,6 +29,8 @@ class UopCache:
                             self.WAYS, line_size=self.WINDOW)
         self.hit_events = 0
         self.miss_events = 0
+        self._m_hits = _metrics.counter("uopcache_dispatch_hits")
+        self._m_misses = _metrics.counter("uopcache_dispatch_misses")
 
     def set_index(self, va: int) -> int:
         """Set selected by VA bits [6:12)."""
@@ -44,8 +49,12 @@ class UopCache:
         hit, _ = self._cache.access(va)
         if hit:
             self.hit_events += 1
+            if _REG.enabled:
+                self._m_hits.value += 1
         else:
             self.miss_events += 1
+            if _REG.enabled:
+                self._m_misses.value += 1
         return hit
 
     def fill(self, va: int) -> None:

@@ -22,6 +22,10 @@ from ..isa import Assembler, Image, Reg
 from ..memory import MemorySystem
 from ..params import HUGE_PAGE_SIZE, PAGE_SIZE, canonical
 from ..pipeline import CPU, Microarch
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import TRACE as _TRACE
+
+_REG = _metrics.REGISTRY
 from .kaslr import Kaslr, MODULES_BASE
 from .layout import (DATA_SIZE, IMAGE_SIZE, KernelLayout, build_kernel_text)
 from .mitigations import DEFAULT_MITIGATIONS, MitigationConfig
@@ -49,11 +53,15 @@ class Machine:
                  rng_seed: int = 0, sibling_load: bool = False,
                  syscall_noise_evictions: int = 2) -> None:
         self.uarch = uarch
+        self.kaslr_seed = kaslr_seed
+        self.rng_seed = rng_seed
         self.rng = random.Random(rng_seed)
         self.mem = MemorySystem(phys_mem, hierarchy=uarch.hierarchy,
                                 rng=self.rng)
         self.cpu = CPU(uarch, self.mem, rng=self.rng)
         self.kaslr = Kaslr.randomize(kaslr_seed)
+        self._m_syscalls = _metrics.counter("machine_syscalls")
+        self._m_noise = _metrics.counter("machine_noise_evictions")
         self.mitigations = mitigations
         self.sibling_load = sibling_load
         self.syscall_noise_evictions = syscall_noise_evictions
@@ -140,6 +148,11 @@ class Machine:
             cpu.state.write(Reg.RSP, KERNEL_STACK + KERNEL_STACK_SIZE - 64)
             cpu.cycles += self.uarch.syscall_entry_cost
             cpu.pmc.add("syscalls")
+            if _REG.enabled:
+                self._m_syscalls.value += 1
+            if _TRACE.enabled:
+                _TRACE.emit("syscall", cpu.cycles,
+                            nr=cpu.state.read(Reg.RAX))
             if self.mitigations.ibpb_on_kernel_entry:
                 cpu.bpu.ibpb()
             if self.mitigations.rsb_stuffing_on_entry:
@@ -173,6 +186,8 @@ class Machine:
         if self.sibling_load:
             n = max(0, n - 1)
         l1i = self.mem.hier.l1i
+        if _REG.enabled:
+            self._m_noise.value += n
         for _ in range(n):
             set_index = self.rng.randrange(l1i.num_sets)
             resident = l1i.resident_lines(set_index)

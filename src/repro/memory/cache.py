@@ -12,6 +12,9 @@ import random
 from dataclasses import dataclass, field
 
 from ..params import CACHE_LINE, CACHE_LINE_SHIFT
+from ..telemetry import metrics as _metrics
+
+_REG = _metrics.REGISTRY
 
 
 class Replacement(enum.Enum):
@@ -64,6 +67,10 @@ class Cache:
         self._sets: list[list[_Way]] = [[] for _ in range(self.num_sets)]
         self._tick = 0
         self.stats = CacheStats()
+        # Telemetry instruments (no-op unless the registry is enabled).
+        self._m_hits = _metrics.counter("cache_hits", level=name)
+        self._m_misses = _metrics.counter("cache_misses", level=name)
+        self._m_evictions = _metrics.counter("cache_evictions", level=name)
 
     # -- geometry ----------------------------------------------------------
 
@@ -93,8 +100,12 @@ class Cache:
             if way.line == line:
                 way.last_used = self._tick
                 self.stats.hits += 1
+                if _REG.enabled:
+                    self._m_hits.value += 1
                 return True, None
         self.stats.misses += 1
+        if _REG.enabled:
+            self._m_misses.value += 1
         evicted = None
         if len(ways) >= self.ways:
             if self.replacement is Replacement.LRU:
@@ -103,6 +114,8 @@ class Cache:
                 victim = self._rng.randrange(len(ways))
             evicted = ways.pop(victim).line
             self.stats.evictions += 1
+            if _REG.enabled:
+                self._m_evictions.value += 1
         ways.append(_Way(line=line, last_used=self._tick))
         return False, evicted
 
@@ -111,10 +124,16 @@ class Cache:
         hit, evicted = self.access(addr)
         if hit:
             self.stats.hits -= 1
+            if _REG.enabled:
+                self._m_hits.value -= 1
         else:
             self.stats.misses -= 1
+            if _REG.enabled:
+                self._m_misses.value -= 1
             if evicted is not None:
                 self.stats.evictions -= 1
+                if _REG.enabled:
+                    self._m_evictions.value -= 1
         return evicted
 
     def invalidate(self, addr: int) -> bool:

@@ -155,9 +155,18 @@ INTEL_MICROARCHES: tuple[Microarch, ...] = (INTEL_9TH, INTEL_11TH,
 ALL_MICROARCHES: tuple[Microarch, ...] = AMD_MICROARCHES + INTEL_MICROARCHES
 
 
+def _normalize(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
 def by_name(name: str) -> Microarch:
-    """Look up a model by its µarch name (case-insensitive)."""
+    """Look up a model by its µarch name.
+
+    Case- and separator-insensitive: "zen2", "Zen 2" and "zen-2" all
+    resolve to the same model.
+    """
+    wanted = _normalize(name)
     for uarch in ALL_MICROARCHES:
-        if uarch.name.lower() == name.lower():
+        if _normalize(uarch.name) == wanted:
             return uarch
     raise KeyError(name)

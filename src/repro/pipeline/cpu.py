@@ -42,8 +42,12 @@ from ..isa import (ArchState, BranchKind, Instruction, Mnemonic, crack,
                    decode, execute, uop_count)
 from ..memory import MemorySystem
 from ..params import MASK64, PAGE_SIZE, canonical
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import TRACE as _TRACE
 from .config import Microarch
 from .pmc import PMC
+
+_REG = _metrics.REGISTRY
 
 _MAX_INSTR_BYTES = 16
 
@@ -70,6 +74,7 @@ class EpisodeRecord:
     frontend_resteer: bool
     cross_privilege: bool = False
     nested: bool = False
+    cycle: int = 0
 
 
 @dataclass
@@ -112,6 +117,10 @@ class CPU:
         #: decode, before execution (used by the analysis tracer).
         self.instr_hook = None
         self._decode_cache: dict[int, Instruction] = {}
+        self._m_phantom = _metrics.counter("speculation_episodes",
+                                           flavour="phantom")
+        self._m_spectre = _metrics.counter("speculation_episodes",
+                                           flavour="spectre")
 
     # ------------------------------------------------------------------
     # decode path
@@ -219,6 +228,9 @@ class CPU:
             self.pmc.add("de_dis_uops_from_decoder", uop_count(instr))
         if self.instr_hook is not None:
             self.instr_hook(pc, instr)
+        if _TRACE.enabled:
+            _TRACE.emit("retire", self.cycles, pc=pc, text=str(instr),
+                        kernel_mode=self.kernel_mode)
 
         prediction = self.bpu.predict_in_block(
             pc, instr.length, kernel_mode=self.kernel_mode)
@@ -578,9 +590,23 @@ class CPU:
     def _record(self, source_pc: int, predicted_kind, actual_kind,
                 target: int, reach: Reach, *, frontend: bool,
                 cross_privilege: bool = False, nested: bool = False) -> None:
+        if _REG.enabled:
+            (self._m_phantom if frontend else self._m_spectre).value += 1
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "episode", self.cycles, source_pc=source_pc,
+                predicted_kind=(predicted_kind.value
+                                if predicted_kind else None),
+                actual_kind=actual_kind.value, target=target,
+                reach=reach.name,
+                flavour="phantom" if frontend else "spectre",
+                cross_privilege=cross_privilege, nested=nested)
+            _TRACE.emit("resteer", self.cycles,
+                        source="frontend" if frontend else "backend",
+                        pc=source_pc)
         if self.record_episodes:
             self.episodes.append(EpisodeRecord(
                 source_pc=source_pc, predicted_kind=predicted_kind,
                 actual_kind=actual_kind, target=target, reach=reach,
                 frontend_resteer=frontend, cross_privilege=cross_privilege,
-                nested=nested))
+                nested=nested, cycle=self.cycles))

@@ -33,6 +33,10 @@ EVENTS = (
     "syscalls",
 )
 
+#: Hot-path membership test: ``add``/``read`` run on every simulated
+#: memory access, so the check must be O(1), not a tuple scan.
+_EVENT_SET = frozenset(EVENTS)
+
 
 class PMC:
     """A bank of monotonically increasing counters."""
@@ -41,12 +45,12 @@ class PMC:
         self._counts: Counter[str] = Counter()
 
     def add(self, event: str, n: int = 1) -> None:
-        if event not in EVENTS:
+        if event not in _EVENT_SET:
             raise KeyError(f"unknown PMC event {event!r}")
         self._counts[event] += n
 
     def read(self, event: str) -> int:
-        if event not in EVENTS:
+        if event not in _EVENT_SET:
             raise KeyError(f"unknown PMC event {event!r}")
         return self._counts[event]
 

@@ -11,7 +11,11 @@ makes the user reload fast.
 from __future__ import annotations
 
 from ..params import HUGE_PAGE_SIZE
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import TRACE as _TRACE
 from .timer import Timer, calibrate_threshold
+
+_REG = _metrics.REGISTRY
 
 #: One slot per byte value, each on its own cache line.
 SLOTS = 256
@@ -26,6 +30,10 @@ class ReloadBuffer:
         self.machine = machine
         self.va = va
         self.timer = timer or Timer(machine)
+        self._m_flushes = _metrics.counter("sidechannel_flushes",
+                                           channel="FR")
+        self._m_probes = _metrics.counter("sidechannel_probe_rounds",
+                                          channel="FR")
         machine.map_user_huge(va)
         # Touch every slot once so translations and backing exist.
         for slot in range(SLOTS):
@@ -39,6 +47,8 @@ class ReloadBuffer:
 
     def flush(self) -> None:
         """Flush all 256 slots."""
+        if _REG.enabled:
+            self._m_flushes.value += 1
         for slot in range(SLOTS):
             self.machine.clflush(self.slot_va(slot))
 
@@ -48,6 +58,11 @@ class ReloadBuffer:
         for slot in range(SLOTS):
             if self.timer.time_load(self.slot_va(slot)) < self.threshold:
                 hits.append(slot)
+        if _REG.enabled:
+            self._m_probes.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit("probe_round", self.machine.cycles,
+                        channel="FR", hits=len(hits))
         return hits
 
     def leak_byte(self, trigger, *, retries: int = 3) -> int | None:

@@ -12,7 +12,11 @@ physmap exploit allocates huge pages (§7.2).
 from __future__ import annotations
 
 from ..params import HUGE_PAGE_SIZE, PAGE_SIZE
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import TRACE as _TRACE
 from .timer import Timer
+
+_REG = _metrics.REGISTRY
 
 L1I_SETS = 64
 L1I_WAYS = 8
@@ -21,14 +25,41 @@ L2_WAYS = 8
 L2_SET_STRIDE = L2_SETS * 64  # 64 KiB between same-set lines
 
 
-class PrimeProbeL1I:
+class _ProbeTelemetry:
+    """Shared instrumentation: per-channel round counters and
+    ``probe_round`` trace events (no-op while telemetry is disabled)."""
+
+    channel = "?"
+
+    def _bind_telemetry(self) -> None:
+        self._m_primes = _metrics.counter("sidechannel_prime_rounds",
+                                          channel=self.channel)
+        self._m_probes = _metrics.counter("sidechannel_probe_rounds",
+                                          channel=self.channel)
+
+    def _count_prime(self) -> None:
+        if _REG.enabled:
+            self._m_primes.value += 1
+
+    def _count_probe(self, set_index: int, misses: int) -> None:
+        if _REG.enabled:
+            self._m_probes.value += 1
+        if _TRACE.enabled:
+            _TRACE.emit("probe_round", self.machine.cycles,
+                        channel=self.channel, set=set_index, misses=misses)
+
+
+class PrimeProbeL1I(_ProbeTelemetry):
     """Prime+Probe over the instruction cache via executable user pages."""
+
+    channel = "L1I"
 
     def __init__(self, machine, base_va: int = 0x0000_0000_6000_0000,
                  timer: Timer | None = None) -> None:
         self.machine = machine
         self.base_va = base_va
         self.timer = timer or Timer(machine)
+        self._bind_telemetry()
         params = machine.mem.hier.params
         #: Per-line L1-hit/deeper threshold (evicted prime lines usually
         #: fall only to L2, so the relevant edge is L1 vs L2 latency).
@@ -45,6 +76,7 @@ class PrimeProbeL1I:
 
     def prime(self, set_index: int) -> None:
         """Fill every way of *set_index* with attacker lines."""
+        self._count_prime()
         for va in self._lines(set_index):
             self.machine.user_exec_touch(va)
 
@@ -56,18 +88,23 @@ class PrimeProbeL1I:
     def probe_misses(self, set_index: int) -> int:
         """Number of primed lines that left L1 (per-line thresholding —
         much better SNR than the summed latency under timer jitter)."""
-        return sum(self.timer.time_exec(va) > self.line_threshold
-                   for va in reversed(self._lines(set_index)))
+        misses = sum(self.timer.time_exec(va) > self.line_threshold
+                     for va in reversed(self._lines(set_index)))
+        self._count_probe(set_index, misses)
+        return misses
 
 
-class PrimeProbeL1D:
+class PrimeProbeL1D(_ProbeTelemetry):
     """Prime+Probe over the data cache via user data pages (64 sets)."""
+
+    channel = "L1D"
 
     def __init__(self, machine, base_va: int = 0x0000_0000_6800_0000,
                  timer: Timer | None = None) -> None:
         self.machine = machine
         self.base_va = base_va
         self.timer = timer or Timer(machine)
+        self._bind_telemetry()
         for i in range(L1I_WAYS):
             machine.map_user(base_va + i * PAGE_SIZE, PAGE_SIZE, nx=True)
 
@@ -79,6 +116,7 @@ class PrimeProbeL1D:
                 for i in range(L1I_WAYS)]
 
     def prime(self, set_index: int) -> None:
+        self._count_prime()
         for va in self._lines(set_index):
             self.machine.user_touch(va)
 
@@ -89,18 +127,23 @@ class PrimeProbeL1D:
     def probe_misses(self, set_index: int) -> int:
         params = self.machine.mem.hier.params
         threshold = (params.l1_latency + params.l2_latency) // 2
-        return sum(self.timer.time_load(va) > threshold
-                   for va in reversed(self._lines(set_index)))
+        misses = sum(self.timer.time_load(va) > threshold
+                     for va in reversed(self._lines(set_index)))
+        self._count_probe(set_index, misses)
+        return misses
 
 
-class PrimeProbeL2:
+class PrimeProbeL2(_ProbeTelemetry):
     """Prime+Probe over L2 via a 2 MiB huge page (data loads)."""
+
+    channel = "L2"
 
     def __init__(self, machine, huge_va: int = 0x0000_0000_7000_0000,
                  timer: Timer | None = None) -> None:
         self.machine = machine
         self.huge_va = huge_va
         self.timer = timer or Timer(machine)
+        self._bind_telemetry()
         machine.map_user_huge(huge_va)
 
     def _lines(self, set_index: int) -> list[int]:
@@ -111,6 +154,7 @@ class PrimeProbeL2:
                 for k in range(L2_WAYS)]
 
     def prime(self, set_index: int) -> None:
+        self._count_prime()
         for va in self._lines(set_index):
             self.machine.user_touch(va)
 
@@ -122,8 +166,10 @@ class PrimeProbeL2:
         """Lines evicted from L2 entirely (memory-latency reloads)."""
         params = self.machine.mem.hier.params
         threshold = (params.l2_latency + params.mem_latency) // 2
-        return sum(self.timer.time_load(va) > threshold
-                   for va in reversed(self._lines(set_index)))
+        misses = sum(self.timer.time_load(va) > threshold
+                     for va in reversed(self._lines(set_index)))
+        self._count_probe(set_index, misses)
+        return misses
 
     @staticmethod
     def set_of_phys(pa: int) -> int:

@@ -1,0 +1,88 @@
+"""Unified telemetry: metrics registry, structured traces, run manifests.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`.metrics` — a process-wide registry of counters/gauges/
+  histograms the simulator layers emit into (no-op when disabled);
+* :mod:`.trace`   — typed, cycle-stamped events (retire, episode,
+  resteer, syscall, probe round) fanned out to JSON-lines or in-memory
+  sinks;
+* :mod:`.manifest` — one JSON document per experiment run: config,
+  phase profile, metric/PMC snapshots, outcome.  Summarize or diff
+  manifests with :mod:`.stats` (``repro stats`` on the CLI).
+
+Everything is behaviour-neutral: telemetry never touches simulated
+cycles or machine state, so enabling it cannot change any result.
+"""
+
+from __future__ import annotations
+
+from . import metrics as metrics
+from .manifest import MANIFEST_SCHEMA, PhaseProfile, RunManifest, \
+    machine_config
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY, \
+    counter, gauge, histogram
+from .profiling import profile_block, time_callable
+from .schema import MANIFEST_JSON_SCHEMA, SchemaError, validate, \
+    validate_manifest
+from .stats import diff_manifests, summarize_manifest
+from .trace import JsonLinesSink, MemorySink, TRACE, TRACE_SCHEMA, \
+    TraceCollector, TraceEvent, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MANIFEST_JSON_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "MemorySink",
+    "MetricsRegistry",
+    "PhaseProfile",
+    "REGISTRY",
+    "RunManifest",
+    "SchemaError",
+    "TRACE",
+    "TRACE_SCHEMA",
+    "TraceCollector",
+    "TraceEvent",
+    "counter",
+    "diff_manifests",
+    "enable_metrics",
+    "gauge",
+    "histogram",
+    "machine_config",
+    "metrics",
+    "one_line_summary",
+    "profile_block",
+    "read_jsonl",
+    "summarize_manifest",
+    "time_callable",
+    "validate",
+    "validate_manifest",
+]
+
+
+def enable_metrics(**base_labels: str) -> MetricsRegistry:
+    """Switch the process registry on (optionally setting base labels)."""
+    if base_labels:
+        REGISTRY.set_base_labels(**base_labels)
+    REGISTRY.enable()
+    return REGISTRY
+
+
+def one_line_summary(*machines) -> str:
+    """One line of telemetry for example scripts: episodes, resteers,
+    probe rounds, simulated time — summed over *machines* plus the
+    process metrics registry."""
+    frontend = sum(m.cpu.pmc.read("resteer_frontend") for m in machines)
+    backend = sum(m.cpu.pmc.read("resteer_backend") for m in machines)
+    syscalls = sum(m.cpu.pmc.read("syscalls") for m in machines)
+    seconds = sum(m.seconds() for m in machines)
+    probe_rounds = sum(
+        inst.value for inst in REGISTRY._instruments.values()
+        if isinstance(inst, Counter) and inst.name == "sidechannel_probe_rounds")
+    return (f"telemetry: {frontend + backend} speculation episodes "
+            f"({frontend} frontend / {backend} backend resteers), "
+            f"{probe_rounds} probe rounds, {syscalls} syscalls, "
+            f"{seconds * 1000:.3f} ms simulated")

@@ -1,0 +1,42 @@
+"""Wall-clock profiling hooks feeding the metrics registry.
+
+These measure *host* time (how long the simulator itself takes), not
+simulated cycles — the instrument for "make a hot path measurably
+faster" claims.  Observations land in a histogram named
+``profile_<name>_seconds`` in the process registry, so profiles travel
+inside run manifests like any other metric.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .metrics import REGISTRY
+
+
+@contextmanager
+def profile_block(name: str, *, registry=None):
+    """Time a block and record the duration; yields a dict that gains
+    an ``elapsed_s`` key on exit (usable even when telemetry is off)."""
+    registry = registry if registry is not None else REGISTRY
+    hist = registry.histogram(f"profile_{name}_seconds")
+    result: dict = {}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["elapsed_s"] = time.perf_counter() - start
+        hist.observe(result["elapsed_s"])
+
+
+def time_callable(fn, *, repeat: int = 5, number: int = 10_000) -> float:
+    """Best-of-*repeat* seconds for *number* calls of *fn* (timeit-style,
+    min defeats scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best

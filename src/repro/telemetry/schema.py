@@ -1,0 +1,126 @@
+"""JSON Schema for run manifests, plus a dependency-free validator.
+
+The canonical schema is the ``MANIFEST_JSON_SCHEMA`` dict below; a
+byte-identical copy is checked into ``tests/data/run_manifest.schema.json``
+so CI can validate CLI output without importing this package, and a test
+asserts the two copies never drift.
+
+:func:`validate` implements the subset of JSON Schema the manifest
+schema uses (type, properties, required, additionalProperties, items,
+enum).  When the real ``jsonschema`` package is installed it is used
+instead — same verdicts, better error messages.
+"""
+
+from __future__ import annotations
+
+MANIFEST_JSON_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": "phantom.run-manifest/1",
+    "title": "Phantom reproduction run manifest",
+    "type": "object",
+    "required": ["schema", "command", "created_at", "config", "phases",
+                 "metrics", "pmc", "outcome", "totals"],
+    "properties": {
+        "schema": {"type": "string", "enum": ["phantom.run-manifest/1"]},
+        "command": {"type": "string"},
+        "created_at": {"type": "string"},
+        "config": {"type": "object"},
+        "phases": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "cycles", "wall_time_s"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cycles": {"type": "integer"},
+                    "wall_time_s": {"type": "number"},
+                },
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+            "properties": {
+                "counters": {"type": "object"},
+                "gauges": {"type": "object"},
+                "histograms": {"type": "object"},
+                "base_labels": {"type": "object"},
+            },
+        },
+        "pmc": {"type": "object"},
+        "outcome": {
+            "type": "object",
+            "required": ["status"],
+            "properties": {"status": {"type": "string"}},
+        },
+        "totals": {
+            "type": "object",
+            "required": ["cycles", "wall_time_s", "simulated_seconds"],
+            "properties": {
+                "cycles": {"type": "integer"},
+                "wall_time_s": {"type": "number"},
+                "simulated_seconds": {"type": "number"},
+            },
+        },
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A document does not conform to its schema."""
+
+
+def _check(doc, schema: dict, path: str) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        if isinstance(doc, bool) and expected in ("integer", "number"):
+            raise SchemaError(f"{path}: expected {expected}, got bool")
+        if not isinstance(doc, py_type):
+            raise SchemaError(f"{path}: expected {expected}, "
+                              f"got {type(doc).__name__}")
+    if "enum" in schema and doc not in schema["enum"]:
+        raise SchemaError(f"{path}: {doc!r} not in {schema['enum']}")
+    if isinstance(doc, dict):
+        for name in schema.get("required", ()):
+            if name not in doc:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        props = schema.get("properties", {})
+        for key, value in doc.items():
+            if key in props:
+                _check(value, props[key], f"{path}.{key}")
+            elif schema.get("additionalProperties") is False:
+                raise SchemaError(f"{path}: unexpected key {key!r}")
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            _check(item, schema["items"], f"{path}[{i}]")
+
+
+def validate(doc: dict, schema: dict | None = None) -> None:
+    """Raise :class:`SchemaError` if *doc* does not match *schema*
+    (defaults to the run-manifest schema)."""
+    schema = schema if schema is not None else MANIFEST_JSON_SCHEMA
+    try:
+        import jsonschema
+    except ImportError:
+        _check(doc, schema, "$")
+        return
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as exc:
+        raise SchemaError(str(exc)) from exc
+
+
+def validate_manifest(doc: dict) -> None:
+    """Validate one run-manifest document."""
+    validate(doc, MANIFEST_JSON_SCHEMA)

@@ -69,3 +69,72 @@ def test_limit_respected():
     with Tracer(machine, limit=10) as trace:
         machine.run_user(CODE)
     assert len(trace.entries) == 10
+
+
+def test_hooks_restored_when_body_raises():
+    machine = Machine(ZEN2)
+    machine.cpu.instr_hook = sentinel = (lambda pc, instr: None)
+    try:
+        with Tracer(machine):
+            assert machine.cpu.instr_hook is not sentinel
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert machine.cpu.instr_hook is sentinel
+    assert machine.cpu.record_episodes is False
+
+
+def _nop_sled_machine(n):
+    machine = Machine(ZEN2)
+    asm = Assembler(CODE)
+    for _ in range(n):
+        asm.nop()
+    asm.hlt()
+    machine.load_user_image(asm.image())
+    return machine
+
+
+def test_truncation_is_marked_not_silent():
+    machine = _nop_sled_machine(50)
+    with Tracer(machine, limit=10) as trace:
+        machine.run_user(CODE)
+    assert len(trace.entries) == 10
+    assert trace.truncated
+    assert trace.dropped_instructions == 41   # 40 nops + hlt
+    assert "trace truncated at limit=10" in trace.render()
+    assert any(e.kind == "trace_truncated" for e in trace.events)
+
+
+def test_episodes_after_truncation_become_orphans():
+    machine = Machine(ZEN2, syscall_noise_evictions=0)
+    attacker = AttackerRuntime(machine)
+    src = 0x0000_0000_0910_0AC0
+    target = 0x0000_0000_0920_0000
+    attacker.write_code(target, b"\x90\xf4")
+    attacker.train_indirect(src, target)
+    # 8 nops before the phantom source: a limit of 4 cuts the trace
+    # well before the episode fires.
+    attacker.write_code(src - 8, b"\x90" * 12 + b"\xf4")
+    with Tracer(machine, limit=4) as trace:
+        machine.run_user(src - 8)
+    assert trace.truncated
+    assert trace.orphan_episodes
+    assert trace.episode_count(frontend=True) >= 1   # orphans counted
+    assert all(not e.episodes for e in trace.entries)
+    rendered = trace.render()
+    assert "orphan episode" in rendered
+    assert any(e.kind == "orphan_episodes" for e in trace.events)
+
+
+def test_typed_events_written_as_jsonl(tmp_path):
+    machine = Machine(ZEN2)
+    with Tracer(machine) as trace:
+        machine.syscall(SYS_GETPID)
+    path = tmp_path / "trace.jsonl"
+    count = trace.write_jsonl(path)
+    from repro.telemetry import TRACE_SCHEMA, read_jsonl
+    events = read_jsonl(path)
+    assert len(events) == count == len(trace.events)
+    assert all(e["schema"] == TRACE_SCHEMA for e in events)
+    kinds = {e["kind"] for e in events}
+    assert "retire" in kinds and "episode" in kinds

@@ -57,3 +57,30 @@ def test_paper_event_names_present():
     assert "op_cache_hit" in EVENTS
     assert "op_cache_miss" in EVENTS
     assert "de_dis_uops_from_decoder" in EVENTS
+
+
+def test_sample_contexts_nest_independently():
+    pmc = PMC()
+    with pmc.sample("instructions") as outer:
+        pmc.add("instructions", 2)
+        with pmc.sample("instructions", "cycles") as inner:
+            pmc.add("instructions", 5)
+            pmc.add("cycles", 9)
+        assert inner["instructions"] == 5
+        assert inner["cycles"] == 9
+        pmc.add("instructions", 1)
+    assert outer["instructions"] == 8   # sees inner's additions too
+
+
+def test_sample_records_delta_when_body_raises():
+    pmc = PMC()
+    try:
+        with pmc.sample("instructions") as sample:
+            pmc.add("instructions", 3)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    # The generator-based contextmanager does not run past the yield on
+    # an exception, so the delta dict stays empty rather than lying.
+    assert sample == {}
+    assert pmc.read("instructions") == 3

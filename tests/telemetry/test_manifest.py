@@ -1,0 +1,119 @@
+"""Run manifests: building, schema validity, write/load round-trips."""
+
+import pytest
+
+from repro.kernel import Machine, SYS_GETPID
+from repro.pipeline import ZEN2
+from repro.telemetry import (MANIFEST_SCHEMA, REGISTRY, RunManifest,
+                             SchemaError, machine_config,
+                             validate_manifest)
+
+
+def test_machine_config_captures_the_run_parameters():
+    machine = Machine(ZEN2, kaslr_seed=7)
+    config = machine_config(machine)
+    assert config["uarch"] == "Zen 2"
+    assert config["vendor"] == "amd"
+    assert config["kaslr_seed"] == 7
+    assert isinstance(config["mitigations"], dict)
+    assert all(isinstance(v, bool)
+               for v in config["mitigations"].values())
+
+
+def test_begin_phase_finish_produces_a_valid_document():
+    REGISTRY.enable()
+    machine = Machine(ZEN2, kaslr_seed=1)
+    manifest = RunManifest.begin("test-run", machine=machine, extra=3)
+    with manifest.phase("syscalls", machine=machine):
+        machine.syscall(SYS_GETPID)
+    manifest.finish("success", machine=machine, answer=42)
+    doc = manifest.to_dict()
+    validate_manifest(doc)
+    assert doc["schema"] == MANIFEST_SCHEMA
+    assert doc["config"]["extra"] == 3
+    assert doc["outcome"] == {"status": "success", "answer": 42}
+    (phase,) = doc["phases"]
+    assert phase["name"] == "syscalls"
+    assert phase["cycles"] > 0
+    assert doc["totals"]["cycles"] == machine.cycles
+    assert doc["totals"]["simulated_seconds"] == machine.seconds()
+    assert doc["pmc"]["syscalls"] == 1
+    assert any(k.startswith("machine_syscalls")
+               for k in doc["metrics"]["counters"])
+
+
+def test_phase_records_even_when_body_raises():
+    manifest = RunManifest.begin("test-error")
+    with pytest.raises(RuntimeError):
+        with manifest.phase("doomed"):
+            raise RuntimeError("boom")
+    assert [p.name for p in manifest.phases] == ["doomed"]
+
+
+def test_write_and_load_round_trip(tmp_path):
+    manifest = RunManifest.begin("test-io", config={"seed": 9})
+    manifest.finish("success")
+    path = manifest.write(tmp_path, name="run.json")
+    doc = RunManifest.load(path)
+    validate_manifest(doc)
+    assert doc == manifest.to_dict()
+
+
+def test_default_write_name_includes_command(tmp_path):
+    manifest = RunManifest.begin("my cmd")
+    manifest.finish("success")
+    path = manifest.write(tmp_path)
+    assert path.name.startswith("my_cmd-")
+    assert path.suffix == ".json"
+
+
+def test_validator_rejects_missing_sections():
+    manifest = RunManifest.begin("test-invalid")
+    manifest.finish("success")
+    doc = manifest.to_dict()
+    del doc["totals"]
+    with pytest.raises(SchemaError):
+        validate_manifest(doc)
+
+
+def test_validator_rejects_wrong_schema_id():
+    manifest = RunManifest.begin("test-schema-id")
+    manifest.finish("success")
+    doc = manifest.to_dict()
+    doc["schema"] = "phantom.run-manifest/999"
+    with pytest.raises(SchemaError):
+        validate_manifest(doc)
+
+
+def test_validator_rejects_malformed_phase():
+    manifest = RunManifest.begin("test-bad-phase")
+    manifest.finish("success")
+    doc = manifest.to_dict()
+    doc["phases"] = [{"name": "p"}]   # missing cycles/wall_time_s
+    with pytest.raises(SchemaError):
+        validate_manifest(doc)
+
+
+def test_mini_validator_agrees_without_jsonschema(monkeypatch):
+    import builtins
+    import sys
+
+    from repro.telemetry import schema as schema_mod
+
+    real_import = builtins.__import__
+
+    def no_jsonschema(name, *args, **kwargs):
+        if name == "jsonschema":
+            raise ImportError(name)
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.delitem(sys.modules, "jsonschema", raising=False)
+    monkeypatch.setattr(builtins, "__import__", no_jsonschema)
+
+    manifest = RunManifest.begin("test-fallback")
+    manifest.finish("success")
+    schema_mod.validate_manifest(manifest.to_dict())
+    broken = manifest.to_dict()
+    broken["totals"]["cycles"] = "not-an-int"
+    with pytest.raises(SchemaError):
+        schema_mod.validate_manifest(broken)

@@ -71,3 +71,102 @@ def test_unknown_uarch_errors(capsys):
 def test_missing_command_rejected(capsys):
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_kaslr_json_emits_valid_manifest(capsys):
+    import json
+
+    from repro.telemetry import validate_manifest
+
+    code, out = run(capsys, "kaslr", "--uarch", "zen2", "--json")
+    assert code == 0
+    doc = json.loads(out)          # manifest only: no text around it
+    validate_manifest(doc)
+    assert doc["command"] == "kaslr"
+    assert doc["outcome"]["status"] == "success"
+    assert doc["config"]["uarch"] == "Zen 2"
+    assert doc["totals"]["cycles"] > 0
+    assert doc["phases"][0]["name"] == "break-image-kaslr"
+
+
+def test_uarch_names_are_separator_insensitive(capsys):
+    code, _ = run(capsys, "kaslr", "--uarch", "Zen-3", "--seed", "5")
+    assert code == 0
+
+
+def test_gadgets_json_valid(capsys):
+    import json
+
+    from repro.telemetry import validate_manifest
+
+    code, out = run(capsys, "gadgets", "--functions", "60", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    validate_manifest(doc)
+    assert doc["outcome"]["phantom_exploitable"] >= 0
+
+
+def test_trace_out_writes_jsonl(capsys, tmp_path):
+    from repro.telemetry import TRACE_SCHEMA, read_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    code, _ = run(capsys, "trace", "--nr", "39", "--limit", "40",
+                  "--trace-out", str(path))
+    assert code == 0
+    events = read_jsonl(path)
+    assert events
+    assert all(e["schema"] == TRACE_SCHEMA for e in events)
+    assert {"retire", "syscall"} <= {e["kind"] for e in events}
+    assert not __import__("repro.telemetry", fromlist=["TRACE"]).TRACE.enabled
+
+
+def test_results_dir_archives_manifest(capsys, tmp_path):
+    from repro.telemetry import RunManifest, validate_manifest
+
+    code, out = run(capsys, "gadgets", "--functions", "60",
+                    "--results-dir", str(tmp_path))
+    assert code == 0
+    (path,) = tmp_path.glob("gadgets-*.json")
+    assert str(path) in out
+    validate_manifest(RunManifest.load(path))
+
+
+def test_stats_summarizes_one_manifest(capsys, tmp_path):
+    code, out = run(capsys, "gadgets", "--functions", "60",
+                    "--results-dir", str(tmp_path))
+    (path,) = tmp_path.glob("gadgets-*.json")
+    code, out = run(capsys, "stats", str(path))
+    assert code == 0
+    assert "run: gadgets" in out
+    assert "status: success" in out
+
+
+def test_stats_diffs_two_manifests(capsys, tmp_path):
+    run(capsys, "gadgets", "--functions", "60",
+        "--results-dir", str(tmp_path / "a"))
+    run(capsys, "gadgets", "--functions", "90",
+        "--results-dir", str(tmp_path / "b"))
+    (a,) = (tmp_path / "a").glob("*.json")
+    (b,) = (tmp_path / "b").glob("*.json")
+    code, out = run(capsys, "stats", str(a), str(b))
+    assert code == 0
+    assert "diff: gadgets" in out
+
+
+def test_stats_rejects_three_manifests(capsys):
+    code = main(["stats", "a.json", "b.json", "c.json"])
+    assert code == 2
+
+
+def test_stats_rejects_non_manifest_json(capsys, tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"hello": 1}')
+    code = main(["stats", str(bogus)])
+    assert code == 2
+    assert "not a run manifest" in capsys.readouterr().err
+
+
+def test_stats_missing_file(capsys):
+    code = main(["stats", "/nonexistent/run.json"])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
