@@ -25,15 +25,22 @@ def scale(default, full):
 def emit(name: str, lines: list[str], manifest=None) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
-    When a :class:`repro.telemetry.RunManifest` is supplied, its JSON
-    document is archived next to the table as ``<name>.manifest.json``
-    (a stable name, so ``repro stats`` can diff successive runs).
+    When a :class:`repro.telemetry.RunManifest` — or a plain manifest
+    document (dict), e.g. a merged campaign manifest from
+    :mod:`repro.runner` — is supplied, its JSON is archived next to the
+    table as ``<name>.manifest.json`` (a stable name, so ``repro
+    stats`` can diff successive runs).
     """
+    import json
+
     text = "\n".join(lines)
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    if manifest is not None:
+    if isinstance(manifest, dict):
+        (RESULTS_DIR / f"{name}.manifest.json").write_text(
+            json.dumps(manifest, indent=2) + "\n")
+    elif manifest is not None:
         manifest.write(RESULTS_DIR, name=f"{name}.manifest.json")
 
 
@@ -48,6 +55,23 @@ def telemetry_run(command: str, **config):
         yield RunManifest.begin(command, config)
     finally:
         REGISTRY.disable()
+
+
+def finish_with_campaigns(manifest, status, campaigns, **outcome):
+    """Seal a bench manifest and fold campaign manifests into it.
+
+    The campaigns' jobs already carried their own metrics scopes (the
+    last one is still sitting in the process registry), so the registry
+    is reset before the final snapshot — the job metrics enter exactly
+    once, through :meth:`RunManifest.absorb`.
+    """
+    from repro.telemetry import REGISTRY
+
+    REGISTRY.reset()
+    manifest.finish(status, **outcome)
+    for campaign in campaigns:
+        manifest.absorb(campaign.manifest)
+    return manifest
 
 
 def run_once(benchmark, fn):

@@ -8,24 +8,32 @@ non-branch transiently executes (the paper's "occasionally observed"
 case, deterministic here).
 """
 
+import os
+
 from repro.core import TrainKind, VictimKind
-from repro.core.matrix import format_matrix, run_matrix
+from repro.core.matrix import MatrixExperiment, format_matrix
 from repro.pipeline import (ALL_MICROARCHES, AMD_MICROARCHES,
                             INTEL_MICROARCHES, Reach, ZEN1, ZEN2)
+from repro.runner import run_campaign
 
-from _harness import emit, run_once, telemetry_run
+from _harness import emit, finish_with_campaigns, run_once, telemetry_run
 
 
 def test_table1_speculation_matrix(benchmark):
+    experiment = MatrixExperiment(
+        uarches=tuple(u.name for u in ALL_MICROARCHES))
     with telemetry_run("bench-table1",
                        uarches=[u.name for u in ALL_MICROARCHES]) as manifest:
-        with manifest.phase("matrix"):
-            results = run_once(benchmark,
-                               lambda: run_matrix(ALL_MICROARCHES))
+        campaign = run_once(
+            benchmark,
+            lambda: run_campaign(experiment, jobs=os.cpu_count()))
+        results = campaign.raise_on_failure().value
         reach_counts = {}
         for r in results:
             reach_counts[r.reach.name] = reach_counts.get(r.reach.name, 0) + 1
-        manifest.finish("success", cells=len(results), reach=reach_counts)
+        finish_with_campaigns(manifest, "success", [campaign],
+                              cells=len(results), reach=reach_counts,
+                              jobs=campaign.jobs)
     emit("table1", format_matrix(results).splitlines(), manifest=manifest)
 
     by_key = {(r.uarch, r.train, r.victim): r.reach for r in results}

@@ -8,11 +8,15 @@ hardware numbers because our Prime+Probe rounds cost fewer cycles than
 real ones — the comparison target is accuracy and ordering.
 """
 
-from repro.core import execute_covert_channel, fetch_covert_channel
-from repro.kernel import Machine
-from repro.pipeline import ZEN1, ZEN2, ZEN3, ZEN4
+import os
 
-from _harness import emit, run_once, scale
+from repro.core import CovertExperiment
+from repro.kernel import MachineSpec
+from repro.pipeline import ZEN1, ZEN2, ZEN3, ZEN4
+from repro.runner import run_campaign
+
+from _harness import emit, finish_with_campaigns, run_once, scale, \
+    telemetry_run
 
 N_BITS = scale(512, 4096)
 
@@ -21,16 +25,29 @@ def test_table2_covert_channels(benchmark):
     def experiment():
         rows = []
         for uarch in (ZEN1, ZEN2, ZEN3, ZEN4):
-            machine = Machine(uarch, kaslr_seed=11, sibling_load=True)
-            rows.append(("fetch", uarch,
-                         fetch_covert_channel(machine, n_bits=N_BITS)))
+            spec = MachineSpec(uarch=uarch.name, kaslr_seed=11,
+                               sibling_load=True)
+            campaign = run_campaign(
+                CovertExperiment(machine=spec, channel="fetch",
+                                 n_bits=N_BITS, seed=1),
+                jobs=os.cpu_count())
+            rows.append(("fetch", uarch, campaign))
         for uarch in (ZEN1, ZEN2):
-            machine = Machine(uarch, kaslr_seed=12)
-            rows.append(("execute", uarch,
-                         execute_covert_channel(machine, n_bits=N_BITS)))
-        return rows
+            spec = MachineSpec(uarch=uarch.name, kaslr_seed=12)
+            campaign = run_campaign(
+                CovertExperiment(machine=spec, channel="execute",
+                                 n_bits=N_BITS, seed=2),
+                jobs=os.cpu_count())
+            rows.append(("execute", uarch, campaign))
+        return [(channel, uarch, c.raise_on_failure().value, c)
+                for channel, uarch, c in rows]
 
-    rows = run_once(benchmark, experiment)
+    with telemetry_run("bench-table2", n_bits=N_BITS) as manifest:
+        full_rows = run_once(benchmark, experiment)
+        rows = [(ch, u, r) for ch, u, r, _ in full_rows]
+        finish_with_campaigns(
+            manifest, "success", [c for *_, c in full_rows],
+            accuracy={f"{ch}/{u.name}": r.accuracy for ch, u, r in rows})
 
     lines = [f"Table 2 — covert channel, {N_BITS} random bits "
              f"(median of 1 run)",
@@ -40,7 +57,7 @@ def test_table2_covert_channels(benchmark):
         lines.append(f"{channel:9s} {uarch.name:7s} {uarch.model:20s} "
                      f"{result.accuracy * 100:8.2f}% "
                      f"{result.bits_per_second:12,.0f} b/s")
-    emit("table2", lines)
+    emit("table2", lines, manifest=manifest)
 
     for channel, uarch, result in rows:
         assert result.accuracy >= 0.90, (channel, uarch.name)

@@ -7,13 +7,16 @@ per run).  Simulated times are far below the paper's wall-clock seconds
 ordering: Zen 2 slowest, Zen 4 fastest (clock-driven).
 """
 
+import os
 from statistics import median
 
-from repro.core import break_kernel_image_kaslr
-from repro.kernel import Machine
+from repro.core import KaslrImageExperiment
+from repro.kernel import Kaslr, MachineSpec
 from repro.pipeline import ZEN2, ZEN3, ZEN4
+from repro.runner import run_campaign
 
-from _harness import emit, run_once, scale, telemetry_run
+from _harness import emit, finish_with_campaigns, run_once, scale, \
+    telemetry_run
 
 RUNS = scale(3, 10)
 
@@ -22,22 +25,29 @@ def test_table3_kernel_image_kaslr(benchmark):
     with telemetry_run("bench-table3", runs=RUNS,
                        uarches=[u.name for u in (ZEN2, ZEN3, ZEN4)]) \
             as manifest:
+        campaigns = []
+
         def experiment():
             rows = []
             for uarch in (ZEN2, ZEN3, ZEN4):
                 outcomes = []
-                with manifest.phase(uarch.name):
-                    for run in range(RUNS):
-                        machine = Machine(uarch, kaslr_seed=1000 + run,
-                                          rng_seed=run)
-                        result = break_kernel_image_kaslr(machine)
-                        outcomes.append((result.correct(machine.kaslr),
-                                         result.seconds))
+                for run in range(RUNS):
+                    seed = 1000 + run
+                    spec = MachineSpec(uarch=uarch.name, kaslr_seed=seed,
+                                       rng_seed=run)
+                    campaign = run_campaign(
+                        KaslrImageExperiment(machine=spec),
+                        jobs=os.cpu_count())
+                    campaigns.append(campaign)
+                    result = campaign.raise_on_failure().value
+                    outcomes.append(
+                        (result.correct(Kaslr.randomize(seed)),
+                         result.seconds))
                 rows.append((uarch, outcomes))
             return rows
 
         rows = run_once(benchmark, experiment)
-        manifest.finish("success", accuracy={
+        finish_with_campaigns(manifest, "success", campaigns, accuracy={
             u.name: sum(ok for ok, _ in o) / len(o) for u, o in rows})
 
     lines = [f"Table 3 — kernel image KASLR via P1, {RUNS} runs "

@@ -19,7 +19,10 @@ Commands
 Every experiment command accepts ``--json`` (print a
 ``phantom.run-manifest/1`` document instead of text), ``--trace-out
 FILE`` (stream a ``phantom.trace/1`` JSON-lines event trace), and
-``--results-dir DIR`` (archive the manifest).
+``--results-dir DIR`` (archive the manifest).  Campaign commands
+(``matrix``, ``kaslr``, ``physmap``, ``leak``, ``covert``) also take
+``--jobs N`` to shard their jobs across worker processes (0 = one per
+CPU); results are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -38,6 +41,13 @@ def _add_uarch(parser, default="zen 2", choices_amd_only=False):
                         help="microarchitecture name (e.g. 'zen 3')")
     parser.add_argument("--seed", type=int, default=0,
                         help="KASLR/RNG seed (a 'reboot')")
+
+
+def _add_jobs(parser):
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for the campaign "
+                             "(default 0 = one per CPU; results are "
+                             "identical at any value)")
 
 
 def _add_telemetry(parser):
@@ -68,6 +78,7 @@ class _Run:
         self.extra_config = extra_config
         self.json_only = bool(getattr(args, "json", False))
         self._sink = None
+        self._absorbed: list[dict] = []
         self.manifest: RunManifest | None = None
 
     def __enter__(self) -> "_Run":
@@ -91,8 +102,18 @@ class _Run:
         if not self.json_only:
             print(line)
 
+    def absorb(self, campaign) -> None:
+        """Fold a :class:`repro.runner.CampaignResult`'s merged manifest
+        into this run's manifest at finish time.  The jobs' metrics
+        live in the absorbed document, so the process registry is reset
+        to keep the final snapshot from counting the last job twice."""
+        self._absorbed.append(campaign.manifest)
+        REGISTRY.reset()
+
     def finish(self, status: str, **outcome) -> None:
         self.manifest.finish(status, machine=self.machine, **outcome)
+        while self._absorbed:
+            self.manifest.absorb(self._absorbed.pop(0))
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         try:
@@ -126,7 +147,8 @@ def cmd_uarches(args) -> int:
 
 
 def cmd_matrix(args) -> int:
-    from .core.matrix import format_matrix, run_matrix
+    from .core.matrix import MatrixExperiment, format_matrix
+    from .runner import run_campaign
 
     if args.uarch == "all":
         uarches = ALL_MICROARCHES
@@ -137,55 +159,71 @@ def cmd_matrix(args) -> int:
     with _Run(args, "matrix", uarch=args.uarch,
               uarches=[u.name for u in uarches]) as run:
         with run.phase("matrix"):
-            results = run_matrix(uarches)
+            campaign = run_campaign(
+                MatrixExperiment(uarches=tuple(u.name for u in uarches)),
+                jobs=args.jobs)
+        run.absorb(campaign)
+        results = campaign.raise_on_failure().value
         reach: dict[str, int] = {}
         for cell in results:
             reach[cell.reach.name] = reach.get(cell.reach.name, 0) + 1
-        run.finish("success", cells=len(results), reach=reach)
+        run.finish("success", cells=len(results), reach=reach,
+                   jobs=campaign.jobs)
         run.text(format_matrix(results))
     return 0
 
 
 def cmd_kaslr(args) -> int:
-    from .core import break_kernel_image_kaslr
-    from .kernel import Machine
+    from .core import KaslrImageExperiment
+    from .kernel import Kaslr, MachineSpec
+    from .runner import run_campaign
 
-    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-    with _Run(args, "kaslr", machine) as run:
+    spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed)
+    with _Run(args, "kaslr", **spec.describe()) as run:
         with run.phase("break-image-kaslr"):
-            result = break_kernel_image_kaslr(machine)
-        ok = result.correct(machine.kaslr)
-        run.finish("success" if ok else "failure",
-                   guessed_base=f"{result.guessed_base:#x}",
-                   actual_base=f"{machine.kaslr.image_base:#x}",
-                   simulated_ms=result.seconds * 1000)
+            campaign = run_campaign(KaslrImageExperiment(machine=spec),
+                                    jobs=args.jobs)
+        run.absorb(campaign)
+        result = campaign.raise_on_failure().value
+        kaslr = Kaslr.randomize(args.seed)
+        ok = result.correct(kaslr)
+        run.finish("success" if ok else "failure", **result.to_dict(),
+                   actual_base=f"{kaslr.image_base:#x}",
+                   jobs=campaign.jobs)
         run.text(f"guessed image base: {result.guessed_base:#x}")
-        run.text(f"actual image base:  {machine.kaslr.image_base:#x}")
+        run.text(f"actual image base:  {kaslr.image_base:#x}")
         run.text(f"{'SUCCESS' if ok else 'FAILURE'} in "
                  f"{result.seconds * 1000:.2f} simulated ms")
     return 0 if ok else 1
 
 
 def cmd_physmap(args) -> int:
-    from .core import break_kernel_image_kaslr, break_physmap_kaslr
-    from .kernel import Machine
+    from .core import KaslrImageExperiment, PhysmapExperiment
+    from .kernel import Kaslr, MachineSpec
+    from .runner import run_campaign
 
-    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed)
-    with _Run(args, "physmap", machine) as run:
+    spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed)
+    with _Run(args, "physmap", **spec.describe()) as run:
         with run.phase("break-image-kaslr"):
-            image = break_kernel_image_kaslr(machine)
+            image_campaign = run_campaign(
+                KaslrImageExperiment(machine=spec), jobs=args.jobs)
+        run.absorb(image_campaign)
+        image = image_campaign.raise_on_failure().value
         with run.phase("break-physmap-kaslr"):
-            result = break_physmap_kaslr(machine, image.guessed_base)
-        ok = result.correct(machine.kaslr)
-        run.finish("success" if ok else "failure",
-                   guessed_physmap=(result.guessed_base
-                                    and f"{result.guessed_base:#x}"),
-                   actual_physmap=f"{machine.kaslr.physmap_base:#x}",
-                   candidates_scanned=result.candidates_scanned,
-                   simulated_ms=result.seconds * 1000)
+            campaign = run_campaign(
+                PhysmapExperiment(machine=spec,
+                                  image_base=image.guessed_base),
+                jobs=args.jobs)
+        run.absorb(campaign)
+        result = campaign.raise_on_failure().value
+        kaslr = Kaslr.randomize(args.seed)
+        ok = result.correct(kaslr)
+        run.finish("success" if ok else "failure", **result.to_dict(),
+                   actual_physmap=f"{kaslr.physmap_base:#x}",
+                   jobs=campaign.jobs)
         run.text(f"guessed physmap: "
                  f"{result.guessed_base and hex(result.guessed_base)}")
-        run.text(f"actual physmap:  {machine.kaslr.physmap_base:#x}")
+        run.text(f"actual physmap:  {kaslr.physmap_base:#x}")
         run.text(f"{'SUCCESS' if ok else 'FAILURE'} after "
                  f"{result.candidates_scanned} candidates, "
                  f"{result.seconds * 1000:.2f} simulated ms")
@@ -193,32 +231,49 @@ def cmd_physmap(args) -> int:
 
 
 def cmd_leak(args) -> int:
-    from .core import (break_kernel_image_kaslr, break_physmap_kaslr,
-                       find_physical_address, leak_kernel_memory)
-    from .kernel import Machine
+    from .core import (KaslrImageExperiment, MdsLeakExperiment,
+                       PhysAddrExperiment, PhysmapExperiment)
+    from .kernel import MachineSpec
+    from .runner import run_campaign
 
-    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
-                      phys_mem=1 << 30)
-    with _Run(args, "leak", machine, n_bytes=args.bytes) as run:
+    spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
+                       phys_mem=1 << 30)
+    with _Run(args, "leak", n_bytes=args.bytes, **spec.describe()) as run:
         with run.phase("break-image-kaslr"):
-            image = break_kernel_image_kaslr(machine)
+            image_campaign = run_campaign(
+                KaslrImageExperiment(machine=spec), jobs=args.jobs)
+        run.absorb(image_campaign)
+        image = image_campaign.raise_on_failure().value
         with run.phase("break-physmap-kaslr"):
-            physmap = break_physmap_kaslr(machine, image.guessed_base)
+            physmap_campaign = run_campaign(
+                PhysmapExperiment(machine=spec,
+                                  image_base=image.guessed_base),
+                jobs=args.jobs)
+        run.absorb(physmap_campaign)
+        physmap = physmap_campaign.raise_on_failure().value
         with run.phase("find-physical-address"):
             buffer_va = 0x0000_0000_7A00_0000
-            machine.map_user_huge(buffer_va)
-            find_physical_address(machine, image.guessed_base,
-                                  physmap.guessed_base, buffer_va)
+            physaddr_campaign = run_campaign(
+                PhysAddrExperiment(machine=spec,
+                                   image_base=image.guessed_base,
+                                   physmap_base=physmap.guessed_base,
+                                   buffer_va=buffer_va),
+                jobs=args.jobs)
+        run.absorb(physaddr_campaign)
+        physaddr_campaign.raise_on_failure()
         with run.phase("leak-kernel-memory"):
-            result = leak_kernel_memory(machine, image.guessed_base,
-                                        physmap.guessed_base,
-                                        n_bytes=args.bytes)
+            campaign = run_campaign(
+                MdsLeakExperiment(machine=spec,
+                                  image_base=image.guessed_base,
+                                  physmap_base=physmap.guessed_base,
+                                  n_bytes=args.bytes),
+                jobs=args.jobs)
+        run.absorb(campaign)
+        result = campaign.raise_on_failure().value
         ok = result.accuracy == 1.0
-        run.finish("success" if ok else "failure",
-                   leaked_bytes=len(result.leaked),
-                   accuracy=result.accuracy,
-                   bytes_per_second=result.bytes_per_second,
-                   first_32_bytes=result.leaked[:32].hex())
+        run.finish("success" if ok else "failure", **result.to_dict(),
+                   first_32_bytes=result.leaked[:32].hex(),
+                   jobs=campaign.jobs)
         run.text(f"leaked {len(result.leaked)} bytes, accuracy "
                  f"{result.accuracy * 100:.1f}%, "
                  f"{result.bytes_per_second:,.0f} B/s simulated")
@@ -227,23 +282,35 @@ def cmd_leak(args) -> int:
 
 
 def cmd_covert(args) -> int:
-    from .core import execute_covert_channel, fetch_covert_channel
-    from .kernel import Machine
+    from .core import CovertExperiment
+    from .kernel import MachineSpec
+    from .runner import run_campaign
 
-    machine = Machine(by_name(args.uarch), kaslr_seed=args.seed,
-                      sibling_load=True)
-    with _Run(args, "covert", machine, n_bits=args.bits) as run:
-        outcome = {}
+    spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
+                       sibling_load=True)
+    with _Run(args, "covert", n_bits=args.bits, **spec.describe()) as run:
+        outcome = {"jobs": None}
         with run.phase("fetch-channel"):
-            result = fetch_covert_channel(machine, n_bits=args.bits)
+            campaign = run_campaign(
+                CovertExperiment(machine=spec, channel="fetch",
+                                 n_bits=args.bits, seed=1),
+                jobs=args.jobs)
+        run.absorb(campaign)
+        outcome["jobs"] = campaign.jobs
+        result = campaign.raise_on_failure().value
         outcome["fetch_accuracy"] = result.accuracy
         outcome["fetch_bits_per_second"] = result.bits_per_second
         run.text(f"fetch channel:   accuracy {result.accuracy * 100:6.2f}%  "
                  f"{result.bits_per_second:,.0f} bits/s simulated")
-        if machine.uarch.phantom_reaches_execute:
-            machine2 = Machine(by_name(args.uarch), kaslr_seed=args.seed)
+        if by_name(args.uarch).phantom_reaches_execute:
             with run.phase("execute-channel"):
-                result = execute_covert_channel(machine2, n_bits=args.bits)
+                campaign = run_campaign(
+                    CovertExperiment(machine=spec.with_(sibling_load=False),
+                                     channel="execute",
+                                     n_bits=args.bits, seed=2),
+                    jobs=args.jobs)
+            run.absorb(campaign)
+            result = campaign.raise_on_failure().value
             outcome["execute_accuracy"] = result.accuracy
             outcome["execute_bits_per_second"] = result.bits_per_second
             run.text(f"execute channel: accuracy "
@@ -367,28 +434,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("matrix", help="Table 1 speculation matrix")
     p.add_argument("--uarch", default="amd",
                    help="'all', 'amd', or one name")
+    _add_jobs(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser("kaslr", help="break kernel-image KASLR (§7.1)")
     _add_uarch(p, default="zen 3")
+    _add_jobs(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_kaslr)
 
     p = sub.add_parser("physmap", help="break physmap KASLR (§7.2)")
     _add_uarch(p, default="zen 2")
+    _add_jobs(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_physmap)
 
     p = sub.add_parser("leak", help="full §7 chain: leak kernel memory")
     _add_uarch(p, default="zen 2")
     p.add_argument("--bytes", type=int, default=128)
+    _add_jobs(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_leak)
 
     p = sub.add_parser("covert", help="covert-channel capacity (§6.4)")
     _add_uarch(p, default="zen 4")
     p.add_argument("--bits", type=int, default=1024)
+    _add_jobs(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_covert)
 

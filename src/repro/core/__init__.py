@@ -1,35 +1,51 @@
 """Phantom core: observation channels, primitives, exploits."""
 
 from .attacker import AttackerRuntime
-from .covert import CovertResult, execute_covert_channel, fetch_covert_channel
-from .kaslr_image import KaslrImageResult, break_kernel_image_kaslr
-from .kaslr_physmap import PhysmapResult, break_physmap_kaslr
-from .matrix import (ASYMMETRIC_COMBOS, CellResult, format_matrix,
-                     measure_cell, run_matrix)
-from .mds import MdsLeakResult, leak_kernel_memory
+from .covert import (CovertExperiment, CovertResult, execute_covert_channel,
+                     fetch_covert_channel)
+from .experiment import Experiment, chunked, values
+from .kaslr_image import (KaslrImageExperiment, KaslrImageResult,
+                          break_kernel_image_kaslr)
+from .kaslr_physmap import (PhysmapExperiment, PhysmapResult,
+                            break_physmap_kaslr)
+from .matrix import (ASYMMETRIC_COMBOS, CHANNELS, CellResult,
+                     MatrixExperiment, format_matrix, measure_cell,
+                     measure_channel, run_matrix)
+from .mds import MdsLeakExperiment, MdsLeakResult, leak_kernel_memory
 from .observe import (ExperimentResult, TrainKind, TypeConfusionExperiment,
                       VictimKind)
-from .physaddr import PhysAddrResult, find_physical_address
+from .physaddr import (PhysAddrExperiment, PhysAddrResult,
+                       find_physical_address)
 from .primitives import (P1MappedExecutable, P2MappedMemory, P3RegisterLeak,
                          PhantomInjector)
+from .results import Result, hexaddr
 from .scoring import (GuessScore, best_guess, bounded_difference,
                       bounded_score, score_margin)
 
 __all__ = [
     "ASYMMETRIC_COMBOS",
     "AttackerRuntime",
+    "CHANNELS",
     "CellResult",
+    "CovertExperiment",
     "CovertResult",
+    "Experiment",
     "ExperimentResult",
     "GuessScore",
+    "KaslrImageExperiment",
     "KaslrImageResult",
+    "MatrixExperiment",
+    "MdsLeakExperiment",
     "MdsLeakResult",
     "P1MappedExecutable",
     "P2MappedMemory",
     "P3RegisterLeak",
     "PhantomInjector",
+    "PhysAddrExperiment",
     "PhysAddrResult",
+    "PhysmapExperiment",
     "PhysmapResult",
+    "Result",
     "TrainKind",
     "TypeConfusionExperiment",
     "VictimKind",
@@ -38,12 +54,16 @@ __all__ = [
     "bounded_score",
     "break_kernel_image_kaslr",
     "break_physmap_kaslr",
+    "chunked",
     "execute_covert_channel",
     "fetch_covert_channel",
     "find_physical_address",
     "format_matrix",
+    "hexaddr",
     "leak_kernel_memory",
     "measure_cell",
+    "measure_channel",
     "run_matrix",
     "score_margin",
+    "values",
 ]

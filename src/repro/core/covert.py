@@ -16,10 +16,13 @@ addresses are known, as in the paper's setup.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
+from typing import ClassVar
 
-from ..kernel import KERNEL_IMAGE_REGION, SYS_COVERT
+from ..kernel import KERNEL_IMAGE_REGION, MachineSpec, SYS_COVERT
+from ..runner import JobContext, JobSpec, derive_seed
 from ..sidechannel import PrimeProbeL1D, PrimeProbeL1I
 from .primitives import PhantomInjector
 
@@ -46,6 +49,67 @@ class CovertResult:
     @property
     def bits_per_second(self) -> float:
         return self.bits / self.seconds if self.seconds else float("inf")
+
+    def to_dict(self) -> dict:
+        return {"bits": self.bits, "correct": self.correct,
+                "accuracy": self.accuracy,
+                "bits_per_second": self.bits_per_second,
+                "simulated_seconds": self.seconds}
+
+    def summary(self) -> str:
+        return (f"{self.bits} bits, accuracy {self.accuracy * 100:.2f}%, "
+                f"{self.bits_per_second:,.0f} bits/s simulated")
+
+
+@dataclass(frozen=True)
+class CovertExperiment:
+    """A Table 2 campaign: *n_bits* sharded into fixed-size chunks.
+
+    Each chunk transmits on a fresh machine (bit patterns come from
+    :func:`repro.runner.derive_seed` over the chunk key, so the stream
+    is the same at any ``--jobs``); the reduce step sums bits, correct
+    receptions and simulated transmit time into one
+    :class:`CovertResult`.
+    """
+
+    name: ClassVar[str] = "covert"
+
+    machine: MachineSpec
+    channel: str = "fetch"              # "fetch" | "execute"
+    n_bits: int = 4096
+    seed: int = 1
+    chunk_bits: int = 512               # fixed: never depends on --jobs
+
+    def campaign_config(self) -> dict:
+        return {"channel": self.channel, "n_bits": self.n_bits,
+                "seed": self.seed, "uarch": self.machine.uarch}
+
+    def job_specs(self) -> list[JobSpec]:
+        if self.channel not in ("fetch", "execute"):
+            raise ValueError(f"unknown covert channel {self.channel!r}; "
+                             f"expected 'fetch' or 'execute'")
+        specs = []
+        n_chunks = max(1, math.ceil(self.n_bits / self.chunk_bits))
+        for index in range(n_chunks):
+            bits = min(self.chunk_bits,
+                       self.n_bits - index * self.chunk_bits)
+            key = (self.channel, index)
+            specs.append(JobSpec.make(
+                self.name, key, derive_seed(self.seed, key),
+                machine=self.machine, bits=bits))
+        return specs
+
+    def run_one(self, spec: JobSpec, ctx: JobContext) -> CovertResult:
+        transmit = (fetch_covert_channel if self.channel == "fetch"
+                    else execute_covert_channel)
+        machine = ctx.boot(spec.machine)
+        return transmit(machine, n_bits=spec.param("bits"), seed=spec.seed)
+
+    def reduce(self, results) -> CovertResult:
+        chunks = [r.value for r in results if r.ok]
+        return CovertResult(bits=sum(c.bits for c in chunks),
+                            correct=sum(c.correct for c in chunks),
+                            seconds=sum(c.seconds for c in chunks))
 
 
 def fetch_covert_channel(machine, *, n_bits: int = 4096,

@@ -1,0 +1,72 @@
+"""The common Experiment protocol every campaign implements.
+
+An experiment is three pure-ish pieces the runner can schedule
+uniformly:
+
+* ``job_specs()`` — decompose the campaign into declarative
+  :class:`repro.runner.JobSpec`\\ s.  The decomposition must depend only
+  on the campaign's own parameters (never on ``--jobs``), and any
+  randomness must come from :func:`repro.runner.derive_seed` — together
+  these make results byte-identical at any worker count.
+* ``run_one(spec, ctx)`` — execute one job on a fresh machine booted
+  through ``ctx.boot(spec.machine)`` (so the runner can account cycles
+  and PMCs), returning a picklable value.
+* ``reduce(results)`` — fold the ordered :class:`repro.runner.JobResult`
+  list into the campaign's domain result, skipping failed jobs.
+
+Experiment objects themselves cross the process-pool boundary, so they
+must be picklable: frozen dataclasses of names, numbers and other
+frozen specs (µarches by *name*, machines as
+:class:`repro.kernel.MachineSpec`).
+
+Implementations live next to the physics they drive:
+:class:`repro.core.matrix.MatrixExperiment`,
+:class:`repro.core.covert.CovertExperiment`,
+:class:`repro.core.kaslr_image.KaslrImageExperiment`,
+:class:`repro.core.kaslr_physmap.PhysmapExperiment`,
+:class:`repro.core.physaddr.PhysAddrExperiment`,
+:class:`repro.core.mds.MdsLeakExperiment`, and
+:class:`repro.workloads.suite.SuiteExperiment`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..runner import JobContext, JobResult, JobSpec
+
+
+@runtime_checkable
+class Experiment(Protocol):
+    """What the campaign runner needs from an experiment."""
+
+    name: str
+
+    def job_specs(self) -> Sequence[JobSpec]:
+        """The campaign's jobs, in reduce order."""
+        ...   # pragma: no cover
+
+    def run_one(self, spec: JobSpec, ctx: JobContext) -> Any:
+        """Execute one job; runs in a worker process."""
+        ...   # pragma: no cover
+
+    def reduce(self, results: Sequence[JobResult]) -> Any:
+        """Fold ordered job results into the campaign result."""
+        ...   # pragma: no cover
+
+
+def chunked(n_items: int, chunk_size: int) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(chunk_index, start, stop)`` covering ``range(n_items)``.
+
+    The fixed *chunk_size* is what keeps a campaign's decomposition
+    independent of the worker count.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    for index, start in enumerate(range(0, n_items, chunk_size)):
+        yield index, start, min(start + chunk_size, n_items)
+
+
+def values(results: Sequence[JobResult]) -> list:
+    """The successful results' values, in job order."""
+    return [r.value for r in results if r.ok]

@@ -17,10 +17,13 @@ buffer, and the gadget/array addresses (module layout is public).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from ..kernel import SYS_MDS
+from ..kernel import MachineSpec, SYS_MDS
 from ..kernel.layout import IMAGE_SIZE
+from ..runner import JobContext, JobSpec, derive_seed
 from ..sidechannel import ReloadBuffer
+from .experiment import chunked
 from .primitives import P3RegisterLeak, PhantomInjector
 
 
@@ -49,6 +52,18 @@ class MdsLeakResult:
     def signal(self) -> bool:
         """Did the run produce any signal at all (paper: 8 of 10 did)?"""
         return self.no_signal_bytes < len(self.expected)
+
+    def to_dict(self) -> dict:
+        return {"bytes": len(self.leaked), "accuracy": self.accuracy,
+                "bytes_per_second": self.bytes_per_second,
+                "no_signal_bytes": self.no_signal_bytes,
+                "signal": self.signal,
+                "simulated_seconds": self.seconds}
+
+    def summary(self) -> str:
+        return (f"leaked {len(self.leaked)} bytes, accuracy "
+                f"{self.accuracy * 100:.2f}%, "
+                f"{self.bytes_per_second:,.0f} bytes/s simulated")
 
 
 def leak_kernel_memory(machine, image_base: int, physmap_base: int, *,
@@ -108,3 +123,53 @@ def leak_kernel_memory(machine, image_base: int, physmap_base: int, *,
     return MdsLeakResult(leaked=bytes(leaked), expected=expected,
                          seconds=machine.seconds() - start,
                          no_signal_bytes=no_signal)
+
+
+@dataclass(frozen=True)
+class MdsLeakExperiment:
+    """The §7.4 campaign: the secret region in fixed byte ranges.
+
+    Each chunk leaks one contiguous range on a fresh machine (identical
+    machines hold identical secrets, so the ranges concatenate into the
+    stream the serial leak produces).  Results arrive in spec order, so
+    the reduce step stitches ``leaked``/``expected`` back together by
+    simple concatenation.
+    """
+
+    name: ClassVar[str] = "mds-leak"
+
+    machine: MachineSpec
+    image_base: int
+    physmap_base: int
+    n_bytes: int = 4096
+    start_offset: int = 0
+    chunk_bytes: int = 1024             # fixed: never depends on --jobs
+
+    def campaign_config(self) -> dict:
+        return {"uarch": self.machine.uarch,
+                "kaslr_seed": self.machine.kaslr_seed,
+                "n_bytes": self.n_bytes,
+                "start_offset": self.start_offset}
+
+    def job_specs(self) -> list[JobSpec]:
+        return [JobSpec.make(self.name, (index,),
+                             derive_seed(self.machine.kaslr_seed, (index,)),
+                             machine=self.machine, start=start, stop=stop)
+                for index, start, stop in chunked(self.n_bytes,
+                                                  self.chunk_bytes)]
+
+    def run_one(self, spec: JobSpec, ctx: JobContext) -> MdsLeakResult:
+        machine = ctx.boot(spec.machine)
+        start, stop = spec.param("start"), spec.param("stop")
+        return leak_kernel_memory(
+            machine, self.image_base, self.physmap_base,
+            n_bytes=stop - start,
+            start_offset=self.start_offset + start)
+
+    def reduce(self, results) -> MdsLeakResult:
+        chunks = [r.value for r in results if r.ok]
+        return MdsLeakResult(
+            leaked=b"".join(c.leaked for c in chunks),
+            expected=b"".join(c.expected for c in chunks),
+            seconds=sum(c.seconds for c in chunks),
+            no_signal_bytes=sum(c.no_signal_bytes for c in chunks))

@@ -5,7 +5,8 @@ from .kaslr import (KERNEL_IMAGE_REGION, KERNEL_IMAGE_STRIDE, Kaslr,
 from .layout import (DISCLOSURE_GADGET_OFFSET, FDGET_POS_OFFSET, IMAGE_SIZE,
                      SYS_BTC, SYS_BTC_SAFE, SYS_COVERT, SYS_GETPID, SYS_MDS,
                      SYS_NOISE, SYS_READV, SYS_REV, TASK_PID_NR_NS_OFFSET)
-from .machine import Machine, SECRET_OFFSET, SECRET_SIZE, USER_STUB
+from .machine import (Machine, MachineSpec, SECRET_OFFSET, SECRET_SIZE,
+                      USER_STUB)
 from .mitigations import (DEFAULT_MITIGATIONS, HARDENED, IBPB_HARDENED,
                           MitigationConfig)
 from .modules import COVERT_BRANCHES, MDS_ARRAY_LENGTH
@@ -24,6 +25,7 @@ __all__ = [
     "MDS_ARRAY_LENGTH",
     "MODULES_BASE",
     "Machine",
+    "MachineSpec",
     "MitigationConfig",
     "PHYSMAP_REGION",
     "PHYSMAP_STRIDE",

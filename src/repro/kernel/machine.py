@@ -16,6 +16,7 @@ caches exactly as the equivalent instruction sequence would.
 from __future__ import annotations
 
 import random
+from dataclasses import asdict, dataclass, replace
 
 from ..errors import HaltRequested, PageFault, ReproError
 from ..isa import Assembler, Image, Reg
@@ -44,6 +45,50 @@ SECRET_OFFSET = 0x1000
 SECRET_SIZE = 4096
 
 
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative, picklable description of one :class:`Machine` boot.
+
+    Experiments pass specs instead of keyword sprawl at call sites, and
+    — because a spec is plain data keyed by the µarch *name* — a spec
+    crosses the process-pool boundary of :mod:`repro.runner` where a
+    booted :class:`Machine` (caches, CPU, mapped memory) cannot.  Two
+    boots of the same spec are bit-identical machines.
+    """
+
+    uarch: str
+    phys_mem: int = 2 << 30
+    kaslr_seed: int = 0
+    rng_seed: int = 0
+    mitigations: MitigationConfig = DEFAULT_MITIGATIONS
+    sibling_load: bool = False
+    syscall_noise_evictions: int = 2
+
+    def with_(self, **changes) -> "MachineSpec":
+        return replace(self, **changes)
+
+    def boot(self) -> "Machine":
+        return Machine.from_spec(self)
+
+    def describe(self) -> dict:
+        """Manifest ``config`` block for this spec (same shape as
+        :func:`repro.telemetry.manifest.machine_config`, no boot
+        required)."""
+        from ..pipeline import by_name
+
+        uarch = by_name(self.uarch)
+        return {
+            "uarch": uarch.name,
+            "model": uarch.model,
+            "vendor": uarch.vendor,
+            "clock_ghz": uarch.clock_ghz,
+            "kaslr_seed": self.kaslr_seed,
+            "mitigations": {k: bool(v)
+                            for k, v in asdict(self.mitigations).items()},
+            "phys_mem_bytes": self.phys_mem,
+        }
+
+
 class Machine:
     """A booted system: hardware model + kernel + one attacker process."""
 
@@ -69,6 +114,17 @@ class Machine:
         self._saved_user_rsp = 0
 
         self._boot()
+
+    @classmethod
+    def from_spec(cls, spec: MachineSpec) -> "Machine":
+        """Boot the machine a :class:`MachineSpec` describes."""
+        from ..pipeline import by_name
+
+        return cls(by_name(spec.uarch), phys_mem=spec.phys_mem,
+                   kaslr_seed=spec.kaslr_seed, rng_seed=spec.rng_seed,
+                   mitigations=spec.mitigations,
+                   sibling_load=spec.sibling_load,
+                   syscall_noise_evictions=spec.syscall_noise_evictions)
 
     # ------------------------------------------------------------------
     # boot

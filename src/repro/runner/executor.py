@@ -1,0 +1,233 @@
+"""The campaign executor: shard jobs across worker processes.
+
+:func:`run_campaign` takes any object satisfying the
+:class:`repro.core.experiment.Experiment` protocol, expands its
+:meth:`job_specs`, executes each spec — in-process for ``jobs=1``, on a
+``ProcessPoolExecutor`` otherwise — and reduces the ordered results.
+
+Failure semantics: a job that raises or exceeds its timeout becomes a
+failed :class:`JobResult` (error captured, campaign continues); the
+merged campaign manifest records it and the overall status degrades to
+``partial`` (or ``failure`` when nothing succeeded).  Compatibility
+wrappers that predate the runner (``run_matrix`` …) call
+:meth:`CampaignResult.raise_on_failure` to restore raise-on-error
+behaviour.
+
+Every job runs in its own metrics scope (the worker's registry is
+reset around it) and returns a small ``phantom.run-manifest/1``
+document; the reducer merges those into one campaign manifest.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ReproError
+from ..telemetry import metrics as _metrics
+from .reduce import job_manifest, merge_job_manifests
+from .spec import JobSpec
+
+
+class CampaignError(ReproError):
+    """Raised by strict wrappers when a campaign had failed jobs."""
+
+
+class JobTimeout(ReproError):
+    """A job exceeded its per-job timeout."""
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``--jobs`` semantics: ``None``/``0`` means one worker per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+class JobContext:
+    """Per-job runtime handed to ``Experiment.run_one``.
+
+    Booting machines through the context lets the executor account
+    simulated cycles and PMC totals for the job manifest without the
+    experiment threading them back by hand.
+    """
+
+    def __init__(self) -> None:
+        self.machines: list = []
+
+    def boot(self, spec):
+        """Boot *spec* (a :class:`repro.kernel.MachineSpec`) and track
+        the machine for cycle/PMC accounting."""
+        from ..kernel import Machine
+
+        return self.track(Machine.from_spec(spec))
+
+    def track(self, machine):
+        self.machines.append(machine)
+        return machine
+
+    @property
+    def cycles(self) -> int:
+        return sum(m.cycles for m in self.machines)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(m.seconds() for m in self.machines)
+
+    def pmc_snapshot(self) -> dict:
+        merged: dict[str, int] = {}
+        for machine in self.machines:
+            for name, value in machine.cpu.pmc.snapshot().items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a value, or a captured failure."""
+
+    spec: JobSpec
+    value: Any = None
+    error: str | None = None
+    error_kind: str | None = None          # "exception" | "timeout"
+    attempts: int = 1
+    wall_time_s: float = 0.0
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, in job-spec order."""
+
+    experiment: str
+    jobs: int
+    results: list[JobResult]
+    value: Any
+    manifest: dict
+
+    @property
+    def failures(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        if self.failures:
+            summary = "; ".join(f"{r.spec.label}: {r.error}"
+                                for r in self.failures[:3])
+            raise CampaignError(
+                f"{len(self.failures)}/{len(self.results)} jobs failed "
+                f"in campaign {self.experiment!r}: {summary}")
+        return self
+
+
+class _JobAlarm:
+    """Per-job wall-clock timeout via ``SIGALRM`` (worker processes run
+    jobs on their main thread, where the signal can be delivered; off
+    the main thread the timeout degrades to unenforced)."""
+
+    def __init__(self, timeout_s: float | None) -> None:
+        self.armed = (timeout_s is not None and timeout_s > 0
+                      and hasattr(signal, "SIGALRM")
+                      and threading.current_thread()
+                      is threading.main_thread())
+        self.timeout_s = timeout_s
+
+    def __enter__(self) -> "_JobAlarm":
+        if self.armed:
+            def _on_alarm(signum, frame):
+                raise JobTimeout(f"job exceeded {self.timeout_s}s")
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def execute_job(experiment, spec: JobSpec, *, timeout_s: float | None = None,
+                retries: int = 0) -> JobResult:
+    """Run one job to a :class:`JobResult` — never raises.
+
+    Must stay a module-level function: it is the callable the process
+    pool pickles.
+    """
+    registry = _metrics.REGISTRY
+    wall_start = time.perf_counter()
+    errors: list[tuple[str, str]] = []
+    ctx = JobContext()
+    for attempt in range(retries + 1):
+        ctx = JobContext()
+        registry.reset()
+        registry.enable()
+        try:
+            with _JobAlarm(timeout_s):
+                value = experiment.run_one(spec, ctx)
+        except JobTimeout as exc:
+            errors.append(("timeout", str(exc)))
+        except Exception as exc:   # noqa: BLE001 — capture, don't abort
+            errors.append(("exception", f"{type(exc).__name__}: {exc}"))
+        else:
+            wall = time.perf_counter() - wall_start
+            manifest = job_manifest(spec, ctx, registry.snapshot(),
+                                    status="success", wall_time_s=wall)
+            registry.disable()
+            return JobResult(spec=spec, value=value, attempts=attempt + 1,
+                             wall_time_s=wall, manifest=manifest)
+        registry.disable()
+    kind, message = errors[-1]
+    wall = time.perf_counter() - wall_start
+    manifest = job_manifest(spec, ctx, registry.snapshot(),
+                            status="failure", wall_time_s=wall,
+                            error=message, error_kind=kind)
+    return JobResult(spec=spec, error=message, error_kind=kind,
+                     attempts=len(errors), wall_time_s=wall,
+                     manifest=manifest)
+
+
+def run_campaign(experiment, *, jobs: int | None = None,
+                 timeout_s: float | None = None, retries: int = 0,
+                 config: dict | None = None) -> CampaignResult:
+    """Execute every job of *experiment* and reduce the results.
+
+    ``jobs=None``/``0`` uses one worker per CPU core; ``jobs=1`` (or a
+    single-job campaign) runs in-process with no pool overhead.  The
+    result order always follows ``experiment.job_specs()`` order, so
+    reduction is deterministic at any worker count.
+    """
+    specs: Sequence[JobSpec] = list(experiment.job_specs())
+    n_workers = resolve_jobs(jobs)
+    wall_start = time.perf_counter()
+    if n_workers <= 1 or len(specs) <= 1:
+        results = [execute_job(experiment, spec, timeout_s=timeout_s,
+                               retries=retries) for spec in specs]
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(specs))) as pool:
+            futures = [pool.submit(execute_job, experiment, spec,
+                                   timeout_s=timeout_s, retries=retries)
+                       for spec in specs]
+            results = [future.result() for future in futures]
+    value = experiment.reduce(results)
+    name = getattr(experiment, "name", type(experiment).__name__)
+    campaign_config = {"experiment": name, "jobs": n_workers,
+                       "job_count": len(specs)}
+    campaign_config.update(getattr(experiment, "campaign_config",
+                                   dict)() or {})
+    campaign_config.update(config or {})
+    manifest = merge_job_manifests(
+        name, campaign_config, results,
+        wall_time_s=time.perf_counter() - wall_start)
+    return CampaignResult(experiment=name, jobs=n_workers,
+                          results=results, value=value, manifest=manifest)

@@ -1,0 +1,75 @@
+"""Declarative job specs and deterministic per-job seed derivation.
+
+A campaign (a Table 1 sweep, a KASLR break, a covert-channel run) is a
+set of :class:`JobSpec`\\ s — plain, frozen, picklable records — that
+the executor can run in any order on any number of workers.  Two rules
+make results independent of ``--jobs``:
+
+1. **Decomposition is a function of the campaign, never of the worker
+   count.**  Experiments shard work into fixed-size chunks (bits,
+   candidates, cells); ``--jobs`` only decides how many chunks run at
+   once.
+2. **Randomness is derived, not shared.**  Each job's seed comes from
+   :func:`derive_seed` over the campaign seed and the job's stable key,
+   so a job sees the same random stream whether it runs first on one
+   worker or last on sixteen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:   # pragma: no cover
+    from ..kernel import MachineSpec
+
+
+def derive_seed(campaign_seed: int, job_key) -> int:
+    """Deterministic 63-bit seed for one job of a campaign.
+
+    Uses SHA-256 (not ``hash()``, which is salted per process) so the
+    derivation is stable across processes, platforms, and Python
+    versions — the byte-identical-at-any-``--jobs`` guarantee rests on
+    this.  *job_key* may be any value with a stable ``repr``; by
+    convention experiments use tuples of strings and ints.
+    """
+    blob = f"{campaign_seed}|{job_key!r}".encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of a campaign.
+
+    ``key`` identifies the job within its campaign (and orders the
+    reduce step); ``seed`` is the job's derived random seed;
+    ``machine`` describes the fresh machine the job boots, if any;
+    ``params`` carries experiment-specific scalars as a sorted tuple of
+    pairs (kept hashable so specs stay frozen).
+    """
+
+    experiment: str
+    key: tuple
+    seed: int
+    machine: "MachineSpec | None" = None
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, experiment: str, key: tuple, seed: int,
+             machine: "MachineSpec | None" = None, **params) -> "JobSpec":
+        return cls(experiment=experiment, key=tuple(key), seed=seed,
+                   machine=machine,
+                   params=tuple(sorted(params.items())))
+
+    def param(self, name: str, default=None):
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def label(self) -> str:
+        parts = "/".join(str(part) for part in self.key)
+        return f"{self.experiment}[{parts}]"

@@ -20,6 +20,7 @@ from __future__ import annotations
 from . import metrics as metrics
 from .manifest import MANIFEST_SCHEMA, PhaseProfile, RunManifest, \
     machine_config
+from .merge import merge_metric_snapshots, merge_pmc
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY, \
     counter, gauge, histogram
 from .profiling import profile_block, time_callable
@@ -52,6 +53,8 @@ __all__ = [
     "gauge",
     "histogram",
     "machine_config",
+    "merge_metric_snapshots",
+    "merge_pmc",
     "metrics",
     "one_line_summary",
     "profile_block",

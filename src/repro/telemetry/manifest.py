@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from .merge import merge_metric_snapshots, merge_pmc
 from .metrics import REGISTRY
 
 MANIFEST_SCHEMA = "phantom.run-manifest/1"
@@ -105,6 +106,22 @@ class RunManifest:
             self.totals["cycles"] = machine.cycles
             self.totals["simulated_seconds"] = machine.seconds()
         self.totals["wall_time_s"] = time.perf_counter() - self._wall_start
+        return self
+
+    def absorb(self, doc: dict) -> "RunManifest":
+        """Fold another manifest document (typically a merged campaign
+        manifest from :mod:`repro.runner`) into this one: its phases are
+        appended, metrics and PMC snapshots merged, and its simulated
+        totals added.  Wall time stays this manifest's own."""
+        for phase in doc.get("phases", ()):
+            self.phases.append(PhaseProfile(**phase))
+        self.metrics = merge_metric_snapshots(self.metrics,
+                                              doc.get("metrics", {}))
+        self.pmc = merge_pmc(self.pmc, doc.get("pmc", {}))
+        totals = doc.get("totals", {})
+        self.totals["cycles"] += totals.get("cycles", 0)
+        self.totals["simulated_seconds"] += totals.get(
+            "simulated_seconds", 0.0)
         return self
 
     # -- export / import ---------------------------------------------------

@@ -1,5 +1,7 @@
 """UnixBench-flavoured workload suite for mitigation-overhead studies."""
 
-from .suite import (SuiteResult, WORKLOADS, mitigation_overhead, run_suite)
+from .suite import (SuiteExperiment, SuiteResult, WORKLOADS,
+                    mitigation_overhead, run_suite)
 
-__all__ = ["SuiteResult", "WORKLOADS", "mitigation_overhead", "run_suite"]
+__all__ = ["SuiteExperiment", "SuiteResult", "WORKLOADS",
+           "mitigation_overhead", "run_suite"]

@@ -13,11 +13,13 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import ClassVar
 
 from ..isa import Assembler, Cond, Reg
-from ..kernel import (DEFAULT_MITIGATIONS, Machine, MitigationConfig,
-                      SYS_GETPID, SYS_NOISE)
+from ..kernel import (DEFAULT_MITIGATIONS, Machine, MachineSpec,
+                      MitigationConfig, SYS_GETPID, SYS_NOISE)
 from ..pipeline import Microarch
+from ..runner import JobContext, JobSpec, run_campaign
 
 _CODE_BASE = 0x0000_0000_0300_0000
 _DATA_BASE = 0x0000_0000_0380_0000
@@ -139,30 +141,70 @@ class SuiteResult:
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def run_suite(uarch: Microarch, *,
-              mitigations: MitigationConfig = DEFAULT_MITIGATIONS,
-              runs: int = 5, sibling_load: bool = False,
-              seed: int = 0) -> SuiteResult:
-    """Run each workload *runs* times; per-workload cycles = mean."""
-    totals: dict[str, int] = {}
-    for name, workload in WORKLOADS.items():
+@dataclass(frozen=True)
+class SuiteExperiment:
+    """The §6.3 campaign: one job per workload.
+
+    Every run inside a job boots from the same :class:`MachineSpec`
+    with ``rng_seed = seed + run`` — exactly the machines the serial
+    suite built — so cycle counts match the pre-runner API at any
+    ``--jobs``.
+    """
+
+    name: ClassVar[str] = "suite"
+
+    machine: MachineSpec
+    runs: int = 5
+    seed: int = 0
+
+    def campaign_config(self) -> dict:
+        return {"uarch": self.machine.uarch, "runs": self.runs,
+                "seed": self.seed,
+                "workloads": sorted(WORKLOADS)}
+
+    def job_specs(self) -> list[JobSpec]:
+        return [JobSpec.make(self.name, (name,), self.seed,
+                             machine=self.machine, workload=name)
+                for name in WORKLOADS]
+
+    def run_one(self, spec: JobSpec, ctx: JobContext) -> tuple[str, int]:
+        workload = WORKLOADS[spec.param("workload")]
         cycles = 0
-        for r in range(runs):
-            machine = Machine(uarch, mitigations=mitigations,
-                              rng_seed=seed + r,
-                              sibling_load=sibling_load)
+        for r in range(self.runs):
+            machine = ctx.boot(
+                spec.machine.with_(rng_seed=self.seed + r))
             before = machine.cycles
             workload(machine)
             cycles += machine.cycles - before
-        totals[name] = cycles // runs
-    return SuiteResult(cycles=totals)
+        return spec.key[0], cycles // self.runs
+
+    def reduce(self, results) -> SuiteResult:
+        return SuiteResult(cycles=dict(r.value for r in results if r.ok))
+
+
+def run_suite(uarch: Microarch, *,
+              mitigations: MitigationConfig = DEFAULT_MITIGATIONS,
+              runs: int = 5, sibling_load: bool = False,
+              seed: int = 0, jobs: int = 1) -> SuiteResult:
+    """Run each workload *runs* times; per-workload cycles = mean.
+
+    ``jobs`` shards the workloads across worker processes; cycle counts
+    are identical at any value.
+    """
+    experiment = SuiteExperiment(
+        machine=MachineSpec(uarch=uarch.name, mitigations=mitigations,
+                            rng_seed=seed, sibling_load=sibling_load),
+        runs=runs, seed=seed)
+    return run_campaign(experiment, jobs=jobs).raise_on_failure().value
 
 
 def mitigation_overhead(uarch: Microarch, *, runs: int = 5,
-                        sibling_load: bool = False) -> float:
+                        sibling_load: bool = False,
+                        jobs: int = 1) -> float:
     """SuppressBPOnNonBr overhead as a geometric-mean ratio - 1."""
-    base = run_suite(uarch, runs=runs, sibling_load=sibling_load)
+    base = run_suite(uarch, runs=runs, sibling_load=sibling_load,
+                     jobs=jobs)
     hardened = run_suite(
-        uarch, runs=runs, sibling_load=sibling_load,
+        uarch, runs=runs, sibling_load=sibling_load, jobs=jobs,
         mitigations=MitigationConfig(suppress_bp_on_non_br=True))
     return hardened.geometric_mean() / base.geometric_mean() - 1.0

@@ -1,7 +1,10 @@
 """Table 1 matrix runner: combo enumeration and key cells."""
 
+import pytest
+
 from repro.core import ASYMMETRIC_COMBOS, TrainKind, VictimKind, measure_cell
-from repro.core.matrix import format_matrix, run_matrix
+from repro.core.matrix import (CHANNEL_MEASUREMENTS, format_matrix,
+                               measure_channel, run_matrix)
 from repro.pipeline import Reach, ZEN1, ZEN3
 
 
@@ -21,6 +24,18 @@ def test_zen1_headline_cell_reaches_execute():
 def test_zen3_headline_cell_reaches_decode_only():
     result = measure_cell(ZEN3, TrainKind.INDIRECT, VictimKind.NON_BRANCH)
     assert result.reach is Reach.DECODE
+
+
+def test_unknown_channel_fails_loudly():
+    """The explicit dispatch replaces the old stringly ``getattr`` —
+    a typo'd channel is a ValueError, not an AttributeError deep in a
+    worker."""
+    with pytest.raises(ValueError, match="unknown observation channel"):
+        measure_channel(object(), "excute")
+
+
+def test_channel_dispatch_covers_experiment_result_fields():
+    assert set(CHANNEL_MEASUREMENTS) == {"fetch", "decode", "execute"}
 
 
 def test_run_matrix_subset_and_format():

@@ -89,6 +89,29 @@ def test_kaslr_json_emits_valid_manifest(capsys):
     assert doc["phases"][0]["name"] == "break-image-kaslr"
 
 
+def test_matrix_jobs_flag_matches_serial(capsys):
+    code, serial = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "1")
+    assert code == 0
+    code, pooled = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "2")
+    assert code == 0
+    assert pooled == serial          # identical table at any worker count
+
+
+def test_kaslr_jobs_manifest_fingerprint_stable(capsys):
+    import json
+
+    from repro.runner import manifest_fingerprint
+
+    docs = []
+    for jobs in ("1", "2"):
+        code, out = run(capsys, "kaslr", "--uarch", "zen2",
+                        "--jobs", jobs, "--json")
+        assert code == 0
+        docs.append(json.loads(out))
+    a, b = (manifest_fingerprint(d) for d in docs)
+    assert a == b
+
+
 def test_uarch_names_are_separator_insensitive(capsys):
     code, _ = run(capsys, "kaslr", "--uarch", "Zen-3", "--seed", "5")
     assert code == 0

@@ -21,6 +21,12 @@ def test_suite_deterministic():
     assert a.cycles == b.cycles
 
 
+def test_suite_identical_at_any_jobs():
+    serial = run_suite(ZEN2, runs=1, jobs=1)
+    pooled = run_suite(ZEN2, runs=1, jobs=2)
+    assert pooled.cycles == serial.cycles
+
+
 def test_geometric_mean_positive():
     result = run_suite(ZEN2, runs=1)
     assert result.geometric_mean() > 0
