@@ -1,0 +1,53 @@
+"""Simulator-throughput harness: regenerate the committed IPS baseline.
+
+Unlike the table/figure benchmarks in this directory, this harness
+measures the *simulator itself* — simulated instructions per host
+second for the naive interpreter versus the fast-path engine (see
+``docs/performance.md``).  It drives :mod:`repro.bench` (the same
+engine behind ``repro bench``) and rewrites the committed baseline::
+
+    PYTHONPATH=src python benchmarks/_perf.py [--quick]
+
+The result lands in ``benchmarks/results/BENCH_simulator.json``
+(a ``phantom.bench/1`` document).  CI's bench-smoke job replays
+``repro bench --quick`` against this file and fails when the fast/slow
+speedup of any workload regresses by more than 30 % — regenerate and
+commit the baseline when a deliberate change moves the ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _harness import RESULTS_DIR  # noqa: E402
+
+from repro.bench import document, format_table, run_bench  # noqa: E402
+
+BASELINE = RESULTS_DIR / "BENCH_simulator.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads (do not commit a "
+                             "baseline produced with this flag)")
+    parser.add_argument("--out", default=str(BASELINE),
+                        help=f"output path (default {BASELINE})")
+    args = parser.parse_args(argv)
+
+    results = run_bench(quick=args.quick)
+    print(format_table(results))
+    doc = document(results, quick=args.quick)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,12 @@
-"""Microbenchmark: PMC event-name check on the simulator's hottest path.
+"""Microbenchmark: PMC counter bump on the simulator's hottest path.
 
-``PMC.add``/``read`` validate the event name on every simulated memory
-access; the membership test runs against a frozenset (``_EVENT_SET``)
-rather than scanning the ``EVENTS`` tuple.  This benchmark measures the
-per-call cost of both variants through the telemetry profiling hooks
-and archives the delta in a run manifest, so ``repro stats`` can track
-it across revisions.
+``PMC.add``/``read`` run on every simulated memory access.  The
+counters are interned: event names map to fixed integer indices into a
+plain list (``EVENT_INDEX``), and the pipeline pre-resolves the indices
+it uses so its hot loops bump list slots directly.  This benchmark
+measures the per-call cost of the interned implementation against the
+previous dict-of-names variant and archives the delta in a run
+manifest, so ``repro stats`` can track it across revisions.
 """
 
 from repro.pipeline.pmc import EVENTS, PMC
@@ -14,49 +15,59 @@ from repro.telemetry import profile_block, time_callable
 from _harness import emit, run_once, scale, telemetry_run
 
 CALLS = scale(50_000, 500_000)
-#: The worst-case tuple-scan event: last in EVENTS.
+#: The worst-case event under the old tuple-membership check: last in
+#: EVENTS (for the interned dict probe the position is irrelevant).
 LAST_EVENT = EVENTS[-1]
+_EVENT_SET = frozenset(EVENTS)
 
 
-def _tuple_add(pmc: PMC, event: str, n: int = 1) -> None:
-    """The pre-frozenset implementation, kept for comparison."""
-    if event not in EVENTS:
-        raise KeyError(f"unknown PMC event {event!r}")
-    pmc._counts[event] += n
+class DictPMC:
+    """The pre-interning implementation, kept for comparison."""
+
+    def __init__(self) -> None:
+        self._counts = {name: 0 for name in EVENTS}
+
+    def add(self, event: str, n: int = 1) -> None:
+        if event not in _EVENT_SET:
+            raise KeyError(f"unknown PMC event {event!r}")
+        self._counts[event] += n
+
+    def read(self, event: str) -> int:
+        return self._counts[event]
 
 
-def test_pmc_add_membership_check(benchmark):
+def test_pmc_add_interned_counters(benchmark):
     pmc = PMC()
+    legacy = DictPMC()
 
     def measure():
         with telemetry_run("bench-pmc-overhead", calls=CALLS) as manifest:
-            with profile_block("pmc_add_frozenset"):
-                frozenset_s = time_callable(
+            with profile_block("pmc_add_interned"):
+                interned_s = time_callable(
                     lambda: pmc.add(LAST_EVENT), repeat=3, number=CALLS)
-            with profile_block("pmc_add_tuple_scan"):
-                tuple_s = time_callable(
-                    lambda: _tuple_add(pmc, LAST_EVENT),
-                    repeat=3, number=CALLS)
-            speedup = tuple_s / frozenset_s if frozenset_s else 0.0
+            with profile_block("pmc_add_dict"):
+                dict_s = time_callable(
+                    lambda: legacy.add(LAST_EVENT), repeat=3, number=CALLS)
+            speedup = dict_s / interned_s if interned_s else 0.0
             manifest.finish(
                 "success",
-                frozenset_ns_per_call=frozenset_s / CALLS * 1e9,
-                tuple_scan_ns_per_call=tuple_s / CALLS * 1e9,
+                interned_ns_per_call=interned_s / CALLS * 1e9,
+                dict_ns_per_call=dict_s / CALLS * 1e9,
                 speedup=speedup)
-        return frozenset_s, tuple_s, speedup, manifest
+        return interned_s, dict_s, speedup, manifest
 
-    frozenset_s, tuple_s, speedup, manifest = run_once(benchmark, measure)
+    interned_s, dict_s, speedup, manifest = run_once(benchmark, measure)
 
-    lines = [f"PMC.add membership check, {CALLS:,} calls "
-             f"(worst-case event {LAST_EVENT!r})",
+    lines = [f"PMC.add per-call cost, {CALLS:,} calls "
+             f"(event {LAST_EVENT!r})",
              f"{'variant':14s} {'ns/call':>10s}",
-             f"{'frozenset':14s} {frozenset_s / CALLS * 1e9:10.1f}",
-             f"{'tuple scan':14s} {tuple_s / CALLS * 1e9:10.1f}",
+             f"{'interned':14s} {interned_s / CALLS * 1e9:10.1f}",
+             f"{'dict':14s} {dict_s / CALLS * 1e9:10.1f}",
              f"speedup: {speedup:.2f}x"]
     emit("pmc_overhead", lines, manifest=manifest)
 
-    # Counters must agree regardless of which check validated the name.
-    assert pmc.read(LAST_EVENT) == 6 * CALLS
-    # The frozenset variant must never lose to the tuple scan by more
-    # than measurement noise (generous bound: CI machines are noisy).
-    assert frozenset_s < tuple_s * 1.5
+    # Both implementations must count identically.
+    assert pmc.read(LAST_EVENT) == legacy.read(LAST_EVENT) == 3 * CALLS
+    # Interning must never lose to the dict variant by more than
+    # measurement noise (generous bound: CI machines are noisy).
+    assert interned_s < dict_s * 1.5

@@ -14,6 +14,7 @@ Commands
 * ``gadgets``   — §9.3 gadget census over a synthetic corpus
 * ``trace``     — run a syscall under the execution tracer
 * ``stats``     — summarize one run manifest, or diff two
+* ``bench``     — simulator throughput: fast path vs naive interpreter
 * ``uarches``   — list the modelled microarchitectures
 
 Every experiment command accepts ``--json`` (print a
@@ -391,6 +392,43 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from .bench import (WORKLOADS, compare, document, format_table,
+                        load_document, run_bench)
+
+    workloads = tuple(args.workloads) if args.workloads else WORKLOADS
+    for name in workloads:
+        if name not in WORKLOADS:
+            print(f"bench: unknown workload {name!r} "
+                  f"(choose from {', '.join(WORKLOADS)})", file=sys.stderr)
+            return 2
+    results = run_bench(quick=args.quick, workloads=workloads)
+    print(format_table(results))
+    doc = document(results, quick=args.quick)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_document(args.baseline)
+            problems = compare(doc, baseline, tolerance=args.tolerance)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"bench: cannot compare against {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if problems:
+            for line in problems:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_stats(args) -> int:
     import json
 
@@ -484,6 +522,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=200)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("bench",
+                       help="simulator throughput: fast vs naive engine")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized workloads (seconds, not minutes)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the phantom.bench/1 document to FILE")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare speedups against a committed "
+                        "phantom.bench/1 document; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.3,
+                   help="allowed fractional speedup drop vs the "
+                        "baseline (default 0.3)")
+    p.add_argument("--workloads", nargs="+", metavar="NAME",
+                   default=None,
+                   help="subset of workloads to run (default: all)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("stats",
                        help="summarize one run manifest, or diff two")

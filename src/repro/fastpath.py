@@ -1,0 +1,24 @@
+"""Fast-path execution gate.
+
+The simulator ships two architecturally identical execution engines: the
+naive per-step interpreter and a fast path built on compiled step thunks
+plus translation memoization (see ``docs/performance.md``).  The
+``PHANTOM_REPRO_FASTPATH`` environment variable selects the engine at
+*construction* time — ``CPU``/``MemorySystem`` read it once when built,
+so flipping the variable mid-run has no effect on live objects.  Any
+value other than ``0``/``false``/``off`` (or unset) enables the fast
+path; the slow path exists purely as the differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "PHANTOM_REPRO_FASTPATH"
+
+_DISABLED = ("0", "false", "off", "no")
+
+
+def fastpath_enabled() -> bool:
+    """True unless ``PHANTOM_REPRO_FASTPATH`` explicitly disables it."""
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in _DISABLED

@@ -185,7 +185,11 @@ class BTB:
         self._m_evictions = _metrics.counter("btb_evictions")
 
     def _key(self, va: int, kernel_mode: bool) -> tuple[int, int]:
-        cache_key = (va, kernel_mode and self.indexing.privilege_in_tag)
+        # Cache key: the bare va when privilege can't alter the hash
+        # (the common case — avoids a tuple allocation per probe),
+        # (va, True) for privilege-tagged kernel lookups.
+        cache_key = (va, True) if (kernel_mode
+                                   and self.indexing.privilege_in_tag) else va
         key = self._hash_cache.get(cache_key)
         if key is None:
             key = self.indexing.index(va, kernel_mode)
@@ -254,10 +258,23 @@ class BTB:
         the bytes are decoded.
         """
         found = []
-        for off in range(block_len):
-            pc = block_start + off
-            set_index, tag = self._key(pc, kernel_mode)
-            ways = self._sets.get(set_index)
+        sets = self._sets
+        if not sets:
+            return found
+        # Inlined _key with the loop-invariant lookups hoisted: this
+        # scan runs for every byte of every fetched instruction, the
+        # hottest loop in the frontend.
+        cache = self._hash_cache
+        index = self.indexing.index
+        priv = kernel_mode and self.indexing.privilege_in_tag
+        for pc in range(block_start, block_start + block_len):
+            cache_key = (pc, True) if priv else pc
+            key = cache.get(cache_key)
+            if key is None:
+                key = index(pc, kernel_mode)
+                cache[cache_key] = key
+            set_index, tag = key
+            ways = sets.get(set_index)
             if ways is None:
                 continue
             entry = ways.get(tag)

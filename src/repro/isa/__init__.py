@@ -5,7 +5,7 @@ from .decoder import decode
 from .encoder import NOPL_SEQUENCES, encode, encode_with_length
 from .instructions import BranchKind, Cond, Instruction, Mnemonic, Reg
 from .semantics import (ArchState, ExecResult, Flags, MemAccess,
-                        condition_met, execute)
+                        compile_executor, condition_met, execute)
 from .uops import Uop, UopKind, crack, uop_count
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "Segment",
     "Uop",
     "UopKind",
+    "compile_executor",
     "condition_met",
     "crack",
     "decode",

@@ -2,7 +2,7 @@
 
 from .cache import Cache, CacheStats, Replacement
 from .hierarchy import CacheGeometry, HierarchyParams, MemoryHierarchy
-from .paging import PTE, AddressSpace
+from .paging import PTE, AddressSpace, TranslationFront
 from .phys import PhysicalMemory
 from .system import FrameAllocator, MemorySystem
 from .tlb import TLB
@@ -20,4 +20,5 @@ __all__ = [
     "PTE",
     "Replacement",
     "TLB",
+    "TranslationFront",
 ]

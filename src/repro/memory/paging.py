@@ -57,11 +57,19 @@ class LinearRange:
 
 
 class AddressSpace:
-    """One process/kernel address space."""
+    """One process/kernel address space.
+
+    ``generation`` increments on every page-table mutation (map, unmap,
+    attribute change).  Translation caches — :class:`TranslationFront`
+    and the CPU's transient decode cache — compare it against the value
+    they captured and flush wholesale on mismatch, so they never need to
+    know *which* page changed.
+    """
 
     def __init__(self) -> None:
         self._ptes: dict[int, PTE] = {}
         self._ranges: list[LinearRange] = []
+        self.generation = 0
 
     def map_page(self, va: int, pa: int, *, writable: bool = True,
                  user: bool = False, nx: bool = False,
@@ -74,6 +82,7 @@ class AddressSpace:
         self._ptes[va >> PAGE_SHIFT] = PTE(pfn=pa >> PAGE_SHIFT,
                                            writable=writable, user=user,
                                            nx=nx, huge=huge)
+        self.generation += 1
 
     def map_range(self, va: int, pa: int, size: int, *, writable: bool = True,
                   user: bool = False, nx: bool = False,
@@ -94,6 +103,7 @@ class AddressSpace:
     def unmap(self, va: int, size: int = PAGE_SIZE) -> None:
         for off in range(0, size, PAGE_SIZE):
             self._ptes.pop((va + off) >> PAGE_SHIFT, None)
+        self.generation += 1
 
     def map_linear(self, va: int, pa: int, size: int, *,
                    writable: bool = True, user: bool = False,
@@ -111,6 +121,7 @@ class AddressSpace:
                 raise ValueError(
                     f"linear range {va:#x}+{size:#x} overlaps existing")
         self._ranges.append(new)
+        self.generation += 1
 
     def _range_for(self, va: int) -> LinearRange | None:
         for rng_ in self._ranges:
@@ -146,6 +157,7 @@ class AddressSpace:
             if not hasattr(entry, name):
                 raise AttributeError(name)
             setattr(entry, name, value)
+        self.generation += 1
 
     def is_mapped(self, va: int) -> bool:
         return self.pte(va) is not None
@@ -185,3 +197,64 @@ class AddressSpace:
 
     def mapped_pages(self) -> int:
         return len(self._ptes)
+
+
+#: Cache sentinel distinguishing "never looked up" from "known unmapped".
+_UNRESOLVED = object()
+
+
+class TranslationFront:
+    """Software TLB in front of :meth:`AddressSpace.translate`.
+
+    Caches the *resolved PTE* (or ``None`` for unmapped pages) per
+    virtual page number, so a warm translation costs one dict probe
+    instead of a PTE lookup plus a linear scan of the address space's
+    ``LinearRange`` list.  Permission checks still run per access —
+    they depend on the access type — and replicate
+    :meth:`AddressSpace.translate` bit for bit, including the exact
+    :class:`~repro.errors.PageFault` attribute combinations.
+
+    Coherence: the cache is valid only for the :attr:`AddressSpace
+    .generation` it was filled under; any page-table mutation bumps the
+    generation and the next translation flushes wholesale.  PTEs that
+    live in the page-table dict are cached by identity, so in-place
+    attribute updates through ``set_attrs`` would be coherent even
+    without the generation bump; materialised range PTEs are snapshots
+    and rely on it.
+    """
+
+    __slots__ = ("aspace", "_ptes", "_generation")
+
+    def __init__(self, aspace: AddressSpace) -> None:
+        self.aspace = aspace
+        self._ptes: dict[int, PTE | None] = {}
+        self._generation = aspace.generation
+
+    def translate(self, va: int, *, write: bool = False, exec_: bool = False,
+                  user_mode: bool = False) -> int:
+        """Drop-in replacement for :meth:`AddressSpace.translate`."""
+        aspace = self.aspace
+        if self._generation != aspace.generation:
+            self._ptes.clear()
+            self._generation = aspace.generation
+        va = canonical(va)
+        vpn = va >> PAGE_SHIFT
+        entry = self._ptes.get(vpn, _UNRESOLVED)
+        if entry is _UNRESOLVED:
+            entry = aspace._ptes.get(vpn)
+            if entry is None:
+                covering = aspace._range_for(va)
+                if covering is not None:
+                    entry = covering.pte_for(va)
+            self._ptes[vpn] = entry
+        if entry is None:
+            raise PageFault(va, present=False, write=write, user=user_mode,
+                            exec_=exec_)
+        if user_mode and not entry.user:
+            raise PageFault(va, present=True, write=write, user=True,
+                            exec_=exec_)
+        if write and not entry.writable:
+            raise PageFault(va, present=True, write=True, user=user_mode)
+        if exec_ and entry.nx:
+            raise PageFault(va, present=True, user=user_mode, exec_=True)
+        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))

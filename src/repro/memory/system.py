@@ -10,10 +10,11 @@ from __future__ import annotations
 import random
 
 from ..errors import MemoryError_
+from ..fastpath import fastpath_enabled
 from ..params import HUGE_PAGE_SIZE, PAGE_SIZE, canonical
 from .cache import Cache
 from .hierarchy import HierarchyParams, MemoryHierarchy
-from .paging import AddressSpace
+from .paging import AddressSpace, TranslationFront
 from .phys import PhysicalMemory
 from .tlb import TLB
 
@@ -51,7 +52,8 @@ class MemorySystem:
 
     def __init__(self, phys_size: int,
                  hierarchy: HierarchyParams | None = None,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 fastpath: bool | None = None) -> None:
         rng = rng or random.Random(0)
         self.phys = PhysicalMemory(phys_size)
         self.frames = FrameAllocator(self.phys)
@@ -59,20 +61,29 @@ class MemorySystem:
         self.hier = MemoryHierarchy(hierarchy, rng=rng)
         self.itlb = TLB()
         self.dtlb = TLB()
+        self.fastpath = fastpath_enabled() if fastpath is None else \
+            bool(fastpath)
+        self.xlat = TranslationFront(self.aspace)
+        #: Translation entry point shared by the data/instruction paths
+        #: and the CPU's transient machinery.  The memoized front and
+        #: the raw page walk are interchangeable (same results, same
+        #: PageFaults) — the binding just decides the cost of a hit.
+        self.translate = self.xlat.translate if self.fastpath else \
+            self.aspace.translate
 
     # -- data path -----------------------------------------------------------
 
     def read_data(self, va: int, size: int, *,
                   user_mode: bool = False) -> tuple[int, int]:
         """Load *size* bytes at *va*.  Returns ``(value, cycles)``."""
-        pa = self.aspace.translate(va, user_mode=user_mode)
+        pa = self.translate(va, user_mode=user_mode)
         cycles = self.dtlb.access(va) + self._touch_data(pa, size)
         return self.phys.read_int(pa, size), cycles
 
     def write_data(self, va: int, size: int, value: int, *,
                    user_mode: bool = False) -> int:
         """Store *value* at *va*.  Returns cycles."""
-        pa = self.aspace.translate(va, write=True, user_mode=user_mode)
+        pa = self.translate(va, write=True, user_mode=user_mode)
         cycles = self.dtlb.access(va) + self._touch_data(pa, size)
         self.phys.write_int(pa, size, value)
         return cycles
@@ -99,7 +110,7 @@ class MemorySystem:
         pos = va
         end = va + size
         while pos < end:
-            pa = self.aspace.translate(pos, exec_=True, user_mode=user_mode)
+            pa = self.translate(pos, exec_=True, user_mode=user_mode)
             chunk = min(end - pos, PAGE_SIZE - (pos & (PAGE_SIZE - 1)))
             cycles += self.itlb.access(pos)
             line = pa & ~63

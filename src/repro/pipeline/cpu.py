@@ -27,21 +27,45 @@ them.  Per instruction the CPU:
 
 Cache fills performed by episodes are never rolled back — they are the
 observation channels and the attack surface.
+
+Execution engines
+=================
+
+Two engines implement the model above with identical architectural
+results (cycles, PMCs, episodes — pinned by the differential tests):
+
+* the **naive path** (``_step_slow``) interprets every step from
+  scratch: µop-cache probe, decode-cache lookup, ``execute()``'s
+  mnemonic dispatch;
+* the **fast path** compiles, on the second visit to a ``(pc,
+  privilege)`` pair, the whole step into one fused closure holding the
+  decoded instruction, a specialised executor thunk
+  (:func:`~repro.isa.semantics.compile_executor`) and pre-resolved PMC
+  counter slots.  Stateful shared models (µop cache, BPU, cache
+  hierarchy) are still consulted per step — only Python-level dispatch,
+  allocation and attribute traffic is removed, which is what keeps the
+  fast path architecturally invisible.
+
+``PHANTOM_REPRO_FASTPATH=0`` selects the naive path (see
+``docs/performance.md``).  Step thunks are dropped by
+:meth:`CPU.invalidate_code`; privilege is part of the cache key, so
+kernel and user executions of the same bytes never share a thunk.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import (DecodeError, HaltRequested, PageFault, ReproError,
                       SimulationLimit, TruncatedError)
 from ..frontend import BPU, Prediction, UopCache
-from ..isa import (ArchState, BranchKind, Instruction, Mnemonic, crack,
-                   decode, execute, uop_count)
+from ..isa import (ArchState, BranchKind, Instruction, Mnemonic,
+                   compile_executor, decode, execute, uop_count)
 from ..memory import MemorySystem
-from ..params import MASK64, PAGE_SIZE, canonical
+from ..params import MASK64, PAGE_SHIFT, PAGE_SIZE, canonical
 from ..telemetry import metrics as _metrics
 from ..telemetry.trace import TRACE as _TRACE
 from .config import Microarch
@@ -50,6 +74,40 @@ from .pmc import PMC
 _REG = _metrics.REGISTRY
 
 _MAX_INSTR_BYTES = 16
+
+#: Pre-resolved PMC counter slots (see :meth:`PMC.index`): the hot path
+#: bumps ``pmc.counts`` entries directly instead of hashing event names.
+_IDX_INSTRUCTIONS = PMC.index("instructions")
+_IDX_OP_HIT = PMC.index("op_cache_hit")
+_IDX_OP_MISS = PMC.index("op_cache_miss")
+_IDX_DE_DIS = PMC.index("de_dis_uops_from_decoder")
+_IDX_L1I_ACCESS = PMC.index("l1i_access")
+_IDX_L1I_MISS = PMC.index("l1i_miss")
+_IDX_L1D_ACCESS = PMC.index("l1d_access")
+_IDX_L1D_MISS = PMC.index("l1d_miss")
+_IDX_BRANCH_RETIRED = PMC.index("branch_retired")
+_IDX_BRANCH_MISPREDICT = PMC.index("branch_mispredict")
+_IDX_RESTEER_FRONTEND = PMC.index("resteer_frontend")
+_IDX_RESTEER_BACKEND = PMC.index("resteer_backend")
+_IDX_PHANTOM_FETCH = PMC.index("phantom_fetch")
+_IDX_PHANTOM_DECODE = PMC.index("phantom_decode")
+_IDX_PHANTOM_EXEC_UOPS = PMC.index("phantom_exec_uops")
+_IDX_TRANSIENT_LOAD = PMC.index("transient_load")
+
+#: Branch kinds for which a missing prediction means straight-line
+#: speculation (the only kinds :meth:`CPU._sequential_speculation` acts
+#: on) — lets compiled step thunks skip the call entirely otherwise.
+_SLS_KINDS = frozenset((BranchKind.DIRECT, BranchKind.CALL_DIRECT,
+                        BranchKind.INDIRECT, BranchKind.CALL_INDIRECT,
+                        BranchKind.RETURN))
+
+#: Mnemonics whose execution raises a trap (ends transient windows too).
+_TRAP_MNEMONICS = frozenset((Mnemonic.SYSCALL, Mnemonic.SYSRET,
+                             Mnemonic.HLT, Mnemonic.UD2))
+
+#: Step/transient-cache miss sentinel (``None`` is a valid cached value
+#: in the transient cache: "bytes at this pc do not decode").
+_UNCOMPILED = object()
 
 
 class Reach(enum.IntEnum):
@@ -85,19 +143,43 @@ class MSRState:
     auto_ibrs: bool = False
 
 
-@dataclass
 class _TransientState:
-    """Register/store state of an in-flight transient path."""
+    """Register/store state of an in-flight transient path.
 
-    arch: ArchState
-    stores: dict[int, int] = field(default_factory=dict)
+    The load/store callbacks the executor needs are pre-bound here once
+    per window — they used to be re-allocated as lambdas on every µop
+    iteration of ``_transient_run``.  ``stores`` keeps *program order*:
+    a store to an address that already has a buffered entry re-inserts
+    it, so youngest-first scans (store-to-load forwarding) see the
+    latest write last-inserted.
+    """
+
+    __slots__ = ("arch", "stores", "load", "store")
+
+    def __init__(self, cpu: "CPU", arch: ArchState) -> None:
+        self.arch = arch
+        self.stores: dict[int, tuple[int, int]] = {}
+        user = not cpu.kernel_mode
+
+        def load(addr: int, size: int) -> int:
+            return cpu._transient_load(addr, size, self, user)
+
+        def store(addr: int, size: int, value: int) -> None:
+            stores = self.stores
+            if addr in stores:
+                del stores[addr]
+            stores[addr] = (size, value)
+
+        self.load = load
+        self.store = store
 
 
 class CPU:
     """One simulated core."""
 
     def __init__(self, uarch: Microarch, mem: MemorySystem,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 fastpath: bool | None = None) -> None:
         self.uarch = uarch
         self.mem = mem
         self.rng = rng or random.Random(0)
@@ -117,6 +199,27 @@ class CPU:
         #: decode, before execution (used by the analysis tracer).
         self.instr_hook = None
         self._decode_cache: dict[int, Instruction] = {}
+        #: Engine selection; defaults to the memory system's, so one
+        #: PHANTOM_REPRO_FASTPATH read governs the whole machine.
+        self._fastpath = mem.fastpath if fastpath is None else bool(fastpath)
+        #: Memoized (or naive — same results) translation entry point.
+        self._translate = mem.translate
+        #: L1-miss heuristic threshold, read once: an access is a miss
+        #: when its service latency reached L2.
+        self._l1_miss_threshold = mem.hier.params.l2_latency
+        self._counts = self.pmc.counts
+        #: Fused step thunks, keyed by pc, split per privilege level
+        #: (the (pc, kernel_mode) step-cache key).
+        self._step_cache_user: dict[int, Callable[[], None]] = {}
+        self._step_cache_kernel: dict[int, Callable[[], None]] = {}
+        #: Transient-path decode cache: pc -> (instr, thunk, µops,
+        #: ends_window) or None for undecodable bytes.  Valid only for
+        #: the page-table generation it was filled under.
+        self._transient_cache: dict[int, tuple | None] = {}
+        self._transient_gen = mem.aspace.generation
+        #: Page -> pcs with any cached artifact on that page, so
+        #: invalidate_code touches only the affected pages.
+        self._code_pages: dict[int, set[int]] = {}
         self._m_phantom = _metrics.counter("speculation_episodes",
                                            flavour="phantom")
         self._m_spectre = _metrics.counter("speculation_episodes",
@@ -127,20 +230,65 @@ class CPU:
     # ------------------------------------------------------------------
 
     def invalidate_code(self, lo: int, hi: int) -> None:
-        """Drop cached decodes overlapping [lo, hi) (self-modifying code)."""
-        stale = [pc for pc in self._decode_cache
-                 if lo - _MAX_INSTR_BYTES < pc < hi]
-        for pc in stale:
-            del self._decode_cache[pc]
+        """Drop cached artifacts overlapping [lo, hi) (self-modifying code).
+
+        Removes decoded instructions, compiled step thunks and transient
+        decode entries whose bytes may intersect the written range, and
+        invalidates the µop-cache windows covering it — µops cracked
+        from the old bytes must not serve hits after a code rewrite.
+        Cached pcs are indexed by page, so the walk touches only the
+        pages the write spans instead of scanning every cached decode.
+        """
+        if hi <= lo:
+            return
+        decode_cache = self._decode_cache
+        step_user = self._step_cache_user
+        step_kernel = self._step_cache_kernel
+        transient = self._transient_cache
+        code_pages = self._code_pages
+        lo_reach = lo - _MAX_INSTR_BYTES
+        for page in range((lo_reach + 1) >> PAGE_SHIFT,
+                          ((hi - 1) >> PAGE_SHIFT) + 1):
+            pcs = code_pages.get(page)
+            if not pcs:
+                continue
+            stale = [pc for pc in pcs if lo_reach < pc < hi]
+            for pc in stale:
+                pcs.discard(pc)
+                decode_cache.pop(pc, None)
+                step_user.pop(pc, None)
+                step_kernel.pop(pc, None)
+                transient.pop(pc, None)
+            if not pcs:
+                del code_pages[page]
+        line = (lo_reach + 1) & ~63
+        while line < hi:
+            self.uopcache.invalidate_window(line)
+            line += 64
+
+    def _register_code_pc(self, pc: int) -> None:
+        """Index *pc* for page-granular invalidation."""
+        page = pc >> PAGE_SHIFT
+        pcs = self._code_pages.get(page)
+        if pcs is None:
+            pcs = self._code_pages[page] = set()
+        pcs.add(pc)
+
+    def _count_l1(self, cyc: int, access_idx: int, miss_idx: int) -> None:
+        """Count one L1 access, classifying it as a miss when its
+        service latency reached L2 — the shared heuristic of the I- and
+        D-side paths (pinned by tests/pipeline/test_step_cache.py)."""
+        counts = self._counts
+        counts[access_idx] += 1
+        if cyc >= self._l1_miss_threshold:
+            counts[miss_idx] += 1
 
     def _fetch_bytes(self, pc: int, length: int) -> bytes:
         """Fetch *length* raw bytes at *pc* through the MMU and L1I."""
         raw, cyc = self.mem.fetch_code(pc, length,
                                        user_mode=not self.kernel_mode)
         self.cycles += cyc
-        self.pmc.add("l1i_access")
-        if cyc >= self.mem.hier.params.l2_latency:
-            self.pmc.add("l1i_miss")
+        self._count_l1(cyc, _IDX_L1I_ACCESS, _IDX_L1I_MISS)
         return raw
 
     def _decode_at(self, pc: int) -> Instruction:
@@ -169,6 +317,7 @@ class CPU:
                     from exc
             instr = decode(raw)   # DecodeError propagates
         self._decode_cache[pc] = instr
+        self._register_code_pc(pc)
         self.cycles += self.uarch.decode_latency
         if self.uarch.next_line_prefetch:
             self._prefetch_target((pc & ~63) + 64, count_event=False)
@@ -182,16 +331,17 @@ class CPU:
         value, cyc = self.mem.read_data(addr, size,
                                         user_mode=not self.kernel_mode)
         self.cycles += cyc
-        self.pmc.add("l1d_access")
-        if cyc >= self.mem.hier.params.l2_latency:
-            self.pmc.add("l1d_miss")
+        self._count_l1(cyc, _IDX_L1D_ACCESS, _IDX_L1D_MISS)
         return value
 
     def _store(self, addr: int, size: int, value: int) -> None:
         cyc = self.mem.write_data(addr, size, value,
                                   user_mode=not self.kernel_mode)
         self.cycles += cyc
-        self.pmc.add("l1d_access")
+        self._counts[_IDX_L1D_ACCESS] += 1
+
+    def _rdtsc(self) -> int:
+        return self.cycles
 
     # ------------------------------------------------------------------
     # architectural stepping
@@ -202,20 +352,44 @@ class CPU:
         """Run until ``hlt`` (raises HaltRequested) or the budget expires."""
         if pc is not None:
             self.pc = canonical(pc)
-        for _ in range(max_instructions):
-            self.step()
+        if self._fastpath:
+            user_cache = self._step_cache_user
+            kernel_cache = self._step_cache_kernel
+            for _ in range(max_instructions):
+                cache = kernel_cache if self.kernel_mode else user_cache
+                thunk = cache.get(self.pc)
+                if thunk is not None:
+                    thunk()
+                else:
+                    self._step_and_compile(cache)
+        else:
+            for _ in range(max_instructions):
+                self._step_slow()
         raise SimulationLimit(
             f"exceeded {max_instructions} instructions at pc={self.pc:#x}")
 
     def step(self) -> None:
         """Execute one architectural instruction (plus its episodes)."""
+        if self._fastpath:
+            cache = self._step_cache_kernel if self.kernel_mode \
+                else self._step_cache_user
+            thunk = cache.get(self.pc)
+            if thunk is not None:
+                thunk()
+            else:
+                self._step_and_compile(cache)
+        else:
+            self._step_slow()
+
+    def _step_slow(self) -> None:
+        """The naive engine: interpret one step from scratch."""
         pc = self.pc
         uop_hit = self.uopcache.access(pc)
         if uop_hit:
-            self.pmc.add("op_cache_hit")
+            self._counts[_IDX_OP_HIT] += 1
             self.cycles += 1
         else:
-            self.pmc.add("op_cache_miss")
+            self._counts[_IDX_OP_MISS] += 1
             if self.msr.suppress_bp_on_non_br \
                     and self.uarch.supports_suppress_bp_on_non_br:
                 # SuppressBPOnNonBr withholds next-fetch predictions
@@ -225,7 +399,7 @@ class CPU:
                 self.cycles += 2
         instr = self._decode_at(pc)
         if not uop_hit:
-            self.pmc.add("de_dis_uops_from_decoder", uop_count(instr))
+            self._counts[_IDX_DE_DIS] += uop_count(instr)
         if self.instr_hook is not None:
             self.instr_hook(pc, instr)
         if _TRACE.enabled:
@@ -240,8 +414,8 @@ class CPU:
         prediction = self._frontend_check(pc, instr, prediction)
 
         result = execute(instr, pc, self.state, self._load, self._store,
-                         rdtsc=lambda: self.cycles)
-        self.pmc.add("instructions")
+                         rdtsc=self._rdtsc)
+        self._counts[_IDX_INSTRUCTIONS] += 1
         self.cycles += 1
 
         self._resolve_and_train(pc, instr, result, prediction)
@@ -250,6 +424,88 @@ class CPU:
             self._handle_trap(result.trap, instr, result)
             return
         self.pc = canonical(result.next_pc)
+
+    def _step_and_compile(self, cache: dict[int, Callable[[], None]]) -> None:
+        """Cold visit: run the naive engine once, then install the fused
+        step thunk for subsequent visits.
+
+        The naive step performs the first-visit work (fetch/decode cycle
+        charging, fault propagation with the exact naive ordering), so
+        compilation itself is architecturally free; the thunk compiled
+        afterwards replays the steady-state step, whose decode-cache hit
+        can no longer fetch or fault.
+        """
+        pc = self.pc
+        kernel_mode = self.kernel_mode
+        self._step_slow()
+        instr = self._decode_cache.get(pc)
+        if instr is None:
+            return   # invalidated during its own step; stay cold
+        cache[pc] = self._compile_step(pc, instr, kernel_mode)
+        self._register_code_pc(pc)
+
+    def _compile_step(self, pc: int, instr: Instruction,
+                      kernel_mode: bool) -> Callable[[], None]:
+        """Fuse one steady-state step of *instr* at *pc* into a closure.
+
+        Everything derivable from the decoded instruction is resolved
+        here: the executor thunk, µop count, branch kind, trap
+        potential, trace text.  The closure still consults every
+        stateful shared model (µop cache, BPU, PMC, cache hierarchy) —
+        its results must be byte-identical to ``_step_slow``.
+        """
+        cpu = self
+        counts = self._counts
+        uop_access = self.uopcache.access
+        predict = self.bpu.predict_in_block
+        frontend_check = self._frontend_check
+        resolve = self._resolve_and_train
+        msr = self.msr
+        state = self.state
+        load = self._load
+        store = self._store
+        rdtsc = self._rdtsc
+        suppress_supported = self.uarch.supports_suppress_bp_on_non_br
+        exec_thunk = compile_executor(instr, pc)
+        n_uops = uop_count(instr)
+        length = instr.length
+        kind = instr.branch_kind
+        is_branch = kind is not BranchKind.NONE
+        sls_candidate = kind in _SLS_KINDS
+        can_trap = instr.mnemonic in _TRAP_MNEMONICS
+        text = str(instr)
+
+        def step_thunk() -> None:
+            if uop_access(pc):
+                counts[_IDX_OP_HIT] += 1
+                cpu.cycles += 1
+            else:
+                counts[_IDX_OP_MISS] += 1
+                if msr.suppress_bp_on_non_br and suppress_supported:
+                    cpu.cycles += 2
+                counts[_IDX_DE_DIS] += n_uops
+            hook = cpu.instr_hook
+            if hook is not None:
+                hook(pc, instr)
+            if _TRACE.enabled:
+                _TRACE.emit("retire", cpu.cycles, pc=pc, text=text,
+                            kernel_mode=kernel_mode)
+            prediction = predict(pc, length, kernel_mode=kernel_mode)
+            if prediction is not None:
+                prediction = frontend_check(pc, instr, prediction)
+            elif sls_candidate:
+                cpu._sequential_speculation(pc, instr)
+            result = exec_thunk(state, load, store, rdtsc)
+            counts[_IDX_INSTRUCTIONS] += 1
+            cpu.cycles += 1
+            if is_branch:
+                resolve(pc, instr, result, prediction)
+            if can_trap and result.trap is not None:
+                cpu._handle_trap(result.trap, instr, result)
+                return
+            cpu.pc = canonical(result.next_pc)
+
+        return step_thunk
 
     # ------------------------------------------------------------------
     # frontend (pre-decode) prediction handling
@@ -303,9 +559,7 @@ class CPU:
         mispredictions are handled by the backend path instead.
         """
         kind = instr.branch_kind
-        if kind in (BranchKind.DIRECT, BranchKind.CALL_DIRECT,
-                    BranchKind.INDIRECT, BranchKind.CALL_INDIRECT,
-                    BranchKind.RETURN):
+        if kind in _SLS_KINDS:
             if (self.uarch.indirect_victim_opaque
                     and kind in (BranchKind.INDIRECT,
                                  BranchKind.CALL_INDIRECT)):
@@ -325,7 +579,7 @@ class CPU:
                 exec_uops = 0
             reach = self._transient_target(fall_through, exec_uops,
                                            state=None)
-            self.pmc.add("resteer_frontend")
+            self._counts[_IDX_RESTEER_FRONTEND] += 1
             self.cycles += self.uarch.frontend_resteer_latency
             self._record(pc, None, kind, fall_through, reach,
                          frontend=True)
@@ -351,15 +605,15 @@ class CPU:
             reach = Reach.NONE
             if self.uarch.bpu_prefetch:
                 reach = self._prefetch_target(prediction.target)
-            self.pmc.add("resteer_frontend")
+            self._counts[_IDX_RESTEER_FRONTEND] += 1
             self._record(pc, prediction.kind, actual_kind,
                          prediction.target, reach, frontend=True,
                          cross_privilege=prediction.cross_privilege)
             return
         reach = self._transient_target(prediction.target, exec_uops,
                                        state=None)
-        self.pmc.add("resteer_frontend")
-        self.pmc.add("branch_mispredict")
+        self._counts[_IDX_RESTEER_FRONTEND] += 1
+        self._counts[_IDX_BRANCH_MISPREDICT] += 1
         self.cycles += self.uarch.frontend_resteer_latency
         self._record(pc, prediction.kind, actual_kind, prediction.target,
                      reach, frontend=True,
@@ -374,7 +628,7 @@ class CPU:
         kind = instr.branch_kind
         if kind is BranchKind.NONE:
             return
-        self.pmc.add("branch_retired")
+        self._counts[_IDX_BRANCH_RETIRED] += 1
 
         if kind.is_call:
             self.bpu.call_executed((pc + instr.length) & MASK64)
@@ -415,9 +669,9 @@ class CPU:
                             actual_kind: BranchKind,
                             wrong_target: int) -> None:
         """Execute-detected misprediction: the classic Spectre window."""
-        self.pmc.add("resteer_backend")
-        self.pmc.add("branch_mispredict")
-        transient = _TransientState(arch=self.state.copy())
+        self._counts[_IDX_RESTEER_BACKEND] += 1
+        self._counts[_IDX_BRANCH_MISPREDICT] += 1
+        transient = _TransientState(self, self.state.copy())
         executed = self._transient_run(wrong_target,
                                        self.uarch.backend_window_uops,
                                        transient, allow_nested=True)
@@ -434,13 +688,13 @@ class CPU:
         """I-prefetch of an address: the line is cached but nothing
         enters the pipeline (no decode, no µops)."""
         try:
-            pa = self.mem.aspace.translate(canonical(target), exec_=True,
-                                           user_mode=not self.kernel_mode)
+            pa = self._translate(canonical(target), exec_=True,
+                                 user_mode=not self.kernel_mode)
         except PageFault:
             return Reach.NONE
         self.mem.hier.prefetch_instr(pa & ~63)
         if count_event:
-            self.pmc.add("phantom_fetch")
+            self._counts[_IDX_PHANTOM_FETCH] += 1
         return Reach.FETCH
 
     def _transient_target(self, target: int, exec_uops: int,
@@ -457,8 +711,7 @@ class CPU:
         # --- IF ---------------------------------------------------------
         block = target & ~(self.uarch.fetch_block - 1)
         try:
-            pa = self.mem.aspace.translate(target, exec_=True,
-                                           user_mode=user)
+            pa = self._translate(target, exec_=True, user_mode=user)
         except PageFault:
             return Reach.NONE
         line = pa & ~63
@@ -466,7 +719,7 @@ class CPU:
         end_pa = pa + (block + self.uarch.fetch_block - target)
         if (end_pa - 1) & ~63 != line:
             self.mem.hier.prefetch_instr((end_pa - 1) & ~63)
-        self.pmc.add("phantom_fetch")
+        self._counts[_IDX_PHANTOM_FETCH] += 1
         reach = Reach.FETCH
         # --- ID ---------------------------------------------------------
         raw = self.mem.phys.read(pa, min(self.uarch.fetch_block,
@@ -485,19 +738,43 @@ class CPU:
             last_pc = decoded[-1][0]
             if (last_pc >> 6) != (target >> 6):
                 self.uopcache.fill(last_pc)
-            self.pmc.add("phantom_decode")
+            self._counts[_IDX_PHANTOM_DECODE] += 1
             reach = Reach.DECODE
         # --- EX ---------------------------------------------------------
         if exec_uops > 0 and decoded:
-            transient = state or _TransientState(arch=self.state.copy())
+            transient = state or _TransientState(self, self.state.copy())
             executed = self._transient_run(target, exec_uops, transient,
                                            allow_nested=False)
             if executed > 0:
-                self.pmc.add("phantom_exec_uops", executed)
+                self._counts[_IDX_PHANTOM_EXEC_UOPS] += executed
                 reach = Reach.EXECUTE
         if nested:
-            self.pmc.add("resteer_frontend")
+            self._counts[_IDX_RESTEER_FRONTEND] += 1
         return reach
+
+    def _transient_entry(self, pc: int, pa: int) -> tuple | None:
+        """Decode (and memoize) the transient instruction at *pc*.
+
+        Caches ``(instr, executor thunk, µop count, ends_window)``, or
+        ``None`` when the bytes do not decode — the lookup must
+        reproduce the naive path's break-on-DecodeError without
+        re-reading physical memory every µop.  Entries are dropped by
+        ``invalidate_code`` and whenever the page-table generation
+        moves (a remap changes which bytes live at *pc*).
+        """
+        window = min(_MAX_INSTR_BYTES, PAGE_SIZE - (pa & (PAGE_SIZE - 1)))
+        raw = self.mem.phys.read(pa, window)
+        try:
+            instr = decode(raw)
+        except DecodeError:
+            entry = None
+        else:
+            ends_window = instr.is_fence or instr.mnemonic in _TRAP_MNEMONICS
+            entry = (instr, compile_executor(instr, pc), uop_count(instr),
+                     ends_window, instr.length, instr.branch_kind)
+        self._transient_cache[pc] = entry
+        self._register_code_pc(pc)
+        return entry
 
     def _transient_run(self, pc: int, uop_budget: int,
                        transient: _TransientState,
@@ -512,51 +789,76 @@ class CPU:
         user = not self.kernel_mode
         executed = 0
         pc = canonical(pc)
+        translate = self._translate
+        t_load = transient.load
+        t_store = transient.store
+        rdtsc = self._rdtsc
+        arch = transient.arch
+        fast = self._fastpath
+        if fast:
+            generation = self.mem.aspace.generation
+            if self._transient_gen != generation:
+                self._transient_cache.clear()
+                self._transient_gen = generation
+            cache = self._transient_cache
         while uop_budget > 0:
             try:
-                pa = self.mem.aspace.translate(pc, exec_=True,
-                                               user_mode=user)
+                pa = translate(pc, exec_=True, user_mode=user)
             except PageFault:
                 break
-            window = min(_MAX_INSTR_BYTES,
-                         PAGE_SIZE - (pa & (PAGE_SIZE - 1)))
-            raw = self.mem.phys.read(pa, window)
-            try:
-                instr = decode(raw)
-            except DecodeError:
-                break
-            self.mem.hier.prefetch_instr(pa & ~63)
-            self.uopcache.fill(pc)
-            if instr.is_fence or instr.mnemonic in (
-                    Mnemonic.SYSCALL, Mnemonic.SYSRET, Mnemonic.HLT,
-                    Mnemonic.UD2):
-                break
-            n = uop_count(instr)
-            if n > uop_budget:
-                break
+            if fast:
+                entry = cache.get(pc, _UNCOMPILED)
+                if entry is _UNCOMPILED:
+                    entry = self._transient_entry(pc, pa)
+                if entry is None:
+                    break
+                instr, exec_thunk, n, ends_window, length, kind = entry
+                self.mem.hier.prefetch_instr(pa & ~63)
+                self.uopcache.fill(pc)
+                if ends_window:
+                    break
+                if n > uop_budget:
+                    break
+            else:
+                window = min(_MAX_INSTR_BYTES,
+                             PAGE_SIZE - (pa & (PAGE_SIZE - 1)))
+                raw = self.mem.phys.read(pa, window)
+                try:
+                    instr = decode(raw)
+                except DecodeError:
+                    break
+                self.mem.hier.prefetch_instr(pa & ~63)
+                self.uopcache.fill(pc)
+                if instr.is_fence or instr.mnemonic in _TRAP_MNEMONICS:
+                    break
+                n = uop_count(instr)
+                if n > uop_budget:
+                    break
+                length = instr.length
+                kind = instr.branch_kind
 
             if allow_nested:
                 nested_pred = self.bpu.predict_in_block(
-                    pc, instr.length, kernel_mode=self.kernel_mode)
+                    pc, length, kernel_mode=self.kernel_mode)
                 if nested_pred is not None and \
-                        nested_pred.kind is not instr.branch_kind:
+                        nested_pred.kind is not kind:
                     # Phantom nested inside a Spectre window (§7.4):
                     # the decoder will resteer, but the phantom target
                     # advances with the *transient* register state.
                     reach = self._transient_target(
                         nested_pred.target, self.uarch.phantom_exec_uops,
                         transient, nested=True)
-                    self._record(pc, nested_pred.kind, instr.branch_kind,
+                    self._record(pc, nested_pred.kind, kind,
                                  nested_pred.target, reach, frontend=True,
                                  cross_privilege=nested_pred.cross_privilege,
                                  nested=True)
 
             try:
-                result = execute(
-                    instr, pc, transient.arch,
-                    lambda a, s: self._transient_load(a, s, transient, user),
-                    lambda a, s, v: transient.stores.__setitem__(a, (s, v)),
-                    rdtsc=lambda: self.cycles)
+                if fast:
+                    result = exec_thunk(arch, t_load, t_store, rdtsc)
+                else:
+                    result = execute(instr, pc, arch, t_load, t_store,
+                                     rdtsc=rdtsc)
             except PageFault:
                 break
             executed += n
@@ -568,12 +870,22 @@ class CPU:
 
     def _transient_load(self, addr: int, size: int,
                         transient: _TransientState, user: bool) -> int:
-        buffered = transient.stores.get(addr)
-        if buffered is not None and buffered[0] == size:
-            return buffered[1]
-        pa = self.mem.aspace.translate(addr, user_mode=user)
+        stores = transient.stores
+        if stores:
+            # Store-to-load forwarding: the youngest buffered store that
+            # fully contains the load forwards its bytes (hardware
+            # forwards from the store buffer; the old exact-(addr, size)
+            # match let contained reloads read stale memory).  Loads
+            # only *partially* overlapping a store read memory —
+            # documented in tests/pipeline/test_transient_forwarding.py.
+            end = addr + size
+            for start, (s_size, s_value) in reversed(stores.items()):
+                if start <= addr and end <= start + s_size:
+                    return (s_value >> ((addr - start) << 3)) \
+                        & ((1 << (size << 3)) - 1)
+        pa = self._translate(addr, user_mode=user)
         self.mem.hier.access_data(pa & ~63)
-        self.pmc.add("transient_load")
+        self._counts[_IDX_TRANSIENT_LOAD] += 1
         return self.mem.phys.read_int(pa, size)
 
     # ------------------------------------------------------------------

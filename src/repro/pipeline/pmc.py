@@ -4,11 +4,16 @@ Counter names follow the events the paper samples where they exist
 (op-cache hit/miss on Zen, decoder-sourced dispatch, resteers).  The
 attack tooling samples counters exactly like ``perf``: read, run, read,
 subtract.
+
+Counters live in a flat list indexed by interned event indices
+(:data:`EVENT_INDEX`).  Hot paths resolve an event name to its slot once
+(:meth:`PMC.index`) and bump the shared ``counts`` list directly, so a
+counter update costs one list-index increment instead of a string hash
+plus membership test per event.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from contextlib import contextmanager
 
 #: Events the CPU emits.
@@ -33,32 +38,51 @@ EVENTS = (
     "syscalls",
 )
 
-#: Hot-path membership test: ``add``/``read`` run on every simulated
-#: memory access, so the check must be O(1), not a tuple scan.
-_EVENT_SET = frozenset(EVENTS)
+#: Interned event name -> counter slot.  The CPU resolves indices at
+#: construction time and increments ``PMC.counts`` slots directly.
+EVENT_INDEX: dict[str, int] = {name: i for i, name in enumerate(EVENTS)}
 
 
 class PMC:
-    """A bank of monotonically increasing counters."""
+    """A bank of monotonically increasing counters.
+
+    ``counts`` is the raw slot list; its identity is stable across
+    :meth:`reset` so pre-bound references held by the CPU fast path
+    never go stale.
+    """
+
+    __slots__ = ("counts",)
 
     def __init__(self) -> None:
-        self._counts: Counter[str] = Counter()
+        self.counts: list[int] = [0] * len(EVENTS)
+
+    @staticmethod
+    def index(event: str) -> int:
+        """Resolve *event* to its counter slot (KeyError if unknown)."""
+        try:
+            return EVENT_INDEX[event]
+        except KeyError:
+            raise KeyError(f"unknown PMC event {event!r}") from None
 
     def add(self, event: str, n: int = 1) -> None:
-        if event not in _EVENT_SET:
-            raise KeyError(f"unknown PMC event {event!r}")
-        self._counts[event] += n
+        try:
+            self.counts[EVENT_INDEX[event]] += n
+        except KeyError:
+            raise KeyError(f"unknown PMC event {event!r}") from None
 
     def read(self, event: str) -> int:
-        if event not in _EVENT_SET:
-            raise KeyError(f"unknown PMC event {event!r}")
-        return self._counts[event]
+        try:
+            return self.counts[EVENT_INDEX[event]]
+        except KeyError:
+            raise KeyError(f"unknown PMC event {event!r}") from None
 
     def snapshot(self) -> dict[str, int]:
-        return {event: self._counts[event] for event in EVENTS}
+        return dict(zip(EVENTS, self.counts))
 
     def reset(self) -> None:
-        self._counts.clear()
+        counts = self.counts
+        for i in range(len(counts)):
+            counts[i] = 0
 
     @contextmanager
     def sample(self, *events: str):

@@ -1,0 +1,49 @@
+"""Fast path vs naive interpreter: byte-identical campaign manifests.
+
+The fast-path engine (step cache, compiled executors, software TLB —
+``docs/performance.md``) claims *zero architecturally-visible cycle
+changes*.  The strongest end-to-end statement of that claim: running
+whole experiment campaigns under ``PHANTOM_REPRO_FASTPATH=0`` and
+``=1`` must produce equal manifest fingerprints — every PMC, every
+metric, every simulated-cycle total, across worker processes
+(``jobs=2`` exercises the fork boundary: workers inherit the toggle).
+"""
+
+import pytest
+
+from repro.core import CovertExperiment, KaslrImageExperiment
+from repro.core.matrix import MatrixExperiment
+from repro.kernel import MachineSpec
+from repro.pipeline import ALL_MICROARCHES
+from repro.runner import manifest_fingerprint, run_campaign
+
+
+def fingerprint(experiment, monkeypatch, enabled: bool) -> dict:
+    monkeypatch.setenv("PHANTOM_REPRO_FASTPATH", "1" if enabled else "0")
+    campaign = run_campaign(experiment, jobs=2)
+    campaign.raise_on_failure()
+    return manifest_fingerprint(campaign.manifest)
+
+
+def matrix_experiment():
+    return MatrixExperiment(
+        uarches=tuple(u.name for u in ALL_MICROARCHES))
+
+
+def covert_experiment():
+    return CovertExperiment(
+        machine=MachineSpec(uarch="zen 4", sibling_load=True),
+        channel="fetch", n_bits=48, seed=1)
+
+
+def kaslr_experiment():
+    return KaslrImageExperiment(machine=MachineSpec(uarch="zen 3"))
+
+
+@pytest.mark.parametrize("factory", [matrix_experiment, covert_experiment,
+                                     kaslr_experiment],
+                         ids=["matrix", "covert", "kaslr-image"])
+def test_engines_produce_identical_manifests(factory, monkeypatch):
+    slow = fingerprint(factory(), monkeypatch, enabled=False)
+    fast = fingerprint(factory(), monkeypatch, enabled=True)
+    assert fast == slow

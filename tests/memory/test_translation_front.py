@@ -1,0 +1,118 @@
+"""TranslationFront: the software TLB must be invisible.
+
+Same physical addresses, same ``PageFault`` attribute combinations as
+the raw page walk — plus wholesale invalidation on every page-table
+generation bump (map, unmap, linear map, attribute change), so stale
+entries can never survive a mutation.
+"""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.memory import AddressSpace, TranslationFront
+from repro.params import PAGE_SIZE
+
+VA = 0x0000_0040_0000
+KVA = 0xFFFF_FFFF_8000_0000
+
+
+def fault_of(fn, *args, **kwargs) -> tuple:
+    with pytest.raises(PageFault) as exc:
+        fn(*args, **kwargs)
+    f = exc.value
+    return (f.va, f.present, f.write, f.user, f.exec_)
+
+
+@pytest.fixture
+def aspace():
+    space = AddressSpace()
+    space.map_page(VA, 0x1000, user=True)
+    space.map_page(KVA, 0x2000, user=False, writable=False, nx=True)
+    return space
+
+
+class TestParity:
+    def test_successful_translations_match(self, aspace):
+        front = TranslationFront(aspace)
+        for va in (VA, VA + 1, VA + PAGE_SIZE - 1, KVA + 0x123):
+            assert front.translate(va) == aspace.translate(va)
+            # Warm (cached) probe returns the same thing again.
+            assert front.translate(va) == aspace.translate(va)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                                       # not-present read
+        {"write": True},                          # not-present write
+        {"exec_": True},                          # not-present fetch
+        {"user_mode": True},                      # not-present from user
+        {"write": True, "user_mode": True},
+    ])
+    def test_unmapped_fault_attributes_match(self, aspace, kwargs):
+        front = TranslationFront(aspace)
+        bad = 0x0000_1234_5000
+        assert fault_of(front.translate, bad, **kwargs) == \
+            fault_of(aspace.translate, bad, **kwargs)
+
+    def test_permission_fault_attributes_match(self, aspace):
+        front = TranslationFront(aspace)
+        cases = [
+            (KVA, {"user_mode": True}),            # user -> supervisor
+            (KVA, {"write": True}),                # write -> read-only
+            (KVA, {"exec_": True}),                # fetch -> NX
+            (KVA, {"write": True, "user_mode": True}),
+        ]
+        for va, kwargs in cases:
+            assert fault_of(front.translate, va, **kwargs) == \
+                fault_of(aspace.translate, va, **kwargs), kwargs
+
+    def test_linear_range_translations_match(self, aspace):
+        aspace.map_linear(0xFFFF_8880_0000_0000, 0, 1 << 21)
+        front = TranslationFront(aspace)
+        for off in (0, PAGE_SIZE + 7, (1 << 21) - 1):
+            va = 0xFFFF_8880_0000_0000 + off
+            assert front.translate(va) == aspace.translate(va)
+
+
+class TestInvalidation:
+    def test_unmap_invalidates(self, aspace):
+        front = TranslationFront(aspace)
+        front.translate(VA)
+        aspace.unmap(VA)
+        with pytest.raises(PageFault):
+            front.translate(VA)
+
+    def test_map_page_invalidates_negative_entry(self, aspace):
+        front = TranslationFront(aspace)
+        fresh = VA + 0x10 * PAGE_SIZE
+        with pytest.raises(PageFault):
+            front.translate(fresh)
+        aspace.map_page(fresh, 0x8000, user=True)
+        assert front.translate(fresh) == aspace.translate(fresh)
+
+    def test_set_attrs_invalidates(self, aspace):
+        front = TranslationFront(aspace)
+        front.translate(VA, write=True)
+        aspace.set_attrs(VA, writable=False)
+        with pytest.raises(PageFault):
+            front.translate(VA, write=True)
+        # Reads still work, and still match the raw walk.
+        assert front.translate(VA) == aspace.translate(VA)
+
+    def test_map_linear_invalidates(self, aspace):
+        front = TranslationFront(aspace)
+        base = 0xFFFF_8880_0000_0000
+        with pytest.raises(PageFault):
+            front.translate(base)
+        aspace.map_linear(base, 0, 1 << 21)
+        assert front.translate(base) == aspace.translate(base)
+
+    def test_materialised_range_page_shadow(self, aspace):
+        """set_attrs on a range-covered page materialises a PTE that
+        must shadow the (previously cached) range snapshot."""
+        base = 0xFFFF_8880_0000_0000
+        aspace.map_linear(base, 0x10_0000, 1 << 21)
+        front = TranslationFront(aspace)
+        pa = front.translate(base, write=True)
+        aspace.set_attrs(base, writable=False)
+        with pytest.raises(PageFault):
+            front.translate(base, write=True)
+        assert front.translate(base) == pa

@@ -1,0 +1,207 @@
+"""The fast-path execution engine: equivalence, caching, invalidation.
+
+The step cache (compiled ``(pc, privilege)`` thunks) and the naive
+interpreter must be indistinguishable to everything architectural and
+everything the paper measures: cycles, PMCs, speculation episodes.
+These tests pin that equivalence at CPU level and the cache-coherence
+rules (``invalidate_code`` must drop step/decode/transient entries and
+the µop-cache windows they fed).
+"""
+
+import pytest
+
+from repro.errors import HaltRequested
+from repro.isa import Assembler, Cond, Reg
+from repro.memory import MemorySystem
+from repro.params import PAGE_SIZE
+from repro.pipeline import CPU, ZEN2
+
+CODE = 0x0000_0010_0000
+DATA = 0x0000_0200_0000
+STACK = 0x0000_7FF0_0000
+
+
+class Twin:
+    """One CPU per engine, same program, same inputs."""
+
+    def __init__(self, fastpath: bool):
+        self.mem = MemorySystem(128 << 20, fastpath=fastpath)
+        self.cpu = CPU(ZEN2, self.mem, fastpath=fastpath)
+        self.cpu.record_episodes = True
+        self.mem.map_anonymous(STACK - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                               user=True, nx=True)
+        self.cpu.state.write(Reg.RSP, STACK)
+
+    def load_and_run(self, asm: Assembler, **attrs):
+        self.mem.load_image(asm.image(), user=True, **attrs)
+        self.run()
+
+    def run(self, pc: int = CODE):
+        try:
+            self.cpu.run(pc, max_instructions=200_000)
+        except HaltRequested:
+            return
+        raise AssertionError("program did not halt")
+
+
+def branchy_program(iters: int = 300) -> Assembler:
+    """Data-dependent branches: mispredicts, Spectre windows, episodes."""
+    asm = Assembler(CODE)
+    asm.mov_ri(Reg.RAX, 0x9E3779B97F4A7C15)
+    asm.mov_ri(Reg.RBX, DATA)
+    asm.mov_ri(Reg.RCX, iters)
+    asm.label("loop")
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.shl_ri(Reg.RDX, 13)
+    asm.xor_rr(Reg.RAX, Reg.RDX)
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.shr_ri(Reg.RDX, 7)
+    asm.xor_rr(Reg.RAX, Reg.RDX)
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.and_ri(Reg.RDX, 1)
+    asm.cmp_ri(Reg.RDX, 0)
+    asm.jcc(Cond.E, "skip")
+    asm.store(Reg.RBX, 0, Reg.RAX)
+    asm.load(Reg.RSI, Reg.RBX, 0)
+    asm.label("skip")
+    asm.call("leaf")
+    asm.sub_ri(Reg.RCX, 1)
+    asm.jcc(Cond.NE, "loop")
+    asm.hlt()
+    asm.label("leaf")
+    asm.add_ri(Reg.RDI, 1)
+    asm.ret()
+    return asm
+
+
+class TestEngineEquivalence:
+    def test_identical_cycles_pmcs_and_episodes(self):
+        slow, fast = Twin(fastpath=False), Twin(fastpath=True)
+        for twin in (slow, fast):
+            twin.mem.map_anonymous(DATA, PAGE_SIZE, user=True)
+            twin.load_and_run(branchy_program())
+        assert fast.cpu.cycles == slow.cpu.cycles
+        assert fast.cpu.pmc.snapshot() == slow.cpu.pmc.snapshot()
+        assert fast.cpu.episodes == slow.cpu.episodes
+        for r in Reg:
+            assert fast.cpu.state.read(r) == slow.cpu.state.read(r), r
+
+    def test_mispredicts_actually_happened(self):
+        fast = Twin(fastpath=True)
+        fast.mem.map_anonymous(DATA, PAGE_SIZE, user=True)
+        fast.load_and_run(branchy_program())
+        assert fast.cpu.pmc.read("branch_mispredict") > 10
+
+
+class TestStepCache:
+    def test_cache_fills_after_warm_execution(self):
+        fast = Twin(fastpath=True)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RCX, 3)
+        asm.label("loop")
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "loop")
+        asm.hlt()
+        fast.load_and_run(asm)
+        # Every revisited pc got a compiled thunk (HLT traps out before
+        # its thunk would run a second time, but it compiles too).
+        assert len(fast.cpu._step_cache_user) >= 3
+
+    def test_disabled_engine_compiles_nothing(self):
+        slow = Twin(fastpath=False)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RAX, 5)
+        asm.hlt()
+        slow.load_and_run(asm)
+        assert not slow.cpu._step_cache_user
+        assert slow.cpu.state.read(Reg.RAX) == 5
+
+    def test_invalidate_drops_compiled_thunks(self):
+        fast = Twin(fastpath=True)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RAX, 1)
+        asm.hlt()
+        fast.load_and_run(asm)
+        assert CODE in fast.cpu._step_cache_user
+        fast.cpu.invalidate_code(CODE, CODE + 16)
+        assert CODE not in fast.cpu._step_cache_user
+        assert CODE not in fast.cpu._decode_cache
+
+    def test_self_modifying_code_reexecutes(self):
+        fast = Twin(fastpath=True)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RAX, 1)
+        asm.hlt()
+        fast.load_and_run(asm)
+        assert fast.cpu.state.read(Reg.RAX) == 1
+        pa = fast.mem.aspace.translate_noperm(CODE)
+        fast.mem.phys.write(pa + 2, (77).to_bytes(8, "little"))
+        fast.cpu.invalidate_code(CODE, CODE + 16)
+        fast.run()
+        assert fast.cpu.state.read(Reg.RAX) == 77
+
+    def test_invalidate_flushes_uop_windows(self):
+        fast = Twin(fastpath=True)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RCX, 2)
+        asm.label("loop")
+        asm.nop_sled(32)
+        asm.sub_ri(Reg.RCX, 1)
+        asm.jcc(Cond.NE, "loop")
+        asm.hlt()
+        fast.load_and_run(asm)
+        assert fast.cpu.uopcache.lookup(CODE)
+        fast.cpu.invalidate_code(CODE, CODE + 64)
+        assert not fast.cpu.uopcache.lookup(CODE)
+
+    def test_invalidate_reaches_back_across_page_boundary(self):
+        """An instruction starting on the previous page whose bytes
+        spill into the invalidated range must be dropped too."""
+        fast = Twin(fastpath=True)
+        straddle = CODE + PAGE_SIZE - 4   # 10-byte mov crosses the page
+        asm = Assembler(straddle)
+        asm.mov_ri(Reg.RAX, 0xAB)
+        asm.hlt()
+        fast.mem.load_image(asm.image(), user=True)
+        fast.run(straddle)
+        assert straddle in fast.cpu._step_cache_user
+        fast.cpu.invalidate_code(CODE + PAGE_SIZE, CODE + PAGE_SIZE + 8)
+        assert straddle not in fast.cpu._step_cache_user
+
+
+class TestL1MissCounting:
+    """Satellite: the shared L1-miss heuristic (latency >= L2 latency).
+
+    Pins the current counting behaviour for both cache levels on both
+    engines: the first touch of a line is a miss, re-touches are hits.
+    """
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_l1d_miss_counted_once_per_cold_line(self, fastpath):
+        twin = Twin(fastpath=fastpath)
+        twin.mem.map_anonymous(DATA, PAGE_SIZE, user=True)
+        asm = Assembler(CODE)
+        asm.mov_ri(Reg.RBX, DATA)
+        asm.load(Reg.RAX, Reg.RBX, 0)
+        asm.load(Reg.RDX, Reg.RBX, 0)
+        asm.hlt()
+        twin.load_and_run(asm)
+        assert twin.cpu.pmc.read("l1d_access") == 2
+        assert twin.cpu.pmc.read("l1d_miss") == 1
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_l1i_miss_counted_once_per_cold_line(self, fastpath):
+        twin = Twin(fastpath=fastpath)
+        asm = Assembler(CODE)   # ~16 bytes: one cache line of code
+        asm.mov_ri(Reg.RAX, 1)
+        asm.mov_ri(Reg.RDX, 2)
+        asm.hlt()
+        twin.load_and_run(asm)
+        assert twin.cpu.pmc.read("l1i_miss") == 1
+        assert twin.cpu.pmc.read("l1i_access") == \
+            twin.cpu.pmc.read("instructions")
+
+    def test_threshold_is_l2_latency(self):
+        twin = Twin(fastpath=True)
+        assert twin.cpu._l1_miss_threshold == \
+            twin.mem.hier.params.l2_latency

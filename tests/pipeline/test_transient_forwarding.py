@@ -1,0 +1,88 @@
+"""Store-to-load forwarding inside transient windows.
+
+Transient stores land in a private store buffer; transient loads must
+see them the way hardware's store-buffer forwarding does:
+
+* a load whose bytes are *fully contained* in a buffered store is
+  forwarded from the buffer (any alignment inside the store);
+* when several buffered stores contain the load, the **youngest** in
+  program order wins — including a re-store to an old address, which
+  moves that address to youngest;
+* a load only *partially* overlapping buffered stores reads memory —
+  the simulator does not merge buffer bytes with memory bytes (real
+  store buffers stall such loads; the simplification is documented
+  here and in docs/performance.md).
+"""
+
+import pytest
+
+from repro.isa import Reg
+from repro.memory import MemorySystem
+from repro.params import PAGE_SIZE
+from repro.pipeline import CPU, ZEN2
+from repro.pipeline.cpu import _TransientState
+
+DATA = 0x0000_0200_0000
+
+
+@pytest.fixture(params=[False, True], ids=["slow", "fast"])
+def setup(request):
+    mem = MemorySystem(64 << 20, fastpath=request.param)
+    cpu = CPU(ZEN2, mem, fastpath=request.param)
+    mem.map_anonymous(DATA, PAGE_SIZE, user=True)
+    mem.phys.write(mem.aspace.translate_noperm(DATA),
+                   bytes(range(1, 65)))   # 0x01 0x02 ... 0x40
+    transient = _TransientState(cpu, cpu.state.copy())
+    return cpu, transient
+
+
+class TestForwarding:
+    def test_exact_match(self, setup):
+        _, t = setup
+        t.store(DATA, 8, 0x1122334455667788)
+        assert t.load(DATA, 8) == 0x1122334455667788
+
+    def test_contained_smaller_load(self, setup):
+        _, t = setup
+        t.store(DATA, 8, 0x1122334455667788)
+        assert t.load(DATA, 1) == 0x88
+        assert t.load(DATA + 3, 1) == 0x55
+        assert t.load(DATA + 4, 4) == 0x11223344
+        assert t.load(DATA + 6, 2) == 0x1122
+
+    def test_youngest_store_wins(self, setup):
+        _, t = setup
+        t.store(DATA, 8, 0xAAAA_AAAA_AAAA_AAAA)
+        t.store(DATA + 2, 2, 0xBBBB)
+        # Both contain a 1-byte load at DATA+2; the later store wins.
+        assert t.load(DATA + 2, 1) == 0xBB
+        # Bytes outside the younger store still forward from the older.
+        assert t.load(DATA, 2) == 0xAAAA
+
+    def test_restore_moves_address_to_youngest(self, setup):
+        _, t = setup
+        t.store(DATA, 8, 0x1111_1111_1111_1111)
+        t.store(DATA + 1, 2, 0x2222)
+        t.store(DATA, 8, 0x3333_3333_3333_3333)   # re-store: now youngest
+        assert t.load(DATA + 1, 1) == 0x33
+
+    def test_partial_overlap_reads_memory(self, setup):
+        _, t = setup
+        t.store(DATA + 2, 4, 0xDEADBEEF)
+        # 8-byte load at DATA overlaps the store but is not contained:
+        # it reads the backing memory (0x01..0x08 little-endian).
+        assert t.load(DATA, 8) == 0x0807060504030201
+
+    def test_unrelated_load_reads_memory_and_counts(self, setup):
+        cpu, t = setup
+        t.store(DATA, 8, 0x1234)
+        before = cpu.pmc.read("transient_load")
+        assert t.load(DATA + 32, 4) == 0x24232221
+        assert cpu.pmc.read("transient_load") == before + 1
+
+    def test_forwarded_load_does_not_touch_memory(self, setup):
+        cpu, t = setup
+        t.store(DATA, 8, 0x42)
+        before = cpu.pmc.read("transient_load")
+        t.load(DATA, 8)
+        assert cpu.pmc.read("transient_load") == before
