@@ -13,6 +13,7 @@ Commands
 * ``rev-btb``   — §6.2 BTB function recovery (Figure 7)
 * ``gadgets``   — §9.3 gadget census over a synthetic corpus
 * ``trace``     — run a syscall under the execution tracer
+* ``fuzz``      — differential fuzz the dual-engine simulator
 * ``stats``     — summarize one run manifest, or diff two
 * ``bench``     — simulator throughput: fast path vs naive interpreter
 * ``uarches``   — list the modelled microarchitectures
@@ -60,6 +61,11 @@ def _add_telemetry(parser):
                              "trace to FILE")
     parser.add_argument("--results-dir", metavar="DIR", default=None,
                         help="archive the run manifest under DIR")
+
+
+def _fuzz_shapes():
+    from .fuzz import SHAPES
+    return SHAPES
 
 
 class _Run:
@@ -392,6 +398,84 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import time
+
+    from .fuzz import (DEFAULT_UARCHES, FuzzExperiment, check_program,
+                       generate, program_seed, save_counterexample, shrink)
+    from .runner import run_campaign
+
+    uarches = tuple(args.uarch) if args.uarch else DEFAULT_UARCHES
+    invariants = not args.no_invariants
+    with _Run(args, "fuzz", seed=args.seed, iters=args.iters,
+              uarches=list(uarches), shape=args.shape,
+              invariants=invariants) as run:
+        started = time.monotonic()
+        failures = []     # (index, program, verdict)
+        checked = 0
+        if args.jobs == 1:
+            with run.phase("fuzz"):
+                for index in range(args.iters):
+                    if args.time_budget and \
+                            time.monotonic() - started >= args.time_budget:
+                        run.text(f"time budget hit after {checked} programs")
+                        break
+                    program = generate(program_seed(args.seed, index),
+                                       args.shape)
+                    verdict = check_program(program, uarches,
+                                            invariants=invariants)
+                    checked += 1
+                    if not verdict.ok:
+                        failures.append((index, program, verdict))
+        else:
+            # The campaign decomposition ignores the time budget: jobs
+            # are sharded up front so results match --jobs 1 exactly.
+            with run.phase("fuzz"):
+                campaign = run_campaign(
+                    FuzzExperiment(seed=args.seed, count=args.iters,
+                                   shape=args.shape, uarches=uarches,
+                                   invariants=invariants),
+                    jobs=args.jobs)
+            run.absorb(campaign)
+            outcome = campaign.raise_on_failure().value
+            checked = outcome["programs"]
+            for index in outcome["failed_indices"]:
+                program = generate(program_seed(args.seed, index),
+                                   args.shape)
+                failures.append((index, program,
+                                 check_program(program, uarches,
+                                               invariants=invariants)))
+
+        artifacts = []
+        for index, program, verdict in failures:
+            run.text(f"DIVERGENCE at index {index}: {program.name}")
+            for divergence in verdict.divergences[:8]:
+                run.text(f"  {divergence}")
+            shrink_checks = 0
+            if not args.no_shrink:
+                result = shrink(program, verdict, uarches=uarches,
+                                invariants=invariants)
+                run.text(f"  shrunk {result.items_before} -> "
+                         f"{result.items_after} items "
+                         f"({result.checks} oracle checks)")
+                program, shrink_checks = result.program, result.checks
+            path = save_counterexample(
+                program, [str(d) for d in verdict.divergences],
+                args.artifact_dir, shrink_checks=shrink_checks)
+            artifacts.append(str(path))
+            run.text(f"  wrote {path}")
+
+        elapsed = time.monotonic() - started
+        run.finish("success" if not failures else "failure",
+                   programs=checked, divergent=len(failures),
+                   failed_indices=[index for index, _, _ in failures],
+                   artifacts=artifacts, elapsed_seconds=round(elapsed, 3))
+        run.text(f"checked {checked}/{args.iters} programs on "
+                 f"{', '.join(uarches)}: {len(failures)} divergence(s) "
+                 f"in {elapsed:.1f}s")
+    return 1 if failures else 0
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -522,6 +606,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=200)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzz the dual-engine simulator")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (program i gets a seed derived "
+                        "from this and i only)")
+    p.add_argument("--iters", type=int, default=200,
+                   help="number of generated programs (default 200)")
+    p.add_argument("--time-budget", type=float, default=0, metavar="SEC",
+                   help="stop starting new programs after SEC seconds "
+                        "(0 = no budget; ignored with --jobs > 1)")
+    p.add_argument("--shape", default=None, choices=_fuzz_shapes(),
+                   help="restrict the generator to one program shape")
+    p.add_argument("--uarch", action="append", default=None,
+                   metavar="NAME",
+                   help="µarch to include in the oracle matrix "
+                        "(repeatable; default: zen2 and zen3)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1; results are "
+                        "identical at any value)")
+    p.add_argument("--artifact-dir", default="fuzz-artifacts",
+                   metavar="DIR",
+                   help="where minimized counterexamples are written")
+    p.add_argument("--no-invariants", action="store_true",
+                   help="engine differential only, skip invariant checks")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="write counterexamples without minimizing them")
+    _add_telemetry(p)
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("bench",
                        help="simulator throughput: fast vs naive engine")

@@ -1,0 +1,61 @@
+"""Differential fuzzing and invariant checking for the dual-engine
+simulator (see docs/fuzzing.md).
+
+The pieces compose as a pipeline:
+
+* :mod:`~repro.fuzz.gen` — seeded deterministic program generator,
+* :mod:`~repro.fuzz.harness` — run one program on one engine,
+* :mod:`~repro.fuzz.invariants` — machine-checkable simulator claims,
+* :mod:`~repro.fuzz.oracle` — the full differential matrix per program,
+* :mod:`~repro.fuzz.shrink` — minimize failures to tiny reproducers,
+* :mod:`~repro.fuzz.corpus` — committed regression corpus on disk.
+"""
+
+from .corpus import (COUNTEREXAMPLE_SCHEMA, SEED_CORPUS, iter_corpus,
+                     load_program, save_counterexample, save_program,
+                     seed_corpus, write_seed_corpus)
+from .gen import SHAPES, generate
+from .harness import (Observables, World, compare_observables,
+                      run_program)
+from .invariants import Violation, despeculated
+from .oracle import (CHUNK, DEFAULT_UARCHES, Divergence, FuzzExperiment,
+                     Verdict, check_program, check_range, program_seed)
+from .program import (BuiltProgram, FuzzProgram, FuzzProgramError,
+                      InstrSpec, Item, Patch, PROGRAM_SCHEMA)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "BuiltProgram",
+    "CHUNK",
+    "COUNTEREXAMPLE_SCHEMA",
+    "DEFAULT_UARCHES",
+    "Divergence",
+    "FuzzExperiment",
+    "FuzzProgram",
+    "FuzzProgramError",
+    "InstrSpec",
+    "Item",
+    "Observables",
+    "PROGRAM_SCHEMA",
+    "Patch",
+    "SEED_CORPUS",
+    "SHAPES",
+    "ShrinkResult",
+    "Verdict",
+    "Violation",
+    "World",
+    "check_program",
+    "check_range",
+    "compare_observables",
+    "despeculated",
+    "generate",
+    "iter_corpus",
+    "load_program",
+    "program_seed",
+    "run_program",
+    "save_counterexample",
+    "save_program",
+    "seed_corpus",
+    "shrink",
+    "write_seed_corpus",
+]

@@ -1,0 +1,94 @@
+"""Regression corpus: committed reproducers and their on-disk format.
+
+Corpus entries are :data:`~repro.fuzz.program.PROGRAM_SCHEMA` JSON
+documents.  Two sources feed the directory:
+
+* the **seed corpus** — one generated program per generator shape,
+  pinned by ``(shape, seed)`` in :data:`SEED_CORPUS` and regenerated
+  bit-identically by :func:`seed_corpus` (a committed entry that stops
+  matching its pin means the generator changed — version the pin, do
+  not silently regenerate);
+* **minimized counterexamples** — shrunk failing programs written by
+  ``repro fuzz`` when the oracle diverges; commit them after fixing the
+  bug so the regression replays forever in tier-1
+  (``tests/fuzz/test_corpus_replay.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .gen import generate
+from .program import FuzzProgram
+
+#: Schema tag for minimized counterexamples written by ``repro fuzz``.
+COUNTEREXAMPLE_SCHEMA = "phantom.fuzz-counterexample/1"
+
+#: The committed seed corpus: one pinned program per generator shape.
+#: Seeds were chosen so the set covers distinct outcomes (clean halts,
+#: multi-run self-modifying programs, a user page fault) — see
+#: tests/fuzz/test_corpus_replay.py.
+SEED_CORPUS: tuple[tuple[str, int], ...] = (
+    ("branchy", 9),     # episode-rich loop nest, clean halt
+    ("alias", 14),      # overlapping pointers, store-forwarding heavy
+    ("straddle", 17),   # code + data page-boundary straddles
+    ("syscall", 4),     # kernel crossings, ends in a user page fault
+    ("smc", 5),         # three runs, two code rewrites between them
+    ("mixed", 16),      # kernel stub + dense speculation
+)
+
+
+def seed_corpus() -> list[FuzzProgram]:
+    """Regenerate the pinned seed corpus."""
+    return [generate(seed, shape) for shape, seed in SEED_CORPUS]
+
+
+def save_program(program: FuzzProgram, directory: Path | str) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{program.name}.json"
+    path.write_text(program.to_json())
+    return path
+
+
+def load_program(path: Path | str) -> FuzzProgram:
+    """Load a corpus entry — a plain program document or a
+    counterexample document wrapping one."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") == COUNTEREXAMPLE_SCHEMA:
+        doc = doc["program"]
+    return FuzzProgram.from_dict(doc)
+
+
+def save_counterexample(program: FuzzProgram, divergences: list[str],
+                        directory: Path | str, *,
+                        shrink_checks: int = 0) -> Path:
+    """Write a minimized failing program plus its oracle findings."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": COUNTEREXAMPLE_SCHEMA,
+        "divergences": divergences,
+        "shrink_checks": shrink_checks,
+        "program": program.to_dict(),
+    }
+    path = directory / f"counterexample-{program.name}.json"
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def iter_corpus(directory: Path | str) -> list[tuple[Path, FuzzProgram]]:
+    """All corpus entries under *directory*, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append((path, load_program(path)))
+    return entries
+
+
+def write_seed_corpus(directory: Path | str) -> list[Path]:
+    """(Re)write the pinned seed corpus into *directory*."""
+    return [save_program(program, directory) for program in seed_corpus()]

@@ -1,0 +1,417 @@
+"""Seeded random program generator.
+
+``generate(seed)`` is a pure function from a 64-bit seed to a
+:class:`~repro.fuzz.program.FuzzProgram`: the same seed always yields
+the same program, byte for byte, on any worker process — the property
+the whole oracle rests on (same seed → same programs → same verdicts).
+
+Programs are weighted toward the shapes the dual-engine claim is most
+likely to break on:
+
+* ``branchy``   — dense conditional/direct/indirect control flow and
+  bounded loops, retraining the BTB so phantom episodes fire;
+* ``alias``     — overlapping data pointers and mixed-width loads and
+  stores, stressing store-to-load forwarding and the alias checks;
+* ``straddle``  — instructions straddling code-page boundaries and
+  loads crossing data-page boundaries (dual translations per access);
+* ``syscall``   — user/kernel crossings through a generated nano-kernel
+  stub (privilege-split step caches, cross-privilege episodes);
+* ``smc``       — multi-run programs whose code is rewritten between
+  runs (``invalidate_code``: branches become nops and vice versa, so
+  stale BTB entries meet changed decode bytes);
+* ``mixed``     — a blend of all of the above.
+
+Structural discipline keeps generated programs terminating by
+construction: inter-block branches only jump *forward*, loops are
+counted down from a small immediate with the counter register reserved
+against clobbering, and calls target forward function bodies that end
+in ``ret``.  Everything else — wild displacements, patched-in back
+edges — is bounded by the per-run instruction budget and folds into a
+deterministic outcome token instead of a hang.
+
+The generator never emits ``rdtsc``: reading the cycle counter makes
+architectural state legitimately timing-dependent, which would void the
+no-speculation memory invariant (see :mod:`repro.fuzz.invariants`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa import Cond, NOPL_SEQUENCES, Reg, encode
+from ..params import PAGE_SIZE
+from .program import (FuzzProgram, InstrSpec, Item, Patch,
+                      USER_CODE_PAGES, USER_DATA, USER_DATA_PAGES)
+
+#: Generator shapes, selectable by name or drawn uniformly per seed.
+SHAPES = ("branchy", "alias", "straddle", "syscall", "smc", "mixed")
+
+#: General-purpose registers the generator may touch (never RSP — the
+#: stack pointer is managed structurally by push/pop/call/ret balance).
+_GP = tuple(r for r in Reg if r is not Reg.RSP)
+
+#: Registers holding stable data pointers; never written by generated
+#: code so every load/store base stays inside (or deliberately just
+#: outside) the data region.
+_POINTERS = (Reg.RSI, Reg.RDI, Reg.R8)
+
+_ALU_RR = ("add_rr", "sub_rr", "xor_rr", "or_rr")
+_CODE_BYTE_BUDGET = USER_CODE_PAGES * PAGE_SIZE - 512
+
+
+def _length(spec: InstrSpec) -> int:
+    """Encoded length of *spec* (displacement-independent, so the
+    placeholder resolution is exact)."""
+    return len(encode(spec.resolve(None)))
+
+
+class _Emitter:
+    """Accumulates items while tracking byte layout and patchability."""
+
+    def __init__(self) -> None:
+        self.items: list[Item] = []
+        self.pending: list[str] = []
+        self.offset = 0  # bytes emitted so far (base-relative)
+        self.patchable: list[tuple[int, str, int]] = []  # (index, tag, len)
+
+    def label(self, name: str) -> None:
+        self.pending.append(name)
+
+    def emit(self, spec: InstrSpec, tag: str | None = None) -> None:
+        self.items.append(Item(instr=spec, labels=tuple(self.pending)))
+        self.pending.clear()
+        length = _length(spec)
+        self.offset += length
+        if tag is not None:
+            self.patchable.append((len(self.items) - 1, tag, length))
+
+
+class _Gen:
+    def __init__(self, seed: int, shape: str) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.shape = shape
+        self.user = _Emitter()
+        self.kernel: list[Item] = []
+        self.patches: list[Patch] = []
+        self.runs = 1
+        self._uniq = 0
+        self._loop_counters: set[Reg] = set()
+        # Pointer values: overlapping bases make aliasing likely.
+        offsets = [0, 8, 64, 256, 1024, 4080]
+        self.rng.shuffle(offsets)
+        if shape in ("alias", "mixed"):
+            offsets[1] = offsets[0] + self.rng.choice((0, 8))
+        self.pointer_values = {
+            reg: USER_DATA + offsets[i] for i, reg in enumerate(_POINTERS)}
+
+    # -- small helpers ---------------------------------------------------
+
+    def uniq(self, prefix: str) -> str:
+        self._uniq += 1
+        return f"{prefix}{self._uniq}"
+
+    def writable(self) -> Reg:
+        pool = [r for r in _GP
+                if r not in _POINTERS and r not in self._loop_counters]
+        return self.rng.choice(pool)
+
+    def any_reg(self) -> Reg:
+        return self.rng.choice(_GP)
+
+    def cond(self) -> str:
+        return self.rng.choice(list(Cond)).name.lower()
+
+    # -- instruction menu ------------------------------------------------
+
+    def alu(self) -> InstrSpec:
+        kind = self.rng.randrange(8)
+        dest = self.writable()
+        if kind == 0:
+            return InstrSpec("mov_ri", dest=dest.name.lower(),
+                             imm=self.rng.getrandbits(32))
+        if kind == 1:
+            return InstrSpec(self.rng.choice(("add_ri", "sub_ri", "cmp_ri")),
+                             dest=dest.name.lower(),
+                             imm=self.rng.randrange(1 << 31))
+        if kind == 2:
+            return InstrSpec(self.rng.choice(("shl_ri", "shr_ri")),
+                             dest=dest.name.lower(),
+                             imm=self.rng.randrange(64))
+        if kind == 3:
+            return InstrSpec(self.rng.choice(("inc", "dec", "neg", "not")),
+                             dest=dest.name.lower())
+        if kind == 4:
+            return InstrSpec("cmov", cc=self.cond(), dest=dest.name.lower(),
+                             src=self.any_reg().name.lower())
+        if kind == 5:
+            return InstrSpec(self.rng.choice(("cmp_rr", "test_rr")),
+                             dest=self.any_reg().name.lower(),
+                             src=self.any_reg().name.lower())
+        if kind == 6:
+            return InstrSpec("imul_rr", dest=dest.name.lower(),
+                             src=self.any_reg().name.lower())
+        return InstrSpec(self.rng.choice(_ALU_RR), dest=dest.name.lower(),
+                         src=self.any_reg().name.lower())
+
+    def mem_disp(self) -> int:
+        roll = self.rng.random()
+        if self.shape in ("alias", "mixed") and roll < 0.5:
+            return self.rng.choice((0, 8, 16, 24))
+        if self.shape in ("straddle", "mixed") and roll < 0.65:
+            # Land the access on the data-page boundary so the quadword
+            # translates both pages.
+            return PAGE_SIZE - self.rng.choice((1, 2, 4, 7))
+        if roll < 0.02:  # rare: past the mapped region -> page fault
+            return USER_DATA_PAGES * PAGE_SIZE + 64
+        return 8 * self.rng.randrange(64)
+
+    def mem_op(self) -> InstrSpec:
+        base = self.rng.choice(_POINTERS).name.lower()
+        disp = self.mem_disp()
+        kind = self.rng.randrange(4)
+        if kind == 0:
+            return InstrSpec("mov_rm", dest=self.writable().name.lower(),
+                             base=base, disp=disp)
+        if kind == 1:
+            return InstrSpec("movb_rm", dest=self.writable().name.lower(),
+                             base=base, disp=disp)
+        if kind == 2:
+            return InstrSpec("mov_mr", src=self.any_reg().name.lower(),
+                             base=base, disp=disp)
+        return InstrSpec("lea", dest=self.writable().name.lower(),
+                         base=base, disp=disp)
+
+    def body_instr(self) -> InstrSpec:
+        mem_weight = {"alias": 0.55, "straddle": 0.45}.get(self.shape, 0.3)
+        if self.rng.random() < mem_weight:
+            return self.mem_op()
+        if self.rng.random() < 0.06:
+            return InstrSpec(self.rng.choice(("lfence", "mfence")))
+        return self.alu()
+
+    # -- structure -------------------------------------------------------
+
+    def emit_pad_to_boundary(self) -> None:
+        """Pad with long nops so the next instruction straddles a code
+        page boundary (the decoder must translate both pages)."""
+        user = self.user
+        page_off = user.offset % PAGE_SIZE
+        remaining = PAGE_SIZE - page_off
+        target_tail = self.rng.choice((1, 2, 4, 7, 9))
+        pad = remaining - target_tail
+        if pad < 0 or user.offset + remaining + 64 > _CODE_BYTE_BUDGET:
+            return
+        lengths = sorted(NOPL_SEQUENCES, reverse=True)
+        while pad:
+            for length in lengths:
+                if length <= pad:
+                    user.emit(InstrSpec("nopl", imm=length))
+                    pad -= length
+                    break
+            else:
+                user.emit(InstrSpec("nop"))
+                pad -= 1
+        # 10-byte immediate move: bytes on both sides of the boundary.
+        user.emit(InstrSpec("mov_ri", dest=self.writable().name.lower(),
+                            imm=self.rng.getrandbits(64)))
+
+    def emit_short_skip(self) -> None:
+        """``jmp8`` over a handful of instructions (rel8 stays in range
+        because the skipped body is at most ~30 bytes)."""
+        skip = self.uniq("S")
+        self.user.emit(InstrSpec("jmp8", target=skip))
+        for _ in range(self.rng.randrange(1, 4)):
+            self.user.emit(self.body_instr())
+        self.user.label(skip)
+
+    def emit_indirect(self, label: str, *, call: bool) -> None:
+        scratch = self.writable()
+        self.user.emit(InstrSpec("mov_ri", dest=scratch.name.lower(),
+                                 imm_label=label))
+        mnemonic = "call_reg" if call else "jmp_reg"
+        self.user.emit(InstrSpec(mnemonic, dest=scratch.name.lower()))
+
+    def emit_block_body(self, n: int) -> None:
+        loop = self.rng.random() < (0.45 if self.shape == "branchy" else 0.25)
+        counter: Reg | None = None
+        if loop:
+            counter = self.writable()
+            self._loop_counters.add(counter)
+            head = self.uniq("P")
+            self.user.emit(InstrSpec("mov_ri", dest=counter.name.lower(),
+                                     imm=self.rng.randrange(2, 7)))
+            self.user.label(head)
+        for _ in range(n):
+            if self.rng.random() < 0.12:
+                self.emit_short_skip()
+            else:
+                spec = self.body_instr()
+                tag = None
+                if spec.mnemonic in _ALU_RR:
+                    tag = "alu"
+                elif spec.mnemonic == "mov_ri" and spec.imm_label is None:
+                    tag = "mov_ri"
+                self.user.emit(spec, tag=tag)
+        if loop and counter is not None:
+            self.user.emit(InstrSpec("dec", dest=counter.name.lower()))
+            self.user.emit(InstrSpec("jcc", cc="ne", target=head))
+            self._loop_counters.discard(counter)
+
+    def emit_terminator(self, block: int, labels: list[str],
+                        functions: list[str], use_kernel: bool) -> None:
+        """Transfer control out of block *block* — always forward."""
+        forward = labels[block + 1:]
+        target = self.rng.choice(forward)
+        roll = self.rng.random()
+        if use_kernel and roll < (0.45 if self.shape == "syscall" else 0.12):
+            self.user.emit(InstrSpec("mov_ri", dest="rax",
+                                     imm=self.rng.randrange(512)))
+            self.user.emit(InstrSpec("syscall"))
+            return  # falls through to the next block after sysret
+        if functions and roll < 0.3:
+            fn = self.rng.choice(functions)
+            if self.rng.random() < 0.3:
+                self.emit_indirect(fn, call=True)
+            else:
+                self.user.emit(InstrSpec("call", target=fn))
+            return
+        if roll < 0.5:
+            self.user.emit(InstrSpec("jcc", cc=self.cond(), target=target),
+                           tag="jcc")
+            return
+        if roll < 0.62:
+            self.emit_indirect(target, call=False)
+            return
+        if roll < 0.8:
+            self.user.emit(InstrSpec("jmp", target=target))
+            return
+        # fall through
+
+    def emit_function(self, name: str) -> None:
+        self.user.label(name)
+        reg = self.writable()
+        balanced = self.rng.random() < 0.8
+        if balanced:
+            self.user.emit(InstrSpec("push", dest=reg.name.lower()))
+        for _ in range(self.rng.randrange(1, 5)):
+            self.user.emit(self.body_instr())
+        if balanced:
+            self.user.emit(InstrSpec("pop", dest=reg.name.lower()))
+        self.user.emit(InstrSpec("ret"))
+
+    def emit_kernel(self) -> None:
+        """Nano-kernel syscall body: a few instructions, an optional
+        forward branch, then ``sysret``."""
+        items: list[Item] = []
+        pending: list[str] = []
+
+        def emit(spec: InstrSpec) -> None:
+            items.append(Item(instr=spec, labels=tuple(pending)))
+            pending.clear()
+
+        for _ in range(self.rng.randrange(2, 6)):
+            emit(self.alu())
+        if self.rng.random() < 0.5:
+            skip = self.uniq("K")
+            emit(InstrSpec("jcc", cc=self.cond(), target=skip))
+            emit(self.alu())
+            pending.append(skip)
+        reg = self.writable()
+        emit(InstrSpec("push", dest=reg.name.lower()))
+        emit(InstrSpec("pop", dest=reg.name.lower()))
+        emit(InstrSpec("sysret"))
+        self.kernel = items
+
+    # -- self-modifying patches -----------------------------------------
+
+    def plan_patches(self) -> None:
+        self.runs = self.rng.randrange(2, 4)
+        candidates = list(self.user.patchable)
+        self.rng.shuffle(candidates)
+        n_patches = min(len(candidates), self.rng.randrange(1, 4))
+        for index, tag, length in candidates[:n_patches]:
+            before_run = self.rng.randrange(1, self.runs)
+            if tag == "jcc":
+                # Branch bytes become a nop: the BTB still predicts a
+                # branch here, the decoder now disagrees — the exact
+                # decoder-detectable mismatch Phantom is about.
+                replacement = InstrSpec("nopl", imm=length)
+            elif tag == "alu":
+                replacement = InstrSpec(
+                    self.rng.choice(_ALU_RR), dest=self.writable().name.lower(),
+                    src=self.any_reg().name.lower())
+            else:  # mov_ri: same shape, different immediate
+                original = self.user.items[index].instr
+                replacement = InstrSpec("mov_ri", dest=original.dest,
+                                        imm=self.rng.getrandbits(32))
+            if _length(replacement) <= length:
+                self.patches.append(Patch(before_run=before_run, index=index,
+                                          instr=replacement))
+        if not self.patches:
+            self.runs = 1
+
+    # -- top level -------------------------------------------------------
+
+    def build(self) -> FuzzProgram:
+        rng = self.rng
+        shape = self.shape
+        use_kernel = shape in ("syscall", "mixed") and \
+            (shape == "syscall" or rng.random() < 0.5)
+        n_blocks = {"branchy": rng.randrange(8, 13),
+                    "syscall": rng.randrange(5, 9)}.get(
+                        shape, rng.randrange(4, 9))
+        n_functions = rng.randrange(0, 3) if shape != "straddle" else 0
+        functions = [self.uniq("F") for _ in range(n_functions)]
+        labels = [f"L{i}" for i in range(n_blocks)] + ["exit"]
+
+        emitted = 0
+        for block in range(n_blocks):
+            self.user.label(labels[block])
+            emitted += 1
+            if shape == "straddle" and rng.random() < 0.6:
+                self.emit_pad_to_boundary()
+            self.emit_block_body(rng.randrange(2, 8))
+            self.emit_terminator(block, labels, functions, use_kernel)
+            if self.user.offset > _CODE_BYTE_BUDGET - 1024:
+                break
+        # Blocks dropped by the byte budget still need their labels:
+        # park them on the exit instruction.
+        for name in labels[emitted:-1]:
+            self.user.label(name)
+        self.user.label("exit")
+        self.user.emit(InstrSpec("hlt"))
+        for name in functions:
+            self.emit_function(name)
+        if use_kernel:
+            self.emit_kernel()
+        if shape == "smc" and self.user.patchable:
+            self.plan_patches()
+
+        regs = tuple(sorted(
+            [(reg.name.lower(), value)
+             for reg, value in self.pointer_values.items()] +
+            [(reg.name.lower(), rng.getrandbits(64))
+             for reg in (Reg.RAX, Reg.RCX, Reg.RDX)]))
+        data = rng.randbytes(512)
+        return FuzzProgram(
+            name=f"{shape}-{self.seed & 0xFFFFFFFFFFFFFFFF:016x}",
+            seed=self.seed, shape=shape,
+            user_items=tuple(self.user.items),
+            kernel_items=tuple(self.kernel),
+            regs=regs, data=data,
+            patches=tuple(self.patches), runs=self.runs,
+            max_instructions=6000)
+
+
+def generate(seed: int, shape: str | None = None) -> FuzzProgram:
+    """Deterministically generate one program from *seed*.
+
+    When *shape* is None it is drawn from the seed itself, so a plain
+    integer sequence of seeds sweeps all shapes.
+    """
+    if shape is None:
+        shape = SHAPES[random.Random(seed ^ 0x5EED).randrange(len(SHAPES))]
+    elif shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r} (one of {SHAPES})")
+    return _Gen(seed, shape).build()

@@ -131,7 +131,19 @@ class CampaignResult:
 class _JobAlarm:
     """Per-job wall-clock timeout via ``SIGALRM`` (worker processes run
     jobs on their main thread, where the signal can be delivered; off
-    the main thread the timeout degrades to unenforced)."""
+    the main thread the timeout degrades to unenforced).
+
+    Exiting restores the full prior alarm state: the previous handler
+    *and* whatever was left of a previously armed ``ITIMER_REAL``
+    (minus the time spent inside this context), so nesting — or running
+    under host code that uses the same timer — never silently cancels
+    an outer deadline.  A zero/None timeout arms nothing and therefore
+    disturbs nothing.
+    """
+
+    #: Re-arm delay used when an outer alarm expired while this one
+    #: held the timer: fire it as soon as possible (0 would disarm).
+    _IMMEDIATE = 1e-6
 
     def __init__(self, timeout_s: float | None) -> None:
         self.armed = (timeout_s is not None and timeout_s > 0
@@ -146,13 +158,21 @@ class _JobAlarm:
                 raise JobTimeout(f"job exceeded {self.timeout_s}s")
 
             self._previous = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+            self._entered_at = time.monotonic()
+            self._prev_delay, self._prev_interval = signal.setitimer(
+                signal.ITIMER_REAL, self.timeout_s)
         return self
 
     def __exit__(self, *exc) -> bool:
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, self._previous)
+            if self._prev_delay > 0:
+                elapsed = time.monotonic() - self._entered_at
+                remaining = self._prev_delay - elapsed
+                signal.setitimer(signal.ITIMER_REAL,
+                                 max(remaining, self._IMMEDIATE),
+                                 self._prev_interval)
         return False
 
 

@@ -1,0 +1,92 @@
+"""The ``repro fuzz`` command: clean runs, budgets, artifacts."""
+
+import importlib
+import json
+
+import repro.fuzz
+from repro.cli import main
+from repro.fuzz import Divergence, Verdict, load_program
+from repro.telemetry import validate_manifest
+
+shrink_module = importlib.import_module("repro.fuzz.shrink")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_fuzz_clean_run(capsys, tmp_path):
+    code, out = run(capsys, "fuzz", "--iters", "3",
+                    "--artifact-dir", str(tmp_path / "artifacts"))
+    assert code == 0
+    assert "checked 3/3 programs" in out
+    assert "0 divergence(s)" in out
+    assert not (tmp_path / "artifacts").exists()
+
+
+def test_fuzz_emits_valid_manifest(capsys, tmp_path):
+    code, out = run(capsys, "fuzz", "--iters", "2", "--json",
+                    "--artifact-dir", str(tmp_path))
+    assert code == 0
+    doc = json.loads(out)
+    validate_manifest(doc)
+    assert doc["outcome"]["programs"] == 2
+    assert doc["config"]["uarches"] == ["zen2", "zen3"]
+
+
+def test_fuzz_respects_time_budget(capsys, tmp_path):
+    code, out = run(capsys, "fuzz", "--iters", "500",
+                    "--time-budget", "0.01",
+                    "--artifact-dir", str(tmp_path))
+    assert code == 0
+    assert "time budget hit" in out
+
+
+def test_fuzz_jobs_matches_serial(capsys, tmp_path):
+    code_serial, _ = run(capsys, "fuzz", "--iters", "6", "--seed", "21",
+                         "--artifact-dir", str(tmp_path))
+    code_jobs, _ = run(capsys, "fuzz", "--iters", "6", "--seed", "21",
+                       "--jobs", "2", "--artifact-dir", str(tmp_path))
+    assert code_serial == code_jobs == 0
+
+
+def test_fuzz_divergence_writes_counterexample(capsys, tmp_path,
+                                               monkeypatch):
+    """Fault-inject the oracle: the command must exit 1 and write a
+    replayable counterexample artifact."""
+
+    def fake_check(program, uarches, *, invariants=True):
+        verdict = Verdict(program=program)
+        if program.seed % 2:
+            verdict.divergences.append(
+                Divergence("engine", "zen2", "cycles: injected"))
+        return verdict
+
+    monkeypatch.setattr(repro.fuzz, "check_program", fake_check)
+    monkeypatch.setattr(shrink_module, "check_program", fake_check)
+    artifact_dir = tmp_path / "artifacts"
+    code, out = run(capsys, "fuzz", "--iters", "8",
+                    "--artifact-dir", str(artifact_dir))
+    assert code == 1
+    assert "DIVERGENCE" in out and "wrote" in out
+    artifacts = sorted(artifact_dir.glob("counterexample-*.json"))
+    assert artifacts
+    for path in artifacts:
+        program = load_program(path)
+        assert program.seed % 2 == 1
+        program.build()
+
+
+def test_fuzz_no_shrink_skips_minimization(capsys, tmp_path, monkeypatch):
+    def fake_check(program, uarches, *, invariants=True):
+        return Verdict(program=program,
+                       divergences=[Divergence("engine", "zen2",
+                                               "cycles: injected")])
+
+    monkeypatch.setattr(repro.fuzz, "check_program", fake_check)
+    code, out = run(capsys, "fuzz", "--iters", "1", "--no-shrink",
+                    "--artifact-dir", str(tmp_path / "a"))
+    assert code == 1
+    assert "shrunk" not in out
+    assert list((tmp_path / "a").glob("counterexample-*.json"))

@@ -1,0 +1,94 @@
+"""The committed regression corpus replays green, forever.
+
+Three statements per committed entry:
+
+1. it still is what the generator pin says it is (a corpus file that
+   drifts from its ``(shape, seed)`` pin means the generator changed —
+   version the pin, don't silently regenerate);
+2. both engines produce byte-identical observables on it, on both
+   default oracle µarchs;
+3. the full oracle (engine differential + every invariant) passes.
+
+Plus the jobs axis: sharding the fuzz campaign across worker processes
+must not change the campaign manifest fingerprint.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (DEFAULT_UARCHES, FuzzExperiment, SEED_CORPUS,
+                        check_program, compare_observables, generate,
+                        iter_corpus, run_program)
+from repro.pipeline import by_name
+from repro.runner import manifest_fingerprint, run_campaign
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = iter_corpus(CORPUS_DIR)
+
+
+def entry_ids():
+    return [path.stem for path, _ in ENTRIES]
+
+
+def test_corpus_is_committed():
+    assert len(ENTRIES) >= 5
+    assert len(ENTRIES) >= len(SEED_CORPUS)
+
+
+def test_corpus_matches_generator_pins():
+    by_name_ = {program.name: program for _, program in ENTRIES}
+    for shape, seed in SEED_CORPUS:
+        regenerated = generate(seed, shape)
+        committed = by_name_.get(regenerated.name)
+        assert committed is not None, \
+            f"pinned program {regenerated.name} missing from corpus"
+        assert committed == regenerated
+
+
+@pytest.mark.parametrize("path,program", ENTRIES, ids=entry_ids())
+def test_corpus_entry_builds(path, program):
+    built = program.build()
+    assert built.user_image.segments
+
+
+@pytest.mark.parametrize("path,program", ENTRIES, ids=entry_ids())
+@pytest.mark.parametrize("uarch_name", DEFAULT_UARCHES)
+def test_corpus_entry_engines_agree(path, program, uarch_name):
+    uarch = by_name(uarch_name)
+    slow, _ = run_program(program, uarch, fastpath=False)
+    fast, _ = run_program(program, uarch, fastpath=True)
+    assert compare_observables(slow, fast) == []
+
+
+@pytest.mark.parametrize("path,program", ENTRIES, ids=entry_ids())
+def test_corpus_entry_passes_full_oracle(path, program):
+    verdict = check_program(program)
+    assert verdict.ok, "\n".join(str(d) for d in verdict.divergences)
+
+
+def test_corpus_outcomes_are_diverse():
+    """The seed corpus was pinned to cover distinct terminal behaviours
+    (clean halts, a user page fault, multi-run SMC programs)."""
+    outcomes = set()
+    multi_run = 0
+    for _, program in ENTRIES:
+        obs, _ = run_program(program, by_name("zen2"), fastpath=True)
+        outcomes.update(obs.outcome.split(";"))
+        multi_run += program.runs > 1
+    assert "halt" in outcomes
+    assert any(o.startswith("pagefault:u") for o in outcomes)
+    assert multi_run >= 1
+
+
+def test_fuzz_campaign_fingerprint_independent_of_jobs():
+    experiment = FuzzExperiment(seed=11, count=10)
+    fingerprints = []
+    for jobs in (1, 2):
+        campaign = run_campaign(experiment, jobs=jobs)
+        outcome = campaign.raise_on_failure().value
+        assert outcome["programs"] == 10
+        assert outcome["failures"] == []
+        fingerprints.append(manifest_fingerprint(campaign.manifest))
+    assert fingerprints[0] == fingerprints[1]

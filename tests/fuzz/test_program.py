@@ -1,0 +1,130 @@
+"""FuzzProgram: serialization, validation, deterministic layout."""
+
+import pytest
+
+from repro.fuzz import (FuzzProgram, FuzzProgramError, InstrSpec, Item,
+                        PROGRAM_SCHEMA, Patch, generate)
+from repro.fuzz.program import USER_CODE
+
+
+def tiny_program(**changes):
+    items = (
+        Item(InstrSpec("mov_ri", dest="rax", imm=7), labels=("start",)),
+        Item(InstrSpec("add_ri", dest="rax", imm=1)),
+        Item(InstrSpec("hlt"), labels=("exit",)),
+    )
+    fields = dict(name="tiny", seed=1, shape="mixed", user_items=items)
+    fields.update(changes)
+    return FuzzProgram(**fields)
+
+
+def test_json_round_trip():
+    program = generate(42)
+    assert FuzzProgram.from_json(program.to_json()) == program
+
+
+def test_round_trip_all_shapes():
+    from repro.fuzz import SHAPES
+    for index, shape in enumerate(SHAPES):
+        program = generate(100 + index, shape)
+        assert FuzzProgram.from_json(program.to_json()) == program
+
+
+def test_from_dict_rejects_wrong_schema():
+    doc = tiny_program().to_dict()
+    doc["schema"] = "something-else"
+    with pytest.raises(FuzzProgramError, match="not a"):
+        FuzzProgram.from_dict(doc)
+    assert PROGRAM_SCHEMA in tiny_program().to_json()
+
+
+def test_from_dict_rejects_unknown_instr_fields():
+    with pytest.raises(FuzzProgramError, match="unknown InstrSpec"):
+        InstrSpec.from_dict({"mnemonic": "nop", "extra": 1})
+
+
+def test_resolve_rejects_unknown_mnemonic_and_register():
+    with pytest.raises(FuzzProgramError, match="mnemonic"):
+        InstrSpec("frob").resolve()
+    with pytest.raises(FuzzProgramError, match="register"):
+        InstrSpec("mov_ri", dest="r99", imm=0).resolve()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(FuzzProgramError, match="no user items"):
+        tiny_program(user_items=())
+
+
+def test_patch_validation():
+    patch = Patch(before_run=1, index=0,
+                  instr=InstrSpec("mov_ri", dest="rax", imm=9))
+    with pytest.raises(FuzzProgramError, match="before_run"):
+        tiny_program(patches=(patch,), runs=1)
+    bad_index = Patch(before_run=1, index=99, instr=patch.instr)
+    with pytest.raises(FuzzProgramError, match="out of range"):
+        tiny_program(patches=(bad_index,), runs=2)
+    tiny_program(patches=(patch,), runs=2)   # valid
+
+
+def test_oversized_data_rejected():
+    with pytest.raises(FuzzProgramError, match="data exceeds"):
+        tiny_program(data=b"\x00" * (2 * 4096 + 1))
+
+
+def test_build_is_deterministic():
+    program = generate(7)
+    a, b = program.build(), program.build()
+    assert a.item_pcs == b.item_pcs
+    seg_a = a.user_image.segments[0]
+    seg_b = b.user_image.segments[0]
+    assert seg_a.data == seg_b.data and seg_a.base == seg_b.base
+
+
+def test_imm_label_resolves_to_symbol_address():
+    items = (
+        Item(InstrSpec("mov_ri", dest="rax", imm_label="exit")),
+        Item(InstrSpec("hlt"), labels=("exit",)),
+    )
+    built = tiny_program(user_items=items).build()
+    # The label sits right after the 10-byte mov_ri.
+    assert built.symbols["exit"] == USER_CODE + 10
+
+
+def test_imm_label_only_on_mov_ri():
+    with pytest.raises(FuzzProgramError, match="imm_label"):
+        InstrSpec("add_ri", dest="rax", imm_label="exit").resolve({"exit": 0})
+
+
+def test_patch_bytes_pads_with_nops():
+    program = tiny_program(
+        patches=(Patch(before_run=1, index=0, instr=InstrSpec("nop")),),
+        runs=2)
+    built = program.build()
+    va, raw = built.patch_bytes(program.patches[0])
+    assert va == built.item_pcs[0]
+    assert len(raw) == built.item_lengths[0] == 10   # mov_ri span
+    assert raw[0] == 0x90 and set(raw[1:]) == {0x90}
+
+
+def test_patch_bytes_rejects_longer_encoding():
+    # nop (1 byte) patched with mov_ri (10 bytes) cannot fit.
+    items = (Item(InstrSpec("nop")), Item(InstrSpec("hlt"),
+                                          labels=("exit",)))
+    program = tiny_program(
+        user_items=items,
+        patches=(Patch(before_run=1, index=0,
+                       instr=InstrSpec("mov_ri", dest="rax", imm=1)),),
+        runs=2)
+    with pytest.raises(FuzzProgramError, match="span"):
+        program.build().patch_bytes(program.patches[0])
+
+
+def test_uses_rdtsc_scans_items_and_patches():
+    assert not tiny_program().uses_rdtsc
+    with_item = tiny_program(user_items=(
+        Item(InstrSpec("rdtsc")), Item(InstrSpec("hlt"))))
+    assert with_item.uses_rdtsc
+    with_patch = tiny_program(
+        patches=(Patch(before_run=1, index=1, instr=InstrSpec("rdtsc")),),
+        runs=2)
+    assert with_patch.uses_rdtsc

@@ -1,0 +1,128 @@
+"""Shrinker: minimizes while preserving the failure class."""
+
+import importlib
+
+import pytest
+
+from repro.fuzz import Divergence, Verdict, generate, shrink
+
+# ``repro.fuzz.shrink`` the *attribute* is the function (the package
+# re-exports it); reach the module itself for monkeypatching.
+shrink_module = importlib.import_module("repro.fuzz.shrink")
+
+
+def fake_oracle(monkeypatch, failing):
+    """Install a stand-in oracle: a program 'fails' iff *failing* says
+    so; the divergence class is fixed so the shrinker must preserve it."""
+
+    def check(program, uarches, *, invariants=True):
+        verdict = Verdict(program=program)
+        if failing(program):
+            verdict.divergences.append(
+                Divergence("engine", "Zen 2", "cycles: injected"))
+        return verdict
+
+    monkeypatch.setattr(shrink_module, "check_program", check)
+    return check
+
+
+def count_mnemonic(program, mnemonic):
+    return sum(item.instr.mnemonic == mnemonic
+               for item in program.user_items)
+
+
+def find_seed_with(mnemonic, shape=None):
+    for seed in range(64):
+        if count_mnemonic(generate(seed, shape), mnemonic):
+            return seed
+    raise AssertionError(f"no seed produced {mnemonic}")
+
+
+def test_shrinks_to_the_failure_carrying_instruction(monkeypatch):
+    seed = find_seed_with("imul_rr")
+    program = generate(seed)
+    check = fake_oracle(
+        monkeypatch, lambda p: count_mnemonic(p, "imul_rr") > 0)
+    verdict = check(program, ())
+    result = shrink(program, verdict)
+    assert result.reduced
+    assert result.items_after < result.items_before
+    assert result.items_after <= 4
+    # The culprit survived, the reduction still builds, still "fails".
+    assert count_mnemonic(result.program, "imul_rr") >= 1
+    result.program.build()
+    assert not check(result.program, ()).ok
+    assert "shrunk" in result.program.description
+
+
+def test_shrinking_drops_unneeded_patches(monkeypatch):
+    seed = find_seed_with("imul_rr", "smc")
+    program = generate(seed, "smc")
+    if not program.patches:
+        pytest.skip("pinned smc seed scheduled no patches")
+    fake_oracle(monkeypatch, lambda p: count_mnemonic(p, "imul_rr") > 0)
+    verdict = Verdict(program, [Divergence("engine", "Zen 2",
+                                           "cycles: injected")])
+    result = shrink(program, verdict)
+    assert result.program.patches == ()
+    assert result.program.runs == 1
+
+
+def test_shrink_respects_the_check_budget(monkeypatch):
+    program = generate(find_seed_with("imul_rr"))
+    fake_oracle(monkeypatch, lambda p: count_mnemonic(p, "imul_rr") > 0)
+    verdict = Verdict(program, [Divergence("engine", "Zen 2",
+                                           "cycles: injected")])
+    result = shrink(program, verdict, max_checks=3)
+    assert result.checks <= 3
+    result.program.build()                     # partial result is valid
+
+
+def test_shrink_rejects_class_changing_reductions(monkeypatch):
+    """A reduction that swaps the failure for a *different* class is
+    not accepted — the minimized program reproduces the original bug."""
+    program = generate(find_seed_with("imul_rr"))
+
+    def check(candidate, uarches, *, invariants=True):
+        verdict = Verdict(program=candidate)
+        if count_mnemonic(candidate, "imul_rr") > 0:
+            verdict.divergences.append(
+                Divergence("engine", "Zen 2", "cycles: injected"))
+        else:
+            verdict.divergences.append(
+                Divergence("engine", "Zen 2", "regs: other bug"))
+        return verdict
+
+    monkeypatch.setattr(shrink_module, "check_program", check)
+    verdict = Verdict(program, [Divergence("engine", "Zen 2",
+                                           "cycles: injected")])
+    result = shrink(program, verdict)
+    assert count_mnemonic(result.program, "imul_rr") >= 1
+
+
+def test_shrinking_a_passing_program_is_an_error():
+    program = generate(0)
+    with pytest.raises(ValueError, match="passing"):
+        shrink(program, Verdict(program=program))
+
+
+def test_malformed_reductions_are_rejected_not_fatal(monkeypatch):
+    """Candidates that fail to build (dangling labels, span overflows)
+    must be treated as 'does not reproduce', never crash the shrink."""
+    seed = find_seed_with("imul_rr")
+    program = generate(seed)
+
+    def check(candidate, uarches, *, invariants=True):
+        candidate.build()                      # raises on malformed input
+        verdict = Verdict(program=candidate)
+        if count_mnemonic(candidate, "imul_rr") > 0:
+            verdict.divergences.append(
+                Divergence("engine", "Zen 2", "cycles: injected"))
+        return verdict
+
+    monkeypatch.setattr(shrink_module, "check_program", check)
+    verdict = Verdict(program, [Divergence("engine", "Zen 2",
+                                           "cycles: injected")])
+    result = shrink(program, verdict)
+    result.program.build()
+    assert count_mnemonic(result.program, "imul_rr") >= 1

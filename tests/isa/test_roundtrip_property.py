@@ -1,0 +1,128 @@
+"""Property test: decode is the exact inverse of encode.
+
+Hypothesis drives the whole implemented subset — every mnemonic with
+every legal operand combination — through ``encode`` → ``decode`` and
+requires the original :class:`Instruction` back, with ``length`` equal
+to the bytes consumed.  ``derandomize=True`` keeps the suite
+deterministic (the repo's determinism bar applies to its tests too).
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (Assembler, Cond, Instruction, Mnemonic, Reg,
+                       decode, encode)
+from repro.isa.encoder import NOPL_SEQUENCES
+
+REGS = st.sampled_from(list(Reg))
+CONDS = st.sampled_from(list(Cond))
+IMM64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+IMM32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+DISP32 = IMM32
+DISP8 = st.integers(min_value=-128, max_value=127)
+SHIFT = st.integers(min_value=0, max_value=63)
+
+_NO_OPERANDS = [Mnemonic.NOP, Mnemonic.RET, Mnemonic.LFENCE,
+                Mnemonic.MFENCE, Mnemonic.SYSCALL, Mnemonic.SYSRET,
+                Mnemonic.RDTSC, Mnemonic.HLT, Mnemonic.UD2]
+_RR = [Mnemonic.MOV_RR, Mnemonic.ADD_RR, Mnemonic.SUB_RR, Mnemonic.XOR_RR,
+       Mnemonic.OR_RR, Mnemonic.CMP_RR, Mnemonic.TEST_RR, Mnemonic.XCHG_RR,
+       Mnemonic.IMUL_RR]
+_RI32 = [Mnemonic.ADD_RI, Mnemonic.SUB_RI, Mnemonic.AND_RI, Mnemonic.CMP_RI]
+_UNARY = [Mnemonic.INC, Mnemonic.DEC, Mnemonic.NEG, Mnemonic.NOT]
+_MEM = [Mnemonic.MOV_RM, Mnemonic.MOV_MR, Mnemonic.MOVB_RM, Mnemonic.LEA]
+_REG_BRANCH = [Mnemonic.JMP_REG, Mnemonic.CALL_REG]
+_STACK = [Mnemonic.PUSH, Mnemonic.POP]
+
+
+def _mem_instr(mnemonic, reg, base, disp):
+    if mnemonic is Mnemonic.MOV_MR:
+        return Instruction(mnemonic, src=reg, base=base, disp=disp)
+    return Instruction(mnemonic, dest=reg, base=base, disp=disp)
+
+
+instructions = st.one_of(
+    st.sampled_from(_NO_OPERANDS).map(Instruction),
+    st.builds(Instruction, st.sampled_from(_RR), dest=REGS, src=REGS),
+    st.builds(lambda m, d, i: Instruction(m, dest=d, imm=i),
+              st.sampled_from(_RI32), REGS, IMM32),
+    st.builds(lambda m, d: Instruction(m, dest=d),
+              st.sampled_from(_UNARY + _REG_BRANCH + _STACK), REGS),
+    st.builds(_mem_instr, st.sampled_from(_MEM), REGS, REGS, DISP32),
+    st.builds(lambda d, i: Instruction(Mnemonic.MOV_RI, dest=d, imm=i),
+              REGS, IMM64),
+    st.builds(lambda m, d, i: Instruction(m, dest=d, imm=i),
+              st.sampled_from([Mnemonic.SHL_RI, Mnemonic.SHR_RI]),
+              REGS, SHIFT),
+    st.builds(lambda d, s, cc: Instruction(Mnemonic.CMOV, dest=d, src=s,
+                                           cc=cc),
+              REGS, REGS, CONDS),
+    st.builds(lambda cc, disp: Instruction(Mnemonic.JCC, cc=cc, disp=disp),
+              CONDS, DISP32),
+    st.builds(lambda m, disp: Instruction(m, disp=disp),
+              st.sampled_from([Mnemonic.JMP, Mnemonic.CALL]), DISP32),
+    st.builds(lambda disp: Instruction(Mnemonic.JMP_SHORT, disp=disp),
+              DISP8),
+    st.builds(lambda n: Instruction(Mnemonic.NOPL, imm=n),
+              st.sampled_from(sorted(NOPL_SEQUENCES))),
+)
+
+
+@settings(max_examples=400, derandomize=True)
+@given(instructions)
+def test_encode_decode_round_trip(instr):
+    raw = encode(instr)
+    decoded = decode(raw)
+    assert decoded.length == len(raw)
+    assert replace(decoded, length=0) == instr
+
+
+@settings(max_examples=100, derandomize=True)
+@given(instructions, st.binary(min_size=0, max_size=16))
+def test_trailing_bytes_do_not_change_decoding(instr, garbage):
+    raw = encode(instr)
+    assert decode(raw + garbage) == decode(raw)
+
+
+@settings(max_examples=100, derandomize=True)
+@given(instructions, instructions, st.integers(min_value=0, max_value=15))
+def test_decode_at_offset_matches_standalone(first, second, pad):
+    buf = b"\xcc" * pad + encode(first) + encode(second)
+    decoded_first = decode(buf, offset=pad)
+    decoded_second = decode(buf, offset=pad + decoded_first.length)
+    assert replace(decoded_first, length=0) == first
+    assert replace(decoded_second, length=0) == second
+
+
+@settings(max_examples=50, derandomize=True)
+@given(st.lists(instructions, min_size=1, max_size=24),
+       st.integers(min_value=0, max_value=(1 << 40) - 1))
+def test_assembled_stream_decodes_back(instrs, base):
+    """Assembler output is a decodable stream reproducing the input."""
+    asm = Assembler(base)
+    for instr in instrs:
+        asm.emit(instr)
+    segment, _ = asm.finish()
+    offset = 0
+    for instr in instrs:
+        decoded = decode(segment.data, offset=offset)
+        assert replace(decoded, length=0) == instr
+        offset += decoded.length
+    assert offset == len(segment.data)
+
+
+@settings(max_examples=50, derandomize=True)
+@given(st.lists(instructions, min_size=0, max_size=12))
+def test_assembled_label_branch_targets_resolve(instrs):
+    """A label-targeted jmp decodes to a displacement that lands
+    exactly on the label, wherever layout put it."""
+    asm = Assembler(0x40_0000)
+    jmp_pc = asm.jmp("end")
+    for instr in instrs:
+        asm.emit(instr)
+    end = asm.label("end")
+    asm.emit(Instruction(Mnemonic.HLT))
+    segment, symbols = asm.finish()
+    decoded = decode(segment.data, offset=jmp_pc - segment.base)
+    assert decoded.target(jmp_pc) == end == symbols["end"]

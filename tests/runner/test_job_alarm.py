@@ -1,0 +1,91 @@
+"""_JobAlarm: SIGALRM state is fully restored, nested or not.
+
+Regression tests for an alarm leak: the old ``__exit__`` set
+``ITIMER_REAL`` to zero unconditionally, so an inner alarm cancelled
+any outer pending deadline on the way out.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.runner.executor import JobTimeout, _JobAlarm
+
+
+@pytest.fixture()
+def clean_alarm():
+    """Guarantee a known SIGALRM state around each test."""
+    previous = signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    signal.setitimer(signal.ITIMER_REAL, 0)
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0)
+    signal.signal(signal.SIGALRM, previous)
+
+
+def test_zero_and_none_timeouts_touch_nothing(clean_alarm):
+    sentinel = lambda signum, frame: None            # noqa: E731
+    signal.signal(signal.SIGALRM, sentinel)
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    for timeout in (0, None, -1):
+        alarm = _JobAlarm(timeout)
+        assert not alarm.armed
+        with alarm:
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert delay > 29.0
+    assert signal.getsignal(signal.SIGALRM) is sentinel
+
+
+def test_handler_and_timer_restored_after_exit(clean_alarm):
+    sentinel = lambda signum, frame: None            # noqa: E731
+    signal.signal(signal.SIGALRM, sentinel)
+    with _JobAlarm(30.0):
+        assert signal.getsignal(signal.SIGALRM) is not sentinel
+        delay, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert 0 < delay <= 30.0
+    assert signal.getsignal(signal.SIGALRM) is sentinel
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert delay == 0
+
+
+def test_timeout_raises_job_timeout(clean_alarm):
+    with pytest.raises(JobTimeout, match="exceeded"):
+        with _JobAlarm(0.05):
+            time.sleep(5)
+
+
+def test_nested_alarm_preserves_outer_deadline(clean_alarm):
+    with _JobAlarm(30.0):
+        with _JobAlarm(10.0):
+            delay, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert 9.0 < delay <= 10.0
+        # The outer deadline survives, minus the time spent inside.
+        delay, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert 29.0 < delay <= 30.0
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert delay == 0
+
+
+def test_outer_deadline_expiring_under_inner_still_fires(clean_alarm):
+    """If the outer deadline lapses while an inner alarm holds the
+    timer, the outer alarm fires promptly after the inner exits
+    instead of being lost."""
+    with pytest.raises(JobTimeout):
+        with _JobAlarm(0.05):
+            with _JobAlarm(30.0):
+                time.sleep(0.1)      # outer deadline passes in here
+            time.sleep(5)            # re-armed outer alarm cuts this short
+
+
+def test_external_itimer_survives_a_job_alarm(clean_alarm):
+    """An alarm armed by host code (not _JobAlarm) is re-armed with
+    the remaining delay on exit."""
+    fired = []
+    signal.signal(signal.SIGALRM, lambda s, f: fired.append(s))
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    with _JobAlarm(5.0):
+        pass
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert 29.0 < delay <= 30.0
+    assert not fired
