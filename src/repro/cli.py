@@ -14,6 +14,7 @@ Commands
 * ``gadgets``   — §9.3 gadget census over a synthetic corpus
 * ``trace``     — run a syscall under the execution tracer
 * ``fuzz``      — differential fuzz the dual-engine simulator
+* ``chaos``     — fault-injection smoke: recover, resume, diff clean
 * ``stats``     — summarize one run manifest, or diff two
 * ``bench``     — simulator throughput: fast path vs naive interpreter
 * ``uarches``   — list the modelled microarchitectures
@@ -22,9 +23,14 @@ Every experiment command accepts ``--json`` (print a
 ``phantom.run-manifest/1`` document instead of text), ``--trace-out
 FILE`` (stream a ``phantom.trace/1`` JSON-lines event trace), and
 ``--results-dir DIR`` (archive the manifest).  Campaign commands
-(``matrix``, ``kaslr``, ``physmap``, ``leak``, ``covert``) also take
-``--jobs N`` to shard their jobs across worker processes (0 = one per
-CPU); results are identical at any worker count.
+(``matrix``, ``kaslr``, ``physmap``, ``leak``, ``covert``, ``fuzz``)
+also take ``--jobs N`` to shard their jobs across worker processes
+(0 = one per available CPU; results are identical at any worker
+count), and — with ``--results-dir`` — journal every finished job to
+``DIR/<command>-checkpoint.jsonl``; ``--resume CHECKPOINT`` skips the
+jobs already journaled there (see ``docs/resilience.md``).  Ctrl-C
+with a checkpoint active exits 130 after flushing the journal and
+printing the resume command.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from pathlib import Path
 
 from .pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
 from .telemetry import (JsonLinesSink, REGISTRY, RunManifest, TRACE,
@@ -48,8 +55,48 @@ def _add_uarch(parser, default="zen 2", choices_amd_only=False):
 def _add_jobs(parser):
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for the campaign "
-                             "(default 0 = one per CPU; results are "
-                             "identical at any value)")
+                             "(default 0 = one per available CPU; "
+                             "results are identical at any value)")
+
+
+def _add_resilience(parser):
+    parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                        help="resume from a checkpoint journal: jobs "
+                             "already recorded there are skipped, and "
+                             "the merged manifest is identical to an "
+                             "uninterrupted run")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N",
+                        help="flush the checkpoint journal every N "
+                             "completed jobs (default 1 = each job "
+                             "durably, as it finishes)")
+
+
+def _campaign_kwargs(args, command: str) -> dict:
+    """Checkpoint/resume plumbing shared by the campaign commands.
+
+    With ``--results-dir`` the run journals to
+    ``DIR/<command>-checkpoint.jsonl`` (re-journaling any ``--resume``
+    inheritance so the new journal is self-contained); ``--resume``
+    without a results dir keeps appending to the resume journal
+    itself.  Multi-campaign commands (``physmap``, ``leak``) share one
+    journal — spec fingerprints keep their records apart.
+    """
+    kwargs: dict = {}
+    resume = getattr(args, "resume", None)
+    results_dir = getattr(args, "results_dir", None)
+    if results_dir:
+        checkpoint = Path(results_dir) / f"{command}-checkpoint.jsonl"
+    elif resume:
+        checkpoint = resume
+    else:
+        checkpoint = None
+    if checkpoint is not None:
+        kwargs["checkpoint"] = checkpoint
+        kwargs["checkpoint_every"] = getattr(args, "checkpoint_every", 1)
+    if resume:
+        kwargs["resume"] = resume
+    return kwargs
 
 
 def _add_telemetry(parser):
@@ -168,7 +215,7 @@ def cmd_matrix(args) -> int:
         with run.phase("matrix"):
             campaign = run_campaign(
                 MatrixExperiment(uarches=tuple(u.name for u in uarches)),
-                jobs=args.jobs)
+                jobs=args.jobs, **_campaign_kwargs(args, "matrix"))
         run.absorb(campaign)
         results = campaign.raise_on_failure().value
         reach: dict[str, int] = {}
@@ -189,7 +236,8 @@ def cmd_kaslr(args) -> int:
     with _Run(args, "kaslr", **spec.describe()) as run:
         with run.phase("break-image-kaslr"):
             campaign = run_campaign(KaslrImageExperiment(machine=spec),
-                                    jobs=args.jobs)
+                                    jobs=args.jobs,
+                                    **_campaign_kwargs(args, "kaslr"))
         run.absorb(campaign)
         result = campaign.raise_on_failure().value
         kaslr = Kaslr.randomize(args.seed)
@@ -211,16 +259,18 @@ def cmd_physmap(args) -> int:
 
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed)
     with _Run(args, "physmap", **spec.describe()) as run:
+        resilience = _campaign_kwargs(args, "physmap")
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
-                KaslrImageExperiment(machine=spec), jobs=args.jobs)
+                KaslrImageExperiment(machine=spec), jobs=args.jobs,
+                **resilience)
         run.absorb(image_campaign)
         image = image_campaign.raise_on_failure().value
         with run.phase("break-physmap-kaslr"):
             campaign = run_campaign(
                 PhysmapExperiment(machine=spec,
                                   image_base=image.guessed_base),
-                jobs=args.jobs)
+                jobs=args.jobs, **resilience)
         run.absorb(campaign)
         result = campaign.raise_on_failure().value
         kaslr = Kaslr.randomize(args.seed)
@@ -246,16 +296,18 @@ def cmd_leak(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        phys_mem=1 << 30)
     with _Run(args, "leak", n_bytes=args.bytes, **spec.describe()) as run:
+        resilience = _campaign_kwargs(args, "leak")
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
-                KaslrImageExperiment(machine=spec), jobs=args.jobs)
+                KaslrImageExperiment(machine=spec), jobs=args.jobs,
+                **resilience)
         run.absorb(image_campaign)
         image = image_campaign.raise_on_failure().value
         with run.phase("break-physmap-kaslr"):
             physmap_campaign = run_campaign(
                 PhysmapExperiment(machine=spec,
                                   image_base=image.guessed_base),
-                jobs=args.jobs)
+                jobs=args.jobs, **resilience)
         run.absorb(physmap_campaign)
         physmap = physmap_campaign.raise_on_failure().value
         with run.phase("find-physical-address"):
@@ -265,7 +317,7 @@ def cmd_leak(args) -> int:
                                    image_base=image.guessed_base,
                                    physmap_base=physmap.guessed_base,
                                    buffer_va=buffer_va),
-                jobs=args.jobs)
+                jobs=args.jobs, **resilience)
         run.absorb(physaddr_campaign)
         physaddr_campaign.raise_on_failure()
         with run.phase("leak-kernel-memory"):
@@ -274,7 +326,7 @@ def cmd_leak(args) -> int:
                                   image_base=image.guessed_base,
                                   physmap_base=physmap.guessed_base,
                                   n_bytes=args.bytes),
-                jobs=args.jobs)
+                jobs=args.jobs, **resilience)
         run.absorb(campaign)
         result = campaign.raise_on_failure().value
         ok = result.accuracy == 1.0
@@ -296,12 +348,13 @@ def cmd_covert(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        sibling_load=True)
     with _Run(args, "covert", n_bits=args.bits, **spec.describe()) as run:
+        resilience = _campaign_kwargs(args, "covert")
         outcome = {"jobs": None}
         with run.phase("fetch-channel"):
             campaign = run_campaign(
                 CovertExperiment(machine=spec, channel="fetch",
                                  n_bits=args.bits, seed=1),
-                jobs=args.jobs)
+                jobs=args.jobs, **resilience)
         run.absorb(campaign)
         outcome["jobs"] = campaign.jobs
         result = campaign.raise_on_failure().value
@@ -315,7 +368,7 @@ def cmd_covert(args) -> int:
                     CovertExperiment(machine=spec.with_(sibling_load=False),
                                      channel="execute",
                                      n_bits=args.bits, seed=2),
-                    jobs=args.jobs)
+                    jobs=args.jobs, **resilience)
             run.absorb(campaign)
             result = campaign.raise_on_failure().value
             outcome["execute_accuracy"] = result.accuracy
@@ -413,7 +466,7 @@ def cmd_fuzz(args) -> int:
         started = time.monotonic()
         failures = []     # (index, program, verdict)
         checked = 0
-        if args.jobs == 1:
+        if args.jobs == 1 and not args.resume:
             with run.phase("fuzz"):
                 for index in range(args.iters):
                     if args.time_budget and \
@@ -430,12 +483,15 @@ def cmd_fuzz(args) -> int:
         else:
             # The campaign decomposition ignores the time budget: jobs
             # are sharded up front so results match --jobs 1 exactly.
+            # Long campaigns checkpoint through --results-dir and pick
+            # up where they left off with --resume (which forces this
+            # path even at --jobs 1).
             with run.phase("fuzz"):
                 campaign = run_campaign(
                     FuzzExperiment(seed=args.seed, count=args.iters,
                                    shape=args.shape, uarches=uarches,
                                    invariants=invariants),
-                    jobs=args.jobs)
+                    jobs=args.jobs, **_campaign_kwargs(args, "fuzz"))
             run.absorb(campaign)
             outcome = campaign.raise_on_failure().value
             checked = outcome["programs"]
@@ -474,6 +530,102 @@ def cmd_fuzz(args) -> int:
                  f"{', '.join(uarches)}: {len(failures)} divergence(s) "
                  f"in {elapsed:.1f}s")
     return 1 if failures else 0
+
+
+def cmd_chaos(args) -> int:
+    """Fault-injection smoke test: inject every chaos fault kind into a
+    small matrix campaign, interrupt it mid-flight, resume it, and
+    require the resumed manifest to fingerprint-equal a clean
+    ``--jobs 1`` run.  Exit 0 means every recovery path held."""
+    import shutil
+    import tempfile
+
+    from .core.matrix import ASYMMETRIC_COMBOS, MatrixExperiment
+    from .resilience import (ChaosExperiment, ChaosInterruptor,
+                             CheckpointWriter, SupervisionPolicy, plan_chaos)
+    from .runner import (CampaignInterrupted, manifest_fingerprint,
+                         run_campaign)
+
+    uarch = by_name(args.uarch)
+    combos = tuple(ASYMMETRIC_COMBOS[:args.cells]) if args.cells \
+        else ASYMMETRIC_COMBOS
+    experiment = MatrixExperiment(uarches=(uarch.name,), combos=combos,
+                                  seed=args.seed)
+    total = len(experiment.job_specs())
+
+    scratch = None
+    if args.state_dir:
+        state_dir = Path(args.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        scratch = tempfile.mkdtemp(prefix="repro-chaos-")
+        state_dir = Path(scratch)
+    checkpoint = state_dir / "checkpoint.jsonl"
+
+    plan = plan_chaos(experiment, seed=args.seed, state_dir=state_dir,
+                      hang_s=args.hang)
+    print(f"chaos plan (seed {args.seed}, {total} jobs, "
+          f"--jobs {args.jobs}):")
+    for target, kind in plan.faults:
+        print(f"  {kind:7s} -> {target}")
+
+    try:
+        # The reference nobody argues with: same campaign, serial,
+        # no faults, no checkpoint.
+        reference = run_campaign(experiment, jobs=1,
+                                 timeout_s=args.timeout).raise_on_failure()
+        want = manifest_fingerprint(reference.manifest)
+
+        policy = SupervisionPolicy(watchdog_grace_s=args.watchdog,
+                                   backoff_base_s=0.01,
+                                   jitter_seed=args.seed)
+        chaotic = ChaosExperiment(experiment, plan)
+        interrupt = ChaosInterruptor(plan, after_jobs=max(1, total // 3))
+        writer = CheckpointWriter(checkpoint,
+                                  fault_hook=plan.checkpoint_hook())
+        try:
+            with writer:
+                campaign = run_campaign(chaotic, jobs=args.jobs,
+                                        timeout_s=args.timeout,
+                                        retries=args.retries,
+                                        checkpoint=writer,
+                                        supervision=policy,
+                                        on_job_done=interrupt)
+            print(f"campaign ran to completion ({total}/{total} jobs) "
+                  f"without the planned interrupt")
+        except CampaignInterrupted as exc:
+            print(str(exc))
+            campaign = run_campaign(chaotic, jobs=args.jobs,
+                                    timeout_s=args.timeout,
+                                    retries=args.retries,
+                                    checkpoint=checkpoint,
+                                    resume=checkpoint,
+                                    supervision=policy)
+            resumed = campaign.manifest["outcome"].get("resume", {})
+            print(f"resumed: {resumed.get('jobs_skipped', 0)} jobs "
+                  f"skipped, {resumed.get('jobs_rerun', 0)} re-run")
+        campaign.raise_on_failure()
+
+        fired = set(plan.fired_tokens())
+        planned = {f"{target}:{kind}" for target, kind in plan.faults}
+        missing = sorted(planned - fired)
+        match = manifest_fingerprint(campaign.manifest) == want
+        line = f"faults fired: {len(planned - set(missing))}/{len(planned)}"
+        if missing:
+            line += f" (never fired: {', '.join(missing)})"
+        print(line)
+        print("resumed manifest "
+              + ("fingerprint-equals" if match else "DIFFERS from")
+              + " the clean --jobs 1 run")
+        ok = match and not missing
+        print(f"chaos smoke: {'OK' if ok else 'FAILED'}")
+        if not ok and args.state_dir:
+            print("hint: the state dir remembers fired faults; rerun "
+                  "with a fresh --state-dir", file=sys.stderr)
+        return 0 if ok else 1
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
 
 
 def cmd_bench(args) -> int:
@@ -557,18 +709,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--uarch", default="amd",
                    help="'all', 'amd', or one name")
     _add_jobs(p)
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser("kaslr", help="break kernel-image KASLR (§7.1)")
     _add_uarch(p, default="zen 3")
     _add_jobs(p)
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_kaslr)
 
     p = sub.add_parser("physmap", help="break physmap KASLR (§7.2)")
     _add_uarch(p, default="zen 2")
     _add_jobs(p)
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_physmap)
 
@@ -576,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_uarch(p, default="zen 2")
     p.add_argument("--bytes", type=int, default=128)
     _add_jobs(p)
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_leak)
 
@@ -583,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_uarch(p, default="zen 4")
     p.add_argument("--bits", type=int, default=1024)
     _add_jobs(p)
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_covert)
 
@@ -633,8 +790,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine differential only, skip invariant checks")
     p.add_argument("--no-shrink", action="store_true",
                    help="write counterexamples without minimizing them")
+    _add_resilience(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection smoke: inject every fault "
+                            "kind, interrupt, resume, diff vs clean")
+    p.add_argument("--uarch", default="zen 2",
+                   help="microarchitecture for the victim campaign")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos seed: drives both the campaign and "
+                        "which fault lands on which job")
+    p.add_argument("--cells", type=int, default=8, metavar="N",
+                   help="matrix cells in the victim campaign "
+                        "(0 = all 22; default 8 keeps the smoke fast)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes (default 2; at 1, kill/hang "
+                        "faults soften to in-process raises)")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SEC",
+                   help="per-job timeout (default 10)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-job retries (default 2; must cover the "
+                        "injected raise)")
+    p.add_argument("--watchdog", type=float, default=3.0, metavar="SEC",
+                   help="supervisor heartbeat grace before hung "
+                        "workers are killed (default 3)")
+    p.add_argument("--hang", type=float, default=30.0, metavar="SEC",
+                   help="how long the injected hang sleeps (default "
+                        "30; must outlive the watchdog grace)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="where fired-fault markers and the checkpoint "
+                        "live (default: a fresh temp dir; reusing a "
+                        "dir suppresses already-fired faults)")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("bench",
                        help="simulator throughput: fast vs naive engine")
@@ -663,11 +852,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .runner import CampaignInterrupted
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except BrokenPipeError:   # e.g. `repro stats ... | head`
         return 0
+    except CampaignInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        if exc.checkpoint:
+            print(f"repro: rerun with --resume {exc.checkpoint} to "
+                  f"pick up where this run stopped", file=sys.stderr)
+        return 130   # what the shell reports for an uncaught SIGINT
 
 
 if __name__ == "__main__":   # pragma: no cover

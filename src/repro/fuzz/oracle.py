@@ -157,6 +157,11 @@ class FuzzExperiment:
     invariants: bool = True
     name: str = "fuzz"
 
+    def campaign_config(self) -> dict:
+        return {"seed": self.seed, "count": self.count,
+                "shape": self.shape, "uarches": list(self.uarches),
+                "invariants": self.invariants}
+
     def job_specs(self) -> list[JobSpec]:
         return [
             JobSpec.make("fuzz", key=(index,),

@@ -1,0 +1,234 @@
+"""Deterministic fault injection: exercise the recovery paths for real.
+
+A resilience layer that is never exercised is decoration.  The chaos
+harness injects the exact failure classes the supervisor and the
+checkpoint journal claim to survive — into real campaigns, driven by
+the same :func:`repro.runner.derive_seed` machinery, so every run of a
+given seed injects the same faults into the same jobs:
+
+========== ============================================================
+kind       what it does (and which recovery path it targets)
+========== ============================================================
+ raise      raise :class:`ChaosFault` at job start → per-job retry
+ sigkill    ``SIGKILL`` the worker process → pool respawn + requeue
+ hang       block ``SIGALRM`` and sleep past the timeout → heartbeat
+            watchdog kill (the alarm is provably not enough)
+ enospc     ``OSError(ENOSPC)`` on a checkpoint append → journaling
+            degradation (campaign survives, job re-runs on resume)
+========== ============================================================
+
+Each planned fault fires **exactly once per state directory**: firing
+claims a marker file with ``O_CREAT|O_EXCL``, which survives the worker
+being killed (the whole point — in-memory state dies with the process).
+The re-run of a faulted job therefore executes clean, which is what
+makes the acceptance check meaningful: a chaos-interrupted-and-resumed
+campaign must produce a manifest fingerprint equal to an uninterrupted
+run's.
+
+``sigkill``/``hang`` only make sense inside a pool worker; when a job
+runs in the campaign's own process (``--jobs 1``, or the supervisor's
+degraded mode) they soften to ``raise`` so the campaign stays
+recoverable without a supervisor above it.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ReproError
+from ..runner.spec import derive_seed
+
+#: Every fault kind the chaos matrix knows how to inject.
+FAULT_KINDS = ("raise", "sigkill", "hang", "enospc")
+
+#: Plan slots that are not job labels.
+CHECKPOINT_TARGET = "__checkpoint__"
+CAMPAIGN_TARGET = "__campaign__"
+
+
+class ChaosFault(ReproError):
+    """An injected (not organic) job failure."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Which fault hits which job, plus the fired-marker state dir.
+
+    Frozen and picklable: the plan crosses the process-pool boundary
+    inside a :class:`ChaosExperiment`.  ``parent_pid`` is captured at
+    plan time so workers can tell whether they are expendable.
+    """
+
+    seed: int
+    state_dir: str
+    faults: tuple[tuple[str, str], ...]     # (target label, kind)
+    hang_s: float = 45.0
+    parent_pid: int = field(default_factory=os.getpid)
+
+    def fault_for(self, target: str) -> str | None:
+        for label, kind in self.faults:
+            if label == target:
+                return kind
+        return None
+
+    def claim(self, token: str) -> bool:
+        """Atomically claim *token*; True exactly once per state dir.
+
+        Write-then-hardlink, not ``O_CREAT|O_EXCL``-then-write: the
+        marker must appear atomically *with* its content, because the
+        claiming process can be SIGKILLed at any instant (that is the
+        harness's own doing) — a half-written marker would suppress
+        the fault forever while recording nothing.  ``link()`` fails
+        with ``FileExistsError`` on a prior claim, which is the
+        exactly-once guarantee; an orphaned ``.tmp`` from a kill
+        mid-claim blocks nothing and is ignored by the readers.
+        """
+        fired = Path(self.state_dir) / "fired"
+        fired.mkdir(parents=True, exist_ok=True)
+        marker = fired / hashlib.sha256(token.encode()).hexdigest()[:24]
+        tmp = marker.with_name(f"{marker.name}.tmp{os.getpid()}")
+        tmp.write_text(token + "\n", encoding="utf-8")
+        try:
+            os.link(tmp, marker)
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+        return True
+
+    def fired_tokens(self) -> list[str]:
+        """Tokens claimed so far (for tests and the smoke report)."""
+        fired = Path(self.state_dir) / "fired"
+        if not fired.exists():
+            return []
+        return sorted(marker.read_text(encoding="utf-8").strip()
+                      for marker in fired.iterdir()
+                      if ".tmp" not in marker.name)
+
+    def maybe_inject(self, label: str) -> None:
+        """Fire the planned fault for job *label*, once."""
+        kind = self.fault_for(label)
+        if kind is None:
+            return
+        in_worker = os.getpid() != self.parent_pid
+        if not self.claim(f"{label}:{kind}"):
+            return
+        if kind in ("sigkill", "hang") and not in_worker:
+            kind = "raise"     # no pool above us to clean up the mess
+        if kind == "raise":
+            raise ChaosFault(f"chaos: injected failure in {label}")
+        if kind == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if kind == "hang":
+            # Block the alarm the per-job timeout rides on: only the
+            # parent's wall-clock watchdog can reap us now.  Bounded
+            # anyway, so an unwatched campaign stalls, then recovers.
+            if hasattr(signal, "pthread_sigmask"):
+                signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            time.sleep(self.hang_s)
+            raise ChaosFault(f"chaos: hang in {label} outlived the "
+                             f"watchdog grace")
+
+    def checkpoint_hook(self):
+        """``fault_hook`` for :class:`~.checkpoint.CheckpointWriter`:
+        one append raises ENOSPC.  ``None`` when the plan carries no
+        ``enospc`` fault."""
+        if self.fault_for(CHECKPOINT_TARGET) != "enospc":
+            return None
+
+        def hook(record) -> None:
+            if self.claim(f"{CHECKPOINT_TARGET}:enospc"):
+                raise OSError(errno.ENOSPC,
+                              "chaos: no space left on device")
+        return hook
+
+
+def plan_chaos(experiment, *, seed: int, state_dir,
+               kinds=FAULT_KINDS, hang_s: float = 45.0) -> ChaosPlan:
+    """Deterministically assign each fault kind to a distinct target.
+
+    Job-level kinds land on jobs chosen by ``derive_seed(seed,
+    ("chaos", kind))`` (linear probing on collision); ``enospc``
+    targets the checkpoint journal.  Same seed + same campaign → same
+    plan, on any machine.
+    """
+    labels = [spec.label for spec in experiment.job_specs()]
+    faults: list[tuple[str, str]] = []
+    taken: set[str] = set()
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown chaos fault kind {kind!r} "
+                             f"(choose from {', '.join(FAULT_KINDS)})")
+        if kind == "enospc":
+            faults.append((CHECKPOINT_TARGET, kind))
+            continue
+        if len(taken) == len(labels):
+            break                      # more kinds than jobs
+        slot = derive_seed(seed, ("chaos", kind)) % len(labels)
+        while labels[slot] in taken:
+            slot = (slot + 1) % len(labels)
+        taken.add(labels[slot])
+        faults.append((labels[slot], kind))
+    return ChaosPlan(seed=seed, state_dir=str(state_dir),
+                     faults=tuple(faults), hang_s=hang_s)
+
+
+@dataclass(frozen=True)
+class ChaosExperiment:
+    """Experiment proxy that injects the plan's faults around jobs.
+
+    Transparent otherwise: same specs, same reduce, same campaign
+    config — so a chaos campaign's manifest fingerprint must equal the
+    clean campaign's once every fault has been recovered from.
+    """
+
+    inner: Any
+    plan: ChaosPlan
+
+    @property
+    def name(self) -> str:
+        return getattr(self.inner, "name", type(self.inner).__name__)
+
+    def campaign_config(self) -> dict:
+        config = getattr(self.inner, "campaign_config", dict)() or {}
+        return dict(config)
+
+    def job_specs(self):
+        return self.inner.job_specs()
+
+    def run_one(self, spec, ctx):
+        self.plan.maybe_inject(spec.label)
+        return self.inner.run_one(spec, ctx)
+
+    def reduce(self, results):
+        return self.inner.reduce(results)
+
+
+class ChaosInterruptor:
+    """Deterministic stand-in for an operator Ctrl-C.
+
+    Passed as ``on_job_done`` to :func:`repro.runner.run_campaign`:
+    after *after_jobs* recorded results it raises ``KeyboardInterrupt``
+    (once per state dir), which the executor converts into
+    :class:`repro.runner.CampaignInterrupted` with the checkpoint
+    already flushed — exactly the mid-campaign kill the resume path
+    exists for.
+    """
+
+    def __init__(self, plan: ChaosPlan, after_jobs: int) -> None:
+        self.plan = plan
+        self.after_jobs = max(1, int(after_jobs))
+        self.count = 0
+
+    def __call__(self, result) -> None:
+        self.count += 1
+        if (self.count >= self.after_jobs
+                and self.plan.claim(f"{CAMPAIGN_TARGET}:interrupt")):
+            raise KeyboardInterrupt

@@ -13,6 +13,15 @@ wrappers that predate the runner (``run_matrix`` …) call
 :meth:`CampaignResult.raise_on_failure` to restore raise-on-error
 behaviour.
 
+Beyond per-job failures, campaigns survive *infrastructure* failures
+(see :mod:`repro.resilience`): pooled execution runs under a
+supervisor that respawns broken pools and requeues in-flight jobs,
+``checkpoint=`` journals each finished job to an append-only JSONL
+file, and ``resume=`` skips jobs already journaled there — producing a
+campaign manifest fingerprint-identical to an uninterrupted run.  A
+``KeyboardInterrupt`` while a checkpoint is active flushes the journal
+and surfaces as :class:`CampaignInterrupted` with a resume hint.
+
 Every job runs in its own metrics scope (the worker's registry is
 reset around it) and returns a small ``phantom.run-manifest/1``
 document; the reducer merges those into one campaign manifest.
@@ -24,8 +33,9 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..errors import ReproError
@@ -38,13 +48,38 @@ class CampaignError(ReproError):
     """Raised by strict wrappers when a campaign had failed jobs."""
 
 
+class CampaignInterrupted(ReproError):
+    """A campaign was interrupted with its checkpoint journal intact.
+
+    Raised in place of ``KeyboardInterrupt`` when ``checkpoint=`` is
+    active: the journal has been flushed, so re-running with
+    ``resume=checkpoint`` picks up where the interrupt landed.
+    """
+
+    def __init__(self, message: str, *, done: int = 0, total: int = 0,
+                 checkpoint=None) -> None:
+        super().__init__(message)
+        self.done = done
+        self.total = total
+        self.checkpoint = checkpoint
+
+
 class JobTimeout(ReproError):
     """A job exceeded its per-job timeout."""
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """``--jobs`` semantics: ``None``/``0`` means one worker per CPU."""
+    """``--jobs`` semantics: ``None``/``0`` means one worker per
+    *available* CPU — the scheduling affinity mask when the platform
+    exposes it (a cgroup-limited CI container may see 2 of 64 cores;
+    oversubscribing the other 62 just thrashes), falling back to the
+    raw core count elsewhere."""
     if not jobs:
+        if hasattr(os, "sched_getaffinity"):
+            try:
+                return max(1, len(os.sched_getaffinity(0)))
+            except OSError:  # pragma: no cover — exotic platforms
+                pass
         return os.cpu_count() or 1
     return max(1, int(jobs))
 
@@ -94,8 +129,14 @@ class JobResult:
     spec: JobSpec
     value: Any = None
     error: str | None = None
-    error_kind: str | None = None          # "exception" | "timeout"
+    error_kind: str | None = None   # "exception" | "timeout" |
+    #                                 "worker-lost" | "hung"
     attempts: int = 1
+    #: Failed attempts that preceded the final outcome, oldest first:
+    #: ``{"attempt": n, "error_kind": ..., "error": ...}`` — so a
+    #: retried success no longer erases its earlier failures from the
+    #: campaign record.
+    attempt_history: list = field(default_factory=list)
     wall_time_s: float = 0.0
     manifest: dict = field(default_factory=dict)
 
@@ -128,10 +169,17 @@ class CampaignResult:
         return self
 
 
+#: One warning per process when a requested timeout cannot be armed.
+_UNENFORCED_WARNED = False
+
+
 class _JobAlarm:
     """Per-job wall-clock timeout via ``SIGALRM`` (worker processes run
     jobs on their main thread, where the signal can be delivered; off
-    the main thread the timeout degrades to unenforced).
+    the main thread — or without ``SIGALRM`` at all — the timeout
+    degrades to unenforced, which is *counted*
+    (``runner.timeout_unenforced``) and warned about once rather than
+    silently running unbounded).
 
     Exiting restores the full prior alarm state: the previous handler
     *and* whatever was left of a previously armed ``ITIMER_REAL``
@@ -146,13 +194,26 @@ class _JobAlarm:
     _IMMEDIATE = 1e-6
 
     def __init__(self, timeout_s: float | None) -> None:
-        self.armed = (timeout_s is not None and timeout_s > 0
-                      and hasattr(signal, "SIGALRM")
-                      and threading.current_thread()
-                      is threading.main_thread())
+        wanted = timeout_s is not None and timeout_s > 0
+        can_arm = (hasattr(signal, "SIGALRM")
+                   and threading.current_thread()
+                   is threading.main_thread())
+        self.armed = wanted and can_arm
+        self.unenforced = wanted and not can_arm
         self.timeout_s = timeout_s
 
     def __enter__(self) -> "_JobAlarm":
+        if self.unenforced:
+            global _UNENFORCED_WARNED
+            _metrics.REGISTRY.counter("runner.timeout_unenforced").inc()
+            if not _UNENFORCED_WARNED:
+                _UNENFORCED_WARNED = True
+                warnings.warn(
+                    f"job timeout of {self.timeout_s}s cannot be "
+                    "enforced here (SIGALRM unavailable or not on the "
+                    "main thread); the job runs unbounded — rely on "
+                    "the campaign watchdog instead",
+                    RuntimeWarning, stacklevel=3)
         if self.armed:
             def _on_alarm(signum, frame):
                 raise JobTimeout(f"job exceeded {self.timeout_s}s")
@@ -174,6 +235,12 @@ class _JobAlarm:
                                  max(remaining, self._IMMEDIATE),
                                  self._prev_interval)
         return False
+
+
+def _attempt_history(errors: list[tuple[str, str]]) -> list[dict]:
+    """Error tuples → manifest-ready per-attempt records."""
+    return [{"attempt": number, "error_kind": kind, "error": message}
+            for number, (kind, message) in enumerate(errors, start=1)]
 
 
 def execute_job(experiment, spec: JobSpec, *, timeout_s: float | None = None,
@@ -200,47 +267,136 @@ def execute_job(experiment, spec: JobSpec, *, timeout_s: float | None = None,
             errors.append(("exception", f"{type(exc).__name__}: {exc}"))
         else:
             wall = time.perf_counter() - wall_start
+            history = _attempt_history(errors)
+            extra = {"attempt_history": history} if history else {}
             manifest = job_manifest(spec, ctx, registry.snapshot(),
-                                    status="success", wall_time_s=wall)
+                                    status="success", wall_time_s=wall,
+                                    attempts=attempt + 1, **extra)
             registry.disable()
             return JobResult(spec=spec, value=value, attempts=attempt + 1,
-                             wall_time_s=wall, manifest=manifest)
+                             attempt_history=history, wall_time_s=wall,
+                             manifest=manifest)
         registry.disable()
     kind, message = errors[-1]
     wall = time.perf_counter() - wall_start
+    history = _attempt_history(errors[:-1])
+    extra = {"attempt_history": history} if history else {}
     manifest = job_manifest(spec, ctx, registry.snapshot(),
                             status="failure", wall_time_s=wall,
-                            error=message, error_kind=kind)
+                            error=message, error_kind=kind,
+                            attempts=len(errors), **extra)
     return JobResult(spec=spec, error=message, error_kind=kind,
-                     attempts=len(errors), wall_time_s=wall,
-                     manifest=manifest)
+                     attempts=len(errors), attempt_history=history,
+                     wall_time_s=wall, manifest=manifest)
 
 
 def run_campaign(experiment, *, jobs: int | None = None,
                  timeout_s: float | None = None, retries: int = 0,
-                 config: dict | None = None) -> CampaignResult:
+                 config: dict | None = None, checkpoint=None,
+                 checkpoint_every: int = 1, resume=None,
+                 supervision=None, on_job_done=None) -> CampaignResult:
     """Execute every job of *experiment* and reduce the results.
 
-    ``jobs=None``/``0`` uses one worker per CPU core; ``jobs=1`` (or a
-    single-job campaign) runs in-process with no pool overhead.  The
-    result order always follows ``experiment.job_specs()`` order, so
-    reduction is deterministic at any worker count.
+    ``jobs=None``/``0`` uses one worker per available CPU; ``jobs=1``
+    (or a single-job campaign) runs in-process with no pool overhead.
+    The result order always follows ``experiment.job_specs()`` order,
+    so reduction is deterministic at any worker count.
+
+    Resilience (see :mod:`repro.resilience` and ``docs/resilience.md``):
+
+    * ``checkpoint`` — a path (or prepared ``CheckpointWriter``) to
+      journal each finished job to, flushed every ``checkpoint_every``
+      records; a ``KeyboardInterrupt`` then surfaces as
+      :class:`CampaignInterrupted` with the journal flushed.
+    * ``resume`` — a checkpoint path whose journaled jobs are skipped;
+      their recorded results merge into the manifest exactly as if
+      they had just run.
+    * ``supervision`` — a :class:`repro.resilience.SupervisionPolicy`
+      for the pooled path (pool respawn, requeue, watchdog, backoff);
+      the default policy applies when omitted.
+    * ``on_job_done`` — callback invoked with each recorded
+      :class:`JobResult` (the chaos harness's interruption point).
     """
+    from ..resilience.checkpoint import (CheckpointWriter, load_checkpoint,
+                                         spec_fingerprint)
+
     specs: Sequence[JobSpec] = list(experiment.job_specs())
     n_workers = resolve_jobs(jobs)
-    wall_start = time.perf_counter()
-    if n_workers <= 1 or len(specs) <= 1:
-        results = [execute_job(experiment, spec, timeout_s=timeout_s,
-                               retries=retries) for spec in specs]
-    else:
-        with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(specs))) as pool:
-            futures = [pool.submit(execute_job, experiment, spec,
-                                   timeout_s=timeout_s, retries=retries)
-                       for spec in specs]
-            results = [future.result() for future in futures]
-    value = experiment.reduce(results)
     name = getattr(experiment, "name", type(experiment).__name__)
+    wall_start = time.perf_counter()
+
+    slots: list[JobResult | None] = [None] * len(specs)
+    resume_info = None
+    if resume is not None:
+        journal = load_checkpoint(resume)
+        hits = 0
+        for index, spec in enumerate(specs):
+            record = journal.get(spec_fingerprint(spec))
+            if record is not None:
+                slots[index] = record.to_job_result(spec)
+                hits += 1
+        _metrics.REGISTRY.counter("resilience.jobs_resumed").inc(hits)
+        resume_info = {"from": str(resume), "jobs_skipped": hits,
+                       "jobs_rerun": len(specs) - hits}
+
+    owns_writer = False
+    if isinstance(checkpoint, CheckpointWriter):
+        writer = checkpoint
+    elif checkpoint is not None:
+        writer = CheckpointWriter(checkpoint, every=checkpoint_every)
+        owns_writer = True
+    else:
+        writer = None
+    if writer is not None and resume is not None \
+            and writer.path != Path(resume):
+        # Journaling to a different file than we resumed from: copy the
+        # inherited results over so the new journal is self-contained.
+        for index, inherited in enumerate(slots):
+            if inherited is not None:
+                writer.append(specs[index], inherited)
+
+    todo = [index for index in range(len(specs)) if slots[index] is None]
+
+    def record(index: int, result: JobResult) -> None:
+        slots[index] = result
+        if writer is not None:
+            writer.append(specs[index], result)
+        if on_job_done is not None:
+            on_job_done(result)
+
+    supervision_stats = None
+    try:
+        if n_workers <= 1 or len(todo) <= 1:
+            for index in todo:
+                record(index, execute_job(experiment, specs[index],
+                                          timeout_s=timeout_s,
+                                          retries=retries))
+        else:
+            from ..resilience.supervisor import SupervisionPolicy, supervise
+
+            supervision_stats = supervise(
+                experiment, specs, todo, record, n_workers=n_workers,
+                timeout_s=timeout_s, retries=retries,
+                policy=supervision or SupervisionPolicy())
+    except KeyboardInterrupt:
+        if writer is None:
+            raise
+        writer.flush()
+        done = sum(result is not None for result in slots)
+        raise CampaignInterrupted(
+            f"campaign {name!r} interrupted with {done}/{len(specs)} "
+            f"jobs done; resume from {writer.path}",
+            done=done, total=len(specs),
+            checkpoint=str(writer.path)) from None
+    finally:
+        if writer is not None:
+            if owns_writer:
+                writer.close()
+            else:
+                writer.flush()
+
+    results: list[JobResult] = slots   # every slot filled now
+    value = experiment.reduce(results)
     campaign_config = {"experiment": name, "jobs": n_workers,
                        "job_count": len(specs)}
     campaign_config.update(getattr(experiment, "campaign_config",
@@ -249,5 +405,9 @@ def run_campaign(experiment, *, jobs: int | None = None,
     manifest = merge_job_manifests(
         name, campaign_config, results,
         wall_time_s=time.perf_counter() - wall_start)
+    if resume_info is not None:
+        manifest["outcome"]["resume"] = resume_info
+    if supervision_stats and any(supervision_stats.values()):
+        manifest["outcome"]["supervision"] = supervision_stats
     return CampaignResult(experiment=name, jobs=n_workers,
                           results=results, value=value, manifest=manifest)

@@ -51,7 +51,53 @@ MANIFEST_JSON_SCHEMA = {
         "outcome": {
             "type": "object",
             "required": ["status"],
-            "properties": {"status": {"type": "string"}},
+            "properties": {
+                "status": {"type": "string"},
+                "attempts": {"type": "integer"},
+                "attempt_history": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["attempt", "error_kind", "error"],
+                        "properties": {
+                            "attempt": {"type": "integer"},
+                            "error_kind": {"type": "string"},
+                            "error": {"type": "string"},
+                        },
+                    },
+                },
+                "resume": {
+                    "type": "object",
+                    "required": ["from", "jobs_skipped", "jobs_rerun"],
+                    "properties": {
+                        "from": {"type": "string"},
+                        "jobs_skipped": {"type": "integer"},
+                        "jobs_rerun": {"type": "integer"},
+                    },
+                },
+                "retried": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["job", "attempts", "history"],
+                        "properties": {
+                            "job": {"type": "string"},
+                            "attempts": {"type": "integer"},
+                            "history": {"type": "array"},
+                        },
+                    },
+                },
+                "supervision": {
+                    "type": "object",
+                    "properties": {
+                        "pool_respawns": {"type": "integer"},
+                        "requeues": {"type": "integer"},
+                        "watchdog_kills": {"type": "integer"},
+                        "jobs_lost": {"type": "integer"},
+                        "degraded_in_process": {"type": "integer"},
+                    },
+                },
+            },
         },
         "totals": {
             "type": "object",

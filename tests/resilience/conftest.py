@@ -1,0 +1,18 @@
+"""Resilience tests poke the process-wide metrics registry and the
+module-level warn-once flags; give each test a clean slate."""
+
+import pytest
+
+import repro.runner.executor as executor
+from repro.telemetry import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    REGISTRY.reset()
+    REGISTRY.set_base_labels()
+    executor._UNENFORCED_WARNED = False
+    yield
+    REGISTRY.disable()
+    REGISTRY.reset()
+    REGISTRY.set_base_labels()

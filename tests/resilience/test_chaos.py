@@ -1,0 +1,164 @@
+"""Chaos harness: deterministic plans, one-shot faults, and the
+acceptance property — an interrupted, fault-riddled, resumed campaign
+fingerprints equal to a clean run at any --jobs value."""
+
+import errno
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.resilience import (CAMPAIGN_TARGET, CHECKPOINT_TARGET,
+                              FAULT_KINDS, ChaosExperiment, ChaosFault,
+                              ChaosInterruptor, ChaosPlan,
+                              CheckpointWriter, SupervisionPolicy,
+                              plan_chaos)
+from repro.runner import (CampaignInterrupted, JobSpec, derive_seed,
+                          manifest_fingerprint, run_campaign)
+
+
+@dataclass(frozen=True)
+class ToyExperiment:
+    name: ClassVar[str] = "toy"
+
+    n: int = 8
+
+    def campaign_config(self) -> dict:
+        return {"n": self.n}
+
+    def job_specs(self):
+        return [JobSpec.make(self.name, (i,), derive_seed(42, (i,)),
+                             index=i)
+                for i in range(self.n)]
+
+    def run_one(self, spec, ctx):
+        return spec.param("index") * 10 + spec.seed % 7
+
+    def reduce(self, results):
+        return [r.value for r in results if r.ok]
+
+
+def test_plan_is_deterministic_and_covers_every_kind(tmp_path):
+    experiment = ToyExperiment()
+    plan = plan_chaos(experiment, seed=3, state_dir=tmp_path)
+    again = plan_chaos(experiment, seed=3, state_dir=tmp_path)
+    assert plan.faults == again.faults
+    assert sorted(kind for _, kind in plan.faults) == sorted(FAULT_KINDS)
+    # enospc targets the journal; job-level faults hit distinct jobs.
+    targets = [target for target, kind in plan.faults if kind == "enospc"]
+    assert targets == [CHECKPOINT_TARGET]
+    job_targets = [t for t, k in plan.faults if k != "enospc"]
+    assert len(set(job_targets)) == len(job_targets)
+    labels = {spec.label for spec in experiment.job_specs()}
+    assert set(job_targets) <= labels
+
+
+def test_plan_rejects_unknown_kind(tmp_path):
+    with pytest.raises(ValueError, match="unknown chaos fault kind"):
+        plan_chaos(ToyExperiment(), seed=0, state_dir=tmp_path,
+                   kinds=("raise", "segfault"))
+
+
+def test_more_kinds_than_jobs_truncates(tmp_path):
+    plan = plan_chaos(ToyExperiment(n=1), seed=0, state_dir=tmp_path)
+    job_faults = [f for f in plan.faults if f[1] != "enospc"]
+    assert len(job_faults) == 1
+
+
+def test_claim_fires_exactly_once_and_survives(tmp_path):
+    plan = ChaosPlan(seed=0, state_dir=str(tmp_path), faults=())
+    assert plan.claim("toy[0]:raise")
+    assert not plan.claim("toy[0]:raise")
+    # A fresh plan object over the same state dir sees the marker.
+    again = ChaosPlan(seed=0, state_dir=str(tmp_path), faults=())
+    assert not again.claim("toy[0]:raise")
+    assert again.fired_tokens() == ["toy[0]:raise"]
+
+
+def test_raise_fault_fires_once(tmp_path):
+    plan = ChaosPlan(seed=0, state_dir=str(tmp_path),
+                     faults=(("toy[0]", "raise"),))
+    with pytest.raises(ChaosFault):
+        plan.maybe_inject("toy[0]")
+    plan.maybe_inject("toy[0]")        # second run: clean
+    plan.maybe_inject("toy[1]")        # unplanned label: never faults
+
+
+def test_kill_and_hang_soften_in_parent_process(tmp_path):
+    """In the campaign's own process (serial path, degraded mode) a
+    SIGKILL would kill the campaign and a hang would stall it with no
+    supervisor above to recover — both soften to a plain raise."""
+    for kind in ("sigkill", "hang"):
+        plan = ChaosPlan(seed=0, state_dir=str(tmp_path / kind),
+                         faults=(("toy[0]", kind),), hang_s=60.0)
+        with pytest.raises(ChaosFault):
+            plan.maybe_inject("toy[0]")
+
+
+def test_checkpoint_hook_injects_enospc_once(tmp_path):
+    plan = ChaosPlan(seed=0, state_dir=str(tmp_path),
+                     faults=((CHECKPOINT_TARGET, "enospc"),))
+    hook = plan.checkpoint_hook()
+    with pytest.raises(OSError) as excinfo:
+        hook(None)
+    assert excinfo.value.errno == errno.ENOSPC
+    hook(None)                         # fired already: no-op
+    no_fault = ChaosPlan(seed=0, state_dir=str(tmp_path), faults=())
+    assert no_fault.checkpoint_hook() is None
+
+
+def test_interruptor_interrupts_once_after_n_jobs(tmp_path):
+    plan = ChaosPlan(seed=0, state_dir=str(tmp_path), faults=())
+    interrupt = ChaosInterruptor(plan, after_jobs=2)
+    interrupt(None)
+    with pytest.raises(KeyboardInterrupt):
+        interrupt(None)
+    interrupt(None)                    # claimed: never fires again
+
+
+def test_chaos_experiment_is_transparent(tmp_path):
+    inner = ToyExperiment()
+    plan = ChaosPlan(seed=0, state_dir=str(tmp_path), faults=())
+    chaotic = ChaosExperiment(inner, plan)
+    assert chaotic.name == "toy"
+    assert chaotic.campaign_config() == inner.campaign_config()
+    assert [s.label for s in chaotic.job_specs()] \
+        == [s.label for s in inner.job_specs()]
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_interrupted_chaotic_resumed_campaign_matches_clean(tmp_path, jobs):
+    """The acceptance criterion: inject every fault kind, interrupt the
+    campaign partway, resume it — value and manifest fingerprint equal
+    a clean uninterrupted run, at --jobs 1, 2 and 4."""
+    experiment = ToyExperiment()
+    clean = run_campaign(experiment, jobs=1)
+
+    checkpoint = tmp_path / "ckpt.jsonl"
+    plan = plan_chaos(experiment, seed=0, state_dir=tmp_path / "state",
+                      hang_s=8.0)
+    chaotic = ChaosExperiment(experiment, plan)
+    policy = SupervisionPolicy(backoff_base_s=0.01, backoff_max_s=0.05,
+                               watchdog_grace_s=0.5, jitter_seed=0)
+    interrupt = ChaosInterruptor(plan, after_jobs=3)
+    with CheckpointWriter(checkpoint,
+                          fault_hook=plan.checkpoint_hook()) as writer:
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            with pytest.warns(RuntimeWarning, match="checkpoint append"):
+                run_campaign(chaotic, jobs=jobs, timeout_s=3.0, retries=2,
+                             checkpoint=writer, supervision=policy,
+                             on_job_done=interrupt)
+    assert excinfo.value.checkpoint == str(checkpoint)
+    assert 0 < excinfo.value.done < len(experiment.job_specs())
+
+    resumed = run_campaign(chaotic, jobs=jobs, timeout_s=3.0, retries=2,
+                           checkpoint=checkpoint, resume=checkpoint,
+                           supervision=policy)
+    assert not resumed.failures
+    assert resumed.value == clean.value
+    assert (manifest_fingerprint(resumed.manifest)
+            == manifest_fingerprint(clean.manifest))
+    fired = set(plan.fired_tokens())
+    planned = {f"{target}:{kind}" for target, kind in plan.faults}
+    assert planned <= fired
+    assert f"{CAMPAIGN_TARGET}:interrupt" in fired

@@ -1,0 +1,181 @@
+"""Worker supervision: killed workers, hung workers, degradation.
+
+The hostile experiments live at module top level so the process pool
+can pickle them; each uses an ``O_CREAT|O_EXCL`` marker file to
+misbehave exactly once per test (in-memory state dies with the worker,
+which is the point).
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.resilience import SupervisionPolicy
+from repro.runner import (JobSpec, derive_seed, manifest_fingerprint,
+                          run_campaign)
+
+
+def _claim_once(state_dir: str, token: str) -> bool:
+    """True exactly once per (state_dir, token), surviving SIGKILL."""
+    try:
+        fd = os.open(os.path.join(state_dir, token.replace("/", "_")),
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+@dataclass(frozen=True)
+class ToyExperiment:
+    name: ClassVar[str] = "toy"
+
+    n: int = 6
+
+    def campaign_config(self) -> dict:
+        return {"n": self.n}
+
+    def job_specs(self):
+        return [JobSpec.make(self.name, (i,), derive_seed(42, (i,)),
+                             index=i)
+                for i in range(self.n)]
+
+    def run_one(self, spec, ctx):
+        return spec.param("index") * 10 + spec.seed % 7
+
+    def reduce(self, results):
+        return [r.value for r in results if r.ok]
+
+
+@dataclass(frozen=True)
+class KillOnceExperiment(ToyExperiment):
+    """SIGKILLs its own worker the first time job 2 runs."""
+
+    state_dir: str = ""
+
+    def run_one(self, spec, ctx):
+        if spec.param("index") == 2 and _claim_once(self.state_dir, "kill"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().run_one(spec, ctx)
+
+
+@dataclass(frozen=True)
+class HangOnceExperiment(ToyExperiment):
+    """Blocks SIGALRM and stalls past every timeout, once, in job 1.
+
+    The per-job alarm provably cannot fire here — only the parent-side
+    wall-clock watchdog can reap the worker.
+    """
+
+    state_dir: str = ""
+    hang_s: float = 30.0
+
+    def run_one(self, spec, ctx):
+        if spec.param("index") == 1 and _claim_once(self.state_dir, "hang"):
+            if hasattr(signal, "pthread_sigmask"):
+                signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            time.sleep(self.hang_s)
+        return super().run_one(spec, ctx)
+
+
+@dataclass(frozen=True)
+class AlwaysKillInWorkerExperiment(ToyExperiment):
+    """Kills every worker that picks it up; survives only in-process.
+
+    ``parent_pid`` tells jobs whether they are expendable — in the
+    supervisor's degraded in-process mode they run in the parent and
+    must *not* kill the campaign.
+    """
+
+    parent_pid: int = 0
+
+    def run_one(self, spec, ctx):
+        if os.getpid() != self.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().run_one(spec, ctx)
+
+
+_FAST = SupervisionPolicy(backoff_base_s=0.01, backoff_max_s=0.05)
+
+
+def test_sigkilled_worker_is_requeued_not_fatal(tmp_path):
+    """The satellite regression: a worker SIGKILLed mid-campaign used
+    to abort the whole run with BrokenProcessPool.  Now the pool is
+    respawned, only the lost jobs re-run, and the result is identical
+    to a clean serial campaign."""
+    experiment = KillOnceExperiment(state_dir=str(tmp_path))
+    campaign = run_campaign(experiment, jobs=2, supervision=_FAST)
+    clean = run_campaign(ToyExperiment(), jobs=1)
+    assert not campaign.failures
+    assert campaign.value == clean.value
+    assert (manifest_fingerprint(campaign.manifest)
+            == manifest_fingerprint(clean.manifest))
+    # The recovery left its lineage in the (stripped) outcome.
+    supervision = campaign.manifest["outcome"]["supervision"]
+    assert supervision["pool_respawns"] >= 1
+    assert supervision["requeues"] >= 1
+    assert supervision["jobs_lost"] == 0
+
+
+def test_watchdog_reaps_hung_worker(tmp_path):
+    """SIGALRM is blocked in the worker, so only the parent's
+    wall-clock watchdog can recover — and the hang fires once, so the
+    requeued job completes."""
+    experiment = HangOnceExperiment(state_dir=str(tmp_path))
+    policy = SupervisionPolicy(backoff_base_s=0.01, backoff_max_s=0.05,
+                               watchdog_grace_s=0.5)
+    campaign = run_campaign(experiment, jobs=2, timeout_s=5.0,
+                            supervision=policy)
+    assert not campaign.failures
+    assert campaign.value == run_campaign(ToyExperiment(), jobs=1).value
+    supervision = campaign.manifest["outcome"]["supervision"]
+    assert supervision["watchdog_kills"] >= 1
+
+
+def test_degrades_to_in_process_after_respawn_budget():
+    experiment = AlwaysKillInWorkerExperiment(n=3, parent_pid=os.getpid())
+    policy = SupervisionPolicy(max_pool_respawns=1, max_requeues=10,
+                               backoff_base_s=0.01, backoff_max_s=0.02)
+    campaign = run_campaign(experiment, jobs=2, supervision=policy)
+    assert not campaign.failures
+    assert campaign.value == run_campaign(ToyExperiment(n=3), jobs=1).value
+    supervision = campaign.manifest["outcome"]["supervision"]
+    assert supervision["degraded_in_process"] is True
+
+
+def test_requeue_budget_exhaustion_is_a_captured_failure():
+    experiment = AlwaysKillInWorkerExperiment(n=3, parent_pid=os.getpid())
+    policy = SupervisionPolicy(max_pool_respawns=10, max_requeues=1,
+                               backoff_base_s=0.01, backoff_max_s=0.02,
+                               degrade_in_process=False)
+    campaign = run_campaign(experiment, jobs=2, supervision=policy)
+    assert campaign.failures
+    assert all(f.error_kind in ("worker-lost", "hung")
+               for f in campaign.failures)
+    assert campaign.manifest["outcome"]["status"] in ("partial", "failure")
+    supervision = campaign.manifest["outcome"]["supervision"]
+    assert supervision["jobs_lost"] == len(campaign.failures)
+
+
+def test_backoff_is_deterministic_and_bounded():
+    policy = SupervisionPolicy(jitter_seed=7)
+    again = SupervisionPolicy(jitter_seed=7)
+    other = SupervisionPolicy(jitter_seed=8)
+    delays = [policy.backoff_s(n) for n in range(1, 8)]
+    assert delays == [again.backoff_s(n) for n in range(1, 8)]
+    assert delays != [other.backoff_s(n) for n in range(1, 8)]
+    # Exponential up to the cap, plus at most 25% jitter.
+    assert all(d <= policy.backoff_max_s * 1.25 for d in delays)
+    assert delays[0] >= policy.backoff_base_s
+
+
+def test_watchdog_grace_derives_from_timeout():
+    policy = SupervisionPolicy()
+    assert policy.grace_s(10.0) == 20.0
+    assert policy.grace_s(0.1) == 1.0            # floor
+    assert policy.grace_s(None) is None          # nothing to scale from
+    assert SupervisionPolicy(watchdog_grace_s=3.0).grace_s(None) == 3.0

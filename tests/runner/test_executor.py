@@ -66,6 +66,93 @@ def test_resolve_jobs():
     assert resolve_jobs(None) >= 1
 
 
+def test_resolve_jobs_honors_scheduling_affinity(monkeypatch):
+    """A cgroup-limited container may expose 2 of 64 cores; the default
+    worker count must follow the affinity mask, not the raw count."""
+    import os
+
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no scheduling affinity")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3})
+    assert resolve_jobs(0) == 2
+    assert resolve_jobs(None) == 2
+    # Explicit --jobs always wins over the mask.
+    assert resolve_jobs(5) == 5
+
+
+def test_resolve_jobs_survives_affinity_errors(monkeypatch):
+    import os
+
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no scheduling affinity")
+
+    def broken(pid):
+        raise OSError("no affinity for you")
+
+    monkeypatch.setattr(os, "sched_getaffinity", broken)
+    assert resolve_jobs(0) >= 1
+
+
+def test_unenforceable_timeout_is_counted_and_warned_once():
+    """Off the main thread SIGALRM cannot be delivered: the timeout
+    degrades to unenforced — but visibly (counter + one warning), never
+    silently."""
+    import threading
+    import warnings as warnings_mod
+
+    import repro.runner.executor as executor
+
+    experiment = ToyExperiment(n=1)
+    [spec] = experiment.job_specs()
+    old_flag = executor._UNENFORCED_WARNED
+    executor._UNENFORCED_WARNED = False
+    box = {}
+
+    def run():
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            box["first"] = execute_job(experiment, spec, timeout_s=1.0)
+            box["second"] = execute_job(experiment, spec, timeout_s=1.0)
+            box["warnings"] = [w for w in caught
+                               if issubclass(w.category, RuntimeWarning)
+                               and "cannot be enforced" in str(w.message)]
+
+    try:
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+    finally:
+        executor._UNENFORCED_WARNED = old_flag
+    assert box["first"].ok and box["second"].ok
+    counters = box["first"].manifest["metrics"]["counters"]
+    assert counters.get("runner.timeout_unenforced") == 1
+    # Warned exactly once per process, not per job.
+    assert len(box["warnings"]) == 1
+
+
+def test_retried_success_keeps_failure_history():
+    """Satellite regression: a retried job's manifest used to report a
+    clean single-attempt success, erasing the earlier failure."""
+    _FLAKY_STATE["calls"] = 0
+    campaign = run_campaign(FlakyExperiment(n=1), jobs=1, retries=1)
+    assert not campaign.failures
+    [result] = campaign.results
+    assert result.attempts == 2
+    assert len(result.attempt_history) == 1
+    assert result.attempt_history[0]["error_kind"] == "exception"
+    assert "transient" in result.attempt_history[0]["error"]
+    retried = campaign.manifest["outcome"]["retried"]
+    assert retried == [{"job": "toy[0]", "attempts": 2,
+                        "history": result.attempt_history}]
+    validate_manifest(campaign.manifest)
+    # Retry lineage is an execution detail: the fingerprint still
+    # matches a campaign that never failed.
+    _FLAKY_STATE["calls"] = 99
+    clean = run_campaign(FlakyExperiment(n=1), jobs=1)
+    assert (manifest_fingerprint(campaign.manifest)
+            == manifest_fingerprint(clean.manifest))
+
+
 def test_serial_campaign_reduces_in_spec_order():
     campaign = run_campaign(ToyExperiment(), jobs=1)
     assert campaign.value == [i * 10 + derive_seed(42, (i,)) % 7

@@ -193,3 +193,29 @@ def test_stats_missing_file(capsys):
     code = main(["stats", "/nonexistent/run.json"])
     assert code == 2
     assert "cannot read" in capsys.readouterr().err
+
+
+def test_matrix_results_dir_checkpoints_and_resumes(capsys, tmp_path):
+    import json
+
+    code, _ = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "1",
+                  "--results-dir", str(tmp_path))
+    assert code == 0
+    checkpoint = tmp_path / "matrix-checkpoint.jsonl"
+    assert checkpoint.exists()
+    code, out = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "1",
+                    "--resume", str(checkpoint), "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["outcome"]["resume"]["jobs_skipped"] == 22
+    assert doc["outcome"]["resume"]["jobs_rerun"] == 0
+
+
+def test_chaos_smoke_recovers_and_matches_clean(capsys, tmp_path):
+    code, out = run(capsys, "chaos", "--seed", "0", "--jobs", "2",
+                    "--cells", "4", "--watchdog", "1.0", "--hang", "10",
+                    "--state-dir", str(tmp_path / "state"))
+    assert code == 0
+    assert "chaos smoke: OK" in out
+    assert "faults fired: 4/4" in out
+    assert "fingerprint-equals" in out
