@@ -12,7 +12,9 @@ Commands
 * ``covert``    — §6.4 covert-channel capacity
 * ``rev-btb``   — §6.2 BTB function recovery (Figure 7)
 * ``gadgets``   — §9.3 gadget census over a synthetic corpus
-* ``trace``     — run a syscall under the execution tracer
+* ``trace``     — run a syscall under the execution tracer; the
+  ``summarize`` / ``export`` subcommands inspect a ``--spans`` capture
+  (critical path, Perfetto JSON, OpenMetrics)
 * ``fuzz``      — differential fuzz the dual-engine simulator
 * ``chaos``     — fault-injection smoke: recover, resume, diff clean
 * ``stats``     — summarize one run manifest, or diff two
@@ -31,18 +33,26 @@ count), and — with ``--results-dir`` — journal every finished job to
 jobs already journaled there (see ``docs/resilience.md``).  Ctrl-C
 with a checkpoint active exits 130 after flushing the journal and
 printing the resume command.
+
+Observability (see ``docs/observability.md``): ``--spans DIR`` records
+``phantom.span/1`` distributed-trace spans across every worker and
+stitches them into ``DIR/trace.jsonl``; ``--progress FILE`` streams
+``phantom.progress/1`` job-completion events (plus a live progress bar
+whenever stderr is a terminal).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
 
 from .pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
-from .telemetry import (JsonLinesSink, REGISTRY, RunManifest, TRACE,
-                        diff_manifests, summarize_manifest)
+from .telemetry import (JsonLinesSink, ProgressReporter, REGISTRY,
+                        RunManifest, SPANS, TRACE, diff_manifests,
+                        stitch_to_file, summarize_manifest)
 
 
 def _add_uarch(parser, default="zen 2", choices_amd_only=False):
@@ -72,7 +82,7 @@ def _add_resilience(parser):
                              "durably, as it finishes)")
 
 
-def _campaign_kwargs(args, command: str) -> dict:
+def _campaign_kwargs(args, command: str, run=None) -> dict:
     """Checkpoint/resume plumbing shared by the campaign commands.
 
     With ``--results-dir`` the run journals to
@@ -80,7 +90,9 @@ def _campaign_kwargs(args, command: str) -> dict:
     inheritance so the new journal is self-contained); ``--resume``
     without a results dir keeps appending to the resume journal
     itself.  Multi-campaign commands (``physmap``, ``leak``) share one
-    journal — spec fingerprints keep their records apart.
+    journal — spec fingerprints keep their records apart.  When *run*
+    (the :class:`_Run` harness) carries a progress reporter it is
+    threaded through to the campaign's completion stream.
     """
     kwargs: dict = {}
     resume = getattr(args, "resume", None)
@@ -96,6 +108,8 @@ def _campaign_kwargs(args, command: str) -> dict:
         kwargs["checkpoint_every"] = getattr(args, "checkpoint_every", 1)
     if resume:
         kwargs["resume"] = resume
+    if run is not None and run.progress is not None:
+        kwargs["progress"] = run.progress
     return kwargs
 
 
@@ -108,6 +122,38 @@ def _add_telemetry(parser):
                              "trace to FILE")
     parser.add_argument("--results-dir", metavar="DIR", default=None,
                         help="archive the run manifest under DIR")
+    parser.add_argument("--spans", metavar="DIR", default=None,
+                        help="record phantom.span/1 distributed-trace "
+                             "spans under DIR and stitch them into "
+                             "DIR/trace.jsonl (inspect with "
+                             "'repro trace summarize/export')")
+    parser.add_argument("--progress", metavar="FILE", default=None,
+                        help="stream phantom.progress/1 job-completion "
+                             "events to FILE ('-' = stdout, a number = "
+                             "an inherited fd); a single-line progress "
+                             "bar additionally renders whenever stderr "
+                             "is a terminal")
+
+
+def _progress_reporter(args) -> "ProgressReporter | None":
+    """The reporter implied by ``--progress`` and/or a TTY, or ``None``.
+
+    Returns ``None`` when there is nowhere to report to, so headless
+    runs construct nothing and stay byte-identical to pre-progress
+    behaviour.
+    """
+    stream = None
+    target = getattr(args, "progress", None)
+    if target == "-":
+        stream = sys.stdout
+    elif target and target.isdigit():
+        stream = os.fdopen(int(target), "w", encoding="utf-8")
+    elif target:
+        stream = open(target, "w", encoding="utf-8")
+    tty = sys.stderr if sys.stderr.isatty() else None
+    if stream is None and tty is None:
+        return None
+    return ProgressReporter(stream=stream, tty=tty)
 
 
 def _fuzz_shapes():
@@ -119,7 +165,8 @@ class _Run:
     """Telemetry harness shared by every experiment command.
 
     Enables the process metrics registry for the duration of the run,
-    attaches the ``--trace-out`` sink, builds the run manifest, and
+    attaches the ``--trace-out`` sink, opens the ``--spans`` root span
+    and the ``--progress`` reporter, builds the run manifest, and
     routes text output (suppressed when ``--json`` asks for the
     manifest document only).
     """
@@ -134,6 +181,9 @@ class _Run:
         self._sink = None
         self._absorbed: list[dict] = []
         self.manifest: RunManifest | None = None
+        self.progress: ProgressReporter | None = None
+        self._progress_stream = None
+        self._owns_spans = False
 
     def __enter__(self) -> "_Run":
         REGISTRY.reset()
@@ -144,6 +194,13 @@ class _Run:
         if trace_out:
             self._sink = JsonLinesSink(trace_out)
             TRACE.add_sink(self._sink)
+        spans_dir = getattr(self.args, "spans", None)
+        if spans_dir:
+            SPANS.start(spans_dir, name=self.command)
+            self._owns_spans = True
+        self.progress = _progress_reporter(self.args)
+        if self.progress is not None:
+            self._progress_stream = self.progress.stream
         self.manifest = RunManifest.begin(self.command,
                                           machine=self.machine,
                                           **self.extra_config)
@@ -185,6 +242,20 @@ class _Run:
                 TRACE.remove_sink(self._sink)
                 self._sink.close()
                 self._sink = None
+            if self.progress is not None:
+                self.progress.close()
+                if self._progress_stream not in (None, sys.stdout):
+                    try:
+                        self._progress_stream.close()
+                    except OSError:
+                        pass
+                self.progress = None
+            if self._owns_spans:
+                span_dir = SPANS.finish(
+                    status="ok" if exc_type is None else "error")
+                self._owns_spans = False
+                if span_dir is not None:
+                    self.text(f"spans: {stitch_to_file(span_dir)}")
             REGISTRY.disable()
         return False
 
@@ -215,7 +286,7 @@ def cmd_matrix(args) -> int:
         with run.phase("matrix"):
             campaign = run_campaign(
                 MatrixExperiment(uarches=tuple(u.name for u in uarches)),
-                jobs=args.jobs, **_campaign_kwargs(args, "matrix"))
+                jobs=args.jobs, **_campaign_kwargs(args, "matrix", run))
         run.absorb(campaign)
         results = campaign.raise_on_failure().value
         reach: dict[str, int] = {}
@@ -237,7 +308,7 @@ def cmd_kaslr(args) -> int:
         with run.phase("break-image-kaslr"):
             campaign = run_campaign(KaslrImageExperiment(machine=spec),
                                     jobs=args.jobs,
-                                    **_campaign_kwargs(args, "kaslr"))
+                                    **_campaign_kwargs(args, "kaslr", run))
         run.absorb(campaign)
         result = campaign.raise_on_failure().value
         kaslr = Kaslr.randomize(args.seed)
@@ -259,7 +330,7 @@ def cmd_physmap(args) -> int:
 
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed)
     with _Run(args, "physmap", **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "physmap")
+        resilience = _campaign_kwargs(args, "physmap", run)
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
                 KaslrImageExperiment(machine=spec), jobs=args.jobs,
@@ -296,7 +367,7 @@ def cmd_leak(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        phys_mem=1 << 30)
     with _Run(args, "leak", n_bytes=args.bytes, **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "leak")
+        resilience = _campaign_kwargs(args, "leak", run)
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
                 KaslrImageExperiment(machine=spec), jobs=args.jobs,
@@ -348,7 +419,7 @@ def cmd_covert(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        sibling_load=True)
     with _Run(args, "covert", n_bits=args.bits, **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "covert")
+        resilience = _campaign_kwargs(args, "covert", run)
         outcome = {"jobs": None}
         with run.phase("fetch-channel"):
             campaign = run_campaign(
@@ -451,6 +522,48 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_trace_summarize(args) -> int:
+    from .telemetry import read_spans, stitch, summarize_trace
+
+    records = read_spans(args.spans)
+    if not records:
+        print(f"trace: no phantom.span/1 records under {args.spans}",
+              file=sys.stderr)
+        return 2
+    print("\n".join(summarize_trace(stitch(records))))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    import json
+
+    from .telemetry import read_spans, to_chrome_trace, to_openmetrics
+
+    if args.format == "perfetto":
+        records = read_spans(args.source)
+        if not records:
+            print(f"trace: no phantom.span/1 records under {args.source}",
+                  file=sys.stderr)
+            return 2
+        text = json.dumps(to_chrome_trace(records), indent=2) + "\n"
+    else:
+        try:
+            doc = RunManifest.load(args.source)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"trace: cannot read manifest {args.source}: {exc}",
+                  file=sys.stderr)
+            return 2
+        text = to_openmetrics(doc.get("metrics", {}),
+                              pmc=doc.get("pmc") or None)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     import time
 
@@ -491,7 +604,7 @@ def cmd_fuzz(args) -> int:
                     FuzzExperiment(seed=args.seed, count=args.iters,
                                    shape=args.shape, uarches=uarches,
                                    invariants=invariants),
-                    jobs=args.jobs, **_campaign_kwargs(args, "fuzz"))
+                    jobs=args.jobs, **_campaign_kwargs(args, "fuzz", run))
             run.absorb(campaign)
             outcome = campaign.raise_on_failure().value
             checked = outcome["programs"]
@@ -569,6 +682,10 @@ def cmd_chaos(args) -> int:
     for target, kind in plan.faults:
         print(f"  {kind:7s} -> {target}")
 
+    progress = _progress_reporter(args)
+    progress_stream = progress.stream if progress is not None else None
+    if getattr(args, "spans", None):
+        SPANS.start(args.spans, name="chaos")
     try:
         # The reference nobody argues with: same campaign, serial,
         # no faults, no checkpoint.
@@ -590,7 +707,8 @@ def cmd_chaos(args) -> int:
                                         retries=args.retries,
                                         checkpoint=writer,
                                         supervision=policy,
-                                        on_job_done=interrupt)
+                                        on_job_done=interrupt,
+                                        progress=progress)
             print(f"campaign ran to completion ({total}/{total} jobs) "
                   f"without the planned interrupt")
         except CampaignInterrupted as exc:
@@ -600,7 +718,8 @@ def cmd_chaos(args) -> int:
                                     retries=args.retries,
                                     checkpoint=checkpoint,
                                     resume=checkpoint,
-                                    supervision=policy)
+                                    supervision=policy,
+                                    progress=progress)
             resumed = campaign.manifest["outcome"].get("resume", {})
             print(f"resumed: {resumed.get('jobs_skipped', 0)} jobs "
                   f"skipped, {resumed.get('jobs_rerun', 0)} re-run")
@@ -624,6 +743,17 @@ def cmd_chaos(args) -> int:
                   "with a fresh --state-dir", file=sys.stderr)
         return 0 if ok else 1
     finally:
+        if progress is not None:
+            progress.close()
+            if progress_stream not in (None, sys.stdout):
+                try:
+                    progress_stream.close()
+                except OSError:
+                    pass
+        if getattr(args, "spans", None) and SPANS.enabled:
+            span_dir = SPANS.finish()
+            if span_dir is not None:
+                print(f"spans: {stitch_to_file(span_dir)}")
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -755,7 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(p)
     p.set_defaults(fn=cmd_gadgets)
 
-    p = sub.add_parser("trace", help="trace a syscall's speculation")
+    p = sub.add_parser("trace",
+                       help="trace a syscall's speculation, or inspect "
+                            "a --spans capture (summarize/export)")
     _add_uarch(p, default="zen 2")
     p.add_argument("--nr", type=int, default=39, help="syscall number")
     p.add_argument("--rdi", type=int, default=0)
@@ -763,6 +895,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=200)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_trace)
+    tsub = p.add_subparsers(dest="trace_command")
+    ps = tsub.add_parser("summarize",
+                         help="critical path + per-phase histogram "
+                              "table from a span capture")
+    ps.add_argument("spans",
+                    help="span capture directory (--spans DIR of a "
+                         "previous run) or a single span .jsonl file")
+    ps.set_defaults(fn=cmd_trace_summarize)
+    pe = tsub.add_parser("export",
+                         help="export a span capture (Perfetto) or a "
+                              "run manifest's metrics (OpenMetrics)")
+    pe.add_argument("source",
+                    help="span capture dir or .jsonl (perfetto), or a "
+                         "run manifest (openmetrics)")
+    pe.add_argument("--format", choices=("perfetto", "openmetrics"),
+                    default="perfetto",
+                    help="output format (default perfetto — Chrome "
+                         "trace-event JSON for ui.perfetto.dev)")
+    pe.add_argument("--out", metavar="FILE", default=None,
+                    help="write to FILE instead of stdout")
+    pe.set_defaults(fn=cmd_trace_export)
 
     p = sub.add_parser("fuzz",
                        help="differential fuzz the dual-engine simulator")
@@ -823,6 +976,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where fired-fault markers and the checkpoint "
                         "live (default: a fresh temp dir; reusing a "
                         "dir suppresses already-fired faults)")
+    p.add_argument("--spans", metavar="DIR", default=None,
+                   help="record phantom.span/1 spans under DIR "
+                        "(shows which job each recovery acted on)")
+    p.add_argument("--progress", metavar="FILE", default=None,
+                   help="stream phantom.progress/1 events to FILE "
+                        "('-' = stdout, a number = an inherited fd)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("bench",

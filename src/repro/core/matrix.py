@@ -116,9 +116,10 @@ class MatrixExperiment:
         victim = VictimKind[spec.param("victim")]
         outcomes = {}
         for channel in CHANNELS:
-            machine = ctx.boot(spec.machine)
-            experiment = TypeConfusionExperiment(machine, train, victim)
-            outcomes[channel] = measure_channel(experiment, channel)
+            with ctx.span(f"measure:{channel}"):
+                machine = ctx.boot(spec.machine)
+                experiment = TypeConfusionExperiment(machine, train, victim)
+                outcomes[channel] = measure_channel(experiment, channel)
         return CellResult(spec.key[0], train, victim,
                           ExperimentResult(**outcomes))
 

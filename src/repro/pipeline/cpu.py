@@ -67,6 +67,7 @@ from ..isa import (ArchState, BranchKind, Instruction, Mnemonic,
 from ..memory import MemorySystem
 from ..params import MASK64, PAGE_SHIFT, PAGE_SIZE, canonical
 from ..telemetry import metrics as _metrics
+from ..telemetry.spans import SPANS as _SPANS
 from ..telemetry.trace import TRACE as _TRACE
 from .config import Microarch
 from .pmc import PMC
@@ -434,7 +435,21 @@ class CPU:
         compilation itself is architecturally free; the thunk compiled
         afterwards replays the steady-state step, whose decode-cache hit
         can no longer fetch or fault.
+
+        With span tracing active each cold visit is bracketed by a
+        ``fastpath:compile`` span (warm visits run bare thunks — the
+        compile/execute split a trace shows is exactly the dual-engine
+        split).  Compilation is deliberately *not* a metrics counter:
+        only the fast engine compiles, and engine manifests must stay
+        fingerprint-identical.
         """
+        if _SPANS.enabled:
+            with _SPANS.span("fastpath:compile", pc=hex(self.pc)):
+                self._cold_step(cache)
+        else:
+            self._cold_step(cache)
+
+    def _cold_step(self, cache: dict[int, Callable[[], None]]) -> None:
         pc = self.pc
         kernel_mode = self.kernel_mode
         self._step_slow()

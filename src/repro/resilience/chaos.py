@@ -44,6 +44,8 @@ from typing import Any
 
 from ..errors import ReproError
 from ..runner.spec import derive_seed
+from ..telemetry.spans import SPANS
+from ..telemetry.trace import TRACE
 
 #: Every fault kind the chaos matrix knows how to inject.
 FAULT_KINDS = ("raise", "sigkill", "hang", "enospc")
@@ -122,6 +124,8 @@ class ChaosPlan:
             return
         if kind in ("sigkill", "hang") and not in_worker:
             kind = "raise"     # no pool above us to clean up the mess
+        TRACE.emit("chaos_fault", 0, target=label, fault=kind)
+        SPANS.event("chaos:" + kind, status="error", target=label)
         if kind == "raise":
             raise ChaosFault(f"chaos: injected failure in {label}")
         if kind == "sigkill":
@@ -145,6 +149,10 @@ class ChaosPlan:
 
         def hook(record) -> None:
             if self.claim(f"{CHECKPOINT_TARGET}:enospc"):
+                TRACE.emit("chaos_fault", 0, target=CHECKPOINT_TARGET,
+                           fault="enospc")
+                SPANS.event("chaos:enospc", status="error",
+                            target=CHECKPOINT_TARGET)
                 raise OSError(errno.ENOSPC,
                               "chaos: no space left on device")
         return hook
@@ -231,4 +239,8 @@ class ChaosInterruptor:
         self.count += 1
         if (self.count >= self.after_jobs
                 and self.plan.claim(f"{CAMPAIGN_TARGET}:interrupt")):
+            TRACE.emit("chaos_fault", 0, target=CAMPAIGN_TARGET,
+                       fault="interrupt")
+            SPANS.event("chaos:interrupt", status="error",
+                        target=CAMPAIGN_TARGET)
             raise KeyboardInterrupt

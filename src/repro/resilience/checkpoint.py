@@ -43,6 +43,8 @@ from pathlib import Path
 from ..runner.executor import JobResult
 from ..runner.spec import JobSpec
 from ..telemetry import metrics as _metrics
+from ..telemetry.spans import SPANS
+from ..telemetry.trace import TRACE
 
 CHECKPOINT_SCHEMA = "phantom.checkpoint/1"
 
@@ -160,6 +162,10 @@ class CheckpointWriter:
             self.write_errors += 1
             _metrics.REGISTRY.counter(
                 "resilience.checkpoint_write_errors").inc()
+            TRACE.emit("checkpoint_write_error", 0, job=record.label,
+                       error=str(exc))
+            SPANS.event("checkpoint:write_error", status="error",
+                        job=record.label, error=str(exc))
             if not self._warned:
                 self._warned = True
                 warnings.warn(
@@ -168,6 +174,8 @@ class CheckpointWriter:
                     "resume", RuntimeWarning, stacklevel=2)
 
     def flush(self) -> None:
+        if self._unflushed:
+            SPANS.event("checkpoint:flush", records=self._unflushed)
         try:
             self._fh.flush()
         except OSError:

@@ -43,6 +43,8 @@ from ..runner.executor import JobContext, execute_job
 from ..runner.reduce import job_manifest
 from ..runner.spec import derive_seed
 from ..telemetry import metrics as _metrics
+from ..telemetry.spans import SPANS
+from ..telemetry.trace import TRACE
 
 _EMPTY_METRICS = {"counters": {}, "gauges": {}, "histograms": {},
                   "base_labels": {}}
@@ -120,6 +122,9 @@ class _Watchdog(threading.Thread):
                 self.fired = True
                 _metrics.REGISTRY.counter(
                     "resilience.watchdog_kills").inc()
+                TRACE.emit("watchdog_kill", 0, grace_s=self._grace)
+                SPANS.event("supervisor:watchdog_kill", status="error",
+                            grace_s=self._grace)
                 _kill_pool_workers(self._pool)
                 return
 
@@ -228,6 +233,10 @@ def supervise(experiment, specs, todo, record, *, n_workers, timeout_s,
             _metrics.REGISTRY.counter("resilience.requeues").inc()
             if requeues[i] > policy.max_requeues:
                 stats["jobs_lost"] += 1
+                TRACE.emit("job_lost", 0, job=specs[i].label,
+                           requeues=requeues[i], hung=hung)
+                SPANS.event("supervisor:job_lost", status="error",
+                            job=specs[i].label, requeues=requeues[i])
                 record(i, _lost_job_result(specs[i], requeues[i],
                                            hung=hung))
             else:
@@ -238,6 +247,11 @@ def supervise(experiment, specs, todo, record, *, n_workers, timeout_s,
         respawns += 1
         stats["pool_respawns"] += 1
         _metrics.REGISTRY.counter("resilience.pool_respawns").inc()
+        requeued = [specs[i].label for i in pending]
+        TRACE.emit("pool_respawn", 0, respawn=respawns, hung=hung,
+                   requeued=requeued)
+        SPANS.event("supervisor:pool_respawn", respawn=respawns,
+                    hung=hung, requeued=requeued)
         if respawns > policy.max_pool_respawns:
             if policy.degrade_in_process:
                 # Process isolation keeps failing: finish in-process,
@@ -246,6 +260,9 @@ def supervise(experiment, specs, todo, record, *, n_workers, timeout_s,
                 stats["degraded_in_process"] = True
                 _metrics.REGISTRY.counter(
                     "resilience.degraded_in_process").inc()
+                TRACE.emit("degraded_in_process", 0, jobs=requeued)
+                SPANS.event("supervisor:degraded_in_process",
+                            status="error", jobs=requeued)
                 for i in pending:
                     record(i, execute_job(experiment, specs[i],
                                           timeout_s=timeout_s,
@@ -253,9 +270,18 @@ def supervise(experiment, specs, todo, record, *, n_workers, timeout_s,
             else:
                 for i in pending:
                     stats["jobs_lost"] += 1
+                    TRACE.emit("job_lost", 0, job=specs[i].label,
+                               requeues=requeues[i], hung=hung)
+                    SPANS.event("supervisor:job_lost", status="error",
+                                job=specs[i].label, requeues=requeues[i])
                     record(i, _lost_job_result(specs[i], requeues[i],
                                                hung=hung))
             pending = []
             break
-        time.sleep(policy.backoff_s(respawns))
+        delay = policy.backoff_s(respawns)
+        TRACE.emit("backoff", 0, respawn=respawns,
+                   delay_s=round(delay, 6))
+        with SPANS.span("supervisor:backoff", respawn=respawns,
+                        delay_s=round(delay, 6)):
+            time.sleep(delay)
     return stats

@@ -34,12 +34,13 @@ import signal
 import threading
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Sequence
 
 from ..errors import ReproError
 from ..telemetry import metrics as _metrics
+from ..telemetry.spans import SPANS
 from .reduce import job_manifest, merge_job_manifests
 from .spec import JobSpec
 
@@ -100,7 +101,13 @@ class JobContext:
         the machine for cycle/PMC accounting."""
         from ..kernel import Machine
 
-        return self.track(Machine.from_spec(spec))
+        with SPANS.span("boot", arch=getattr(spec, "name", "")):
+            return self.track(Machine.from_spec(spec))
+
+    def span(self, name: str, **attrs):
+        """Bracket an experiment phase (``warm``, ``measure:…``) with a
+        trace span; a no-op context while tracing is disabled."""
+        return SPANS.span(name, **attrs)
 
     def track(self, machine):
         self.machines.append(machine)
@@ -254,13 +261,19 @@ def execute_job(experiment, spec: JobSpec, *, timeout_s: float | None = None,
     wall_start = time.perf_counter()
     errors: list[tuple[str, str]] = []
     ctx = JobContext()
+    trace_ctx = spec.trace
+    if trace_ctx is not None:
+        SPANS.adopt(trace_ctx)
+    job_parent = trace_ctx.parent_span_id if trace_ctx is not None else ""
     for attempt in range(retries + 1):
         ctx = JobContext()
         registry.reset()
         registry.enable()
         try:
-            with _JobAlarm(timeout_s):
-                value = experiment.run_one(spec, ctx)
+            with SPANS.span(spec.label, parent_id=job_parent, seq=attempt,
+                            attempt=attempt):
+                with _JobAlarm(timeout_s):
+                    value = experiment.run_one(spec, ctx)
         except JobTimeout as exc:
             errors.append(("timeout", str(exc)))
         except Exception as exc:   # noqa: BLE001 — capture, don't abort
@@ -294,7 +307,8 @@ def run_campaign(experiment, *, jobs: int | None = None,
                  timeout_s: float | None = None, retries: int = 0,
                  config: dict | None = None, checkpoint=None,
                  checkpoint_every: int = 1, resume=None,
-                 supervision=None, on_job_done=None) -> CampaignResult:
+                 supervision=None, on_job_done=None,
+                 progress=None) -> CampaignResult:
     """Execute every job of *experiment* and reduce the results.
 
     ``jobs=None``/``0`` uses one worker per available CPU; ``jobs=1``
@@ -316,6 +330,16 @@ def run_campaign(experiment, *, jobs: int | None = None,
       the default policy applies when omitted.
     * ``on_job_done`` — callback invoked with each recorded
       :class:`JobResult` (the chaos harness's interruption point).
+
+    Observability (see ``docs/observability.md``): when the process
+    span recorder is active, the campaign runs under a
+    ``campaign:<name>`` span whose :class:`TraceContext` is stamped
+    into every dispatched spec (workers parent their job spans on it);
+    ``progress`` — an optional
+    :class:`repro.telemetry.ProgressReporter` fed from the same
+    completion stream as ``on_job_done``.  Both are strictly
+    observational: manifests and results are byte-identical with them
+    on or off.
     """
     from ..resilience.checkpoint import (CheckpointWriter, load_checkpoint,
                                          spec_fingerprint)
@@ -324,6 +348,28 @@ def run_campaign(experiment, *, jobs: int | None = None,
     n_workers = resolve_jobs(jobs)
     name = getattr(experiment, "name", type(experiment).__name__)
     wall_start = time.perf_counter()
+
+    with SPANS.span(f"campaign:{name}", jobs=n_workers,
+                    job_count=len(specs)):
+        trace_ctx = SPANS.context()
+        if trace_ctx is not None:
+            specs = [replace(spec, trace=trace_ctx) for spec in specs]
+        return _run_campaign(
+            experiment, specs, n_workers=n_workers, name=name,
+            wall_start=wall_start, timeout_s=timeout_s, retries=retries,
+            config=config, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, resume=resume,
+            supervision=supervision, on_job_done=on_job_done,
+            progress=progress, checkpoint_mod=(CheckpointWriter,
+                                               load_checkpoint,
+                                               spec_fingerprint))
+
+
+def _run_campaign(experiment, specs, *, n_workers, name, wall_start,
+                  timeout_s, retries, config, checkpoint, checkpoint_every,
+                  resume, supervision, on_job_done, progress,
+                  checkpoint_mod) -> CampaignResult:
+    CheckpointWriter, load_checkpoint, spec_fingerprint = checkpoint_mod
 
     slots: list[JobResult | None] = [None] * len(specs)
     resume_info = None
@@ -356,11 +402,16 @@ def run_campaign(experiment, *, jobs: int | None = None,
                 writer.append(specs[index], inherited)
 
     todo = [index for index in range(len(specs)) if slots[index] is None]
+    if progress is not None:
+        progress.begin(campaign=name, total=len(specs),
+                       done=len(specs) - len(todo))
 
     def record(index: int, result: JobResult) -> None:
         slots[index] = result
         if writer is not None:
             writer.append(specs[index], result)
+        if progress is not None:
+            progress.on_job_done(result)
         if on_job_done is not None:
             on_job_done(result)
 
@@ -379,6 +430,8 @@ def run_campaign(experiment, *, jobs: int | None = None,
                 timeout_s=timeout_s, retries=retries,
                 policy=supervision or SupervisionPolicy())
     except KeyboardInterrupt:
+        if progress is not None:
+            progress.end("interrupted")
         if writer is None:
             raise
         writer.flush()
@@ -396,18 +449,21 @@ def run_campaign(experiment, *, jobs: int | None = None,
                 writer.flush()
 
     results: list[JobResult] = slots   # every slot filled now
-    value = experiment.reduce(results)
-    campaign_config = {"experiment": name, "jobs": n_workers,
-                       "job_count": len(specs)}
-    campaign_config.update(getattr(experiment, "campaign_config",
-                                   dict)() or {})
-    campaign_config.update(config or {})
-    manifest = merge_job_manifests(
-        name, campaign_config, results,
-        wall_time_s=time.perf_counter() - wall_start)
+    with SPANS.span("reduce", job_count=len(results)):
+        value = experiment.reduce(results)
+        campaign_config = {"experiment": name, "jobs": n_workers,
+                           "job_count": len(specs)}
+        campaign_config.update(getattr(experiment, "campaign_config",
+                                       dict)() or {})
+        campaign_config.update(config or {})
+        manifest = merge_job_manifests(
+            name, campaign_config, results,
+            wall_time_s=time.perf_counter() - wall_start)
     if resume_info is not None:
         manifest["outcome"]["resume"] = resume_info
     if supervision_stats and any(supervision_stats.values()):
         manifest["outcome"]["supervision"] = supervision_stats
+    if progress is not None:
+        progress.end(manifest["outcome"]["status"])
     return CampaignResult(experiment=name, jobs=n_workers,
                           results=results, value=value, manifest=manifest)

@@ -121,7 +121,8 @@ def manifest_fingerprint(doc: dict) -> dict:
     out.get("config", {}).pop("jobs", None)
     outcome = out.get("outcome", {})
     for execution_detail in ("jobs", "attempts", "attempt_history",
-                             "retried", "resume", "supervision"):
+                             "retried", "resume", "supervision",
+                             "spans", "progress"):
         outcome.pop(execution_detail, None)
     out.get("totals", {}).pop("wall_time_s", None)
     for phase in out.get("phases", ()):

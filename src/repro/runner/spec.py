@@ -23,6 +23,7 @@ from typing import Any, TYPE_CHECKING
 
 if TYPE_CHECKING:   # pragma: no cover
     from ..kernel import MachineSpec
+    from ..telemetry.spans import TraceContext
 
 
 def derive_seed(campaign_seed: int, job_key) -> int:
@@ -47,7 +48,11 @@ class JobSpec:
     reduce step); ``seed`` is the job's derived random seed;
     ``machine`` describes the fresh machine the job boots, if any;
     ``params`` carries experiment-specific scalars as a sorted tuple of
-    pairs (kept hashable so specs stay frozen).
+    pairs (kept hashable so specs stay frozen); ``trace`` is the
+    propagated :class:`~repro.telemetry.TraceContext` when the campaign
+    records spans — an execution detail, excluded from checkpoint
+    fingerprints and manifests so traced and untraced runs stay
+    byte-identical.
     """
 
     experiment: str
@@ -55,6 +60,7 @@ class JobSpec:
     seed: int
     machine: "MachineSpec | None" = None
     params: tuple[tuple[str, Any], ...] = ()
+    trace: "TraceContext | None" = None
 
     @classmethod
     def make(cls, experiment: str, key: tuple, seed: int,

@@ -9,7 +9,14 @@ Three cooperating pieces (see ``docs/observability.md``):
   sinks;
 * :mod:`.manifest` — one JSON document per experiment run: config,
   phase profile, metric/PMC snapshots, outcome.  Summarize or diff
-  manifests with :mod:`.stats` (``repro stats`` on the CLI).
+  manifests with :mod:`.stats` (``repro stats`` on the CLI);
+* :mod:`.spans`   — campaign-wide distributed tracing
+  (``phantom.span/1`` wall-clock spans with cross-process context
+  propagation, stitched into one causally-ordered trace);
+* :mod:`.progress` — live ``phantom.progress/1`` job-completion events
+  plus a ``repro top``-style single-line TTY renderer;
+* :mod:`.exporters` — Chrome trace-event JSON (Perfetto) from span
+  records, OpenMetrics text from metric snapshots.
 
 Everything is behaviour-neutral: telemetry never touches simulated
 cycles or machine state, so enabling it cannot change any result.
@@ -18,14 +25,19 @@ cycles or machine state, so enabling it cannot change any result.
 from __future__ import annotations
 
 from . import metrics as metrics
+from .exporters import to_chrome_trace, to_openmetrics
 from .manifest import MANIFEST_SCHEMA, PhaseProfile, RunManifest, \
     machine_config
 from .merge import merge_metric_snapshots, merge_pmc
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY, \
     counter, gauge, histogram
 from .profiling import profile_block, time_callable
+from .progress import PROGRESS_SCHEMA, ProgressReporter
 from .schema import MANIFEST_JSON_SCHEMA, SchemaError, validate, \
     validate_manifest
+from .spans import SPAN_JSON_SCHEMA, SPAN_SCHEMA, SPANS, Span, \
+    SpanRecorder, StitchedTrace, TraceContext, critical_path, read_spans, \
+    stitch, stitch_to_file, summarize_trace, trace_structure, validate_span
 from .stats import diff_manifests, summarize_manifest
 from .trace import JsonLinesSink, MemorySink, TRACE, TRACE_SCHEMA, \
     TraceCollector, TraceEvent, read_jsonl
@@ -39,15 +51,25 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MemorySink",
     "MetricsRegistry",
+    "PROGRESS_SCHEMA",
     "PhaseProfile",
+    "ProgressReporter",
     "REGISTRY",
     "RunManifest",
+    "SPANS",
+    "SPAN_JSON_SCHEMA",
+    "SPAN_SCHEMA",
     "SchemaError",
+    "Span",
+    "SpanRecorder",
+    "StitchedTrace",
     "TRACE",
     "TRACE_SCHEMA",
     "TraceCollector",
+    "TraceContext",
     "TraceEvent",
     "counter",
+    "critical_path",
     "diff_manifests",
     "enable_metrics",
     "gauge",
@@ -59,10 +81,18 @@ __all__ = [
     "one_line_summary",
     "profile_block",
     "read_jsonl",
+    "read_spans",
+    "stitch",
+    "stitch_to_file",
     "summarize_manifest",
+    "summarize_trace",
     "time_callable",
+    "to_chrome_trace",
+    "to_openmetrics",
+    "trace_structure",
     "validate",
     "validate_manifest",
+    "validate_span",
 ]
 
 

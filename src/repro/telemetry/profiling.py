@@ -18,16 +18,22 @@ from .metrics import REGISTRY
 @contextmanager
 def profile_block(name: str, *, registry=None):
     """Time a block and record the duration; yields a dict that gains
-    an ``elapsed_s`` key on exit (usable even when telemetry is off)."""
+    an ``elapsed_s`` key on exit (usable even when telemetry is off).
+
+    The histogram instrument binds lazily, on the first observation
+    made while the registry is enabled — profiling with telemetry off
+    must leave no ``profile_*`` entry behind in later snapshots.
+    """
     registry = registry if registry is not None else REGISTRY
-    hist = registry.histogram(f"profile_{name}_seconds")
     result: dict = {}
     start = time.perf_counter()
     try:
         yield result
     finally:
         result["elapsed_s"] = time.perf_counter() - start
-        hist.observe(result["elapsed_s"])
+        if registry.enabled:
+            registry.histogram(
+                f"profile_{name}_seconds").observe(result["elapsed_s"])
 
 
 def time_callable(fn, *, repeat: int = 5, number: int = 10_000) -> float:

@@ -3,7 +3,7 @@ test a clean, disabled slate."""
 
 import pytest
 
-from repro.telemetry import REGISTRY, TRACE
+from repro.telemetry import REGISTRY, SPANS, TRACE
 
 
 @pytest.fixture(autouse=True)
@@ -15,3 +15,4 @@ def clean_telemetry():
     REGISTRY.reset()
     REGISTRY.set_base_labels()
     TRACE.close()
+    SPANS.finish()

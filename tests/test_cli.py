@@ -211,6 +211,100 @@ def test_matrix_results_dir_checkpoints_and_resumes(capsys, tmp_path):
     assert doc["outcome"]["resume"]["jobs_rerun"] == 0
 
 
+def test_spans_flag_captures_and_stitches(capsys, tmp_path):
+    from repro.telemetry import read_spans, stitch, validate_span
+
+    spans = tmp_path / "spans"
+    code, out = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "1",
+                    "--spans", str(spans))
+    assert code == 0
+    assert f"spans: {spans / 'trace.jsonl'}" in out
+    assert (spans / "trace.jsonl").exists()
+    records = read_spans(spans)
+    for record in records:
+        validate_span(record)
+    trace = stitch(records)
+    assert trace.problems() == []
+    names = {r["name"] for r in trace.spans}
+    assert "run:matrix" in names and "campaign:matrix" in names
+    assert "measure:decode" in names and "boot" in names
+
+
+def test_spans_structure_identical_at_any_jobs(capsys, tmp_path):
+    from repro.telemetry import read_spans, stitch, trace_structure
+
+    structures = []
+    for jobs in ("1", "2"):
+        spans = tmp_path / f"jobs{jobs}"
+        code, _ = run(capsys, "matrix", "--uarch", "zen 1",
+                      "--jobs", jobs, "--spans", str(spans))
+        assert code == 0
+        structures.append(trace_structure(stitch(read_spans(spans))))
+    assert structures[0] == structures[1]
+
+
+def test_trace_summarize_renders_critical_path(capsys, tmp_path):
+    spans = tmp_path / "spans"
+    run(capsys, "kaslr", "--uarch", "zen3", "--spans", str(spans))
+    code, out = run(capsys, "trace", "summarize", str(spans))
+    assert code == 0
+    assert "critical path:" in out
+    assert "run:kaslr" in out
+    assert "spans by name:" in out
+
+
+def test_trace_summarize_empty_capture_fails(capsys, tmp_path):
+    code = main(["trace", "summarize", str(tmp_path)])
+    assert code == 2
+    assert "no phantom.span/1 records" in capsys.readouterr().err
+
+
+def test_trace_export_perfetto(capsys, tmp_path):
+    import json
+
+    spans = tmp_path / "spans"
+    run(capsys, "kaslr", "--uarch", "zen3", "--spans", str(spans))
+    out_file = tmp_path / "trace.json"
+    code, _ = run(capsys, "trace", "export", str(spans),
+                  "--out", str(out_file))
+    assert code == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["otherData"]["schema"] == "phantom.span/1"
+    assert doc["traceEvents"]
+    assert all(e["ph"] == "X" for e in doc["traceEvents"])
+    assert any(e["name"] == "run:kaslr" for e in doc["traceEvents"])
+
+
+def test_trace_export_openmetrics_from_manifest(capsys, tmp_path):
+    run(capsys, "kaslr", "--uarch", "zen3",
+        "--results-dir", str(tmp_path))
+    (manifest,) = tmp_path.glob("kaslr-2*.json")
+    code, out = run(capsys, "trace", "export", str(manifest),
+                    "--format", "openmetrics")
+    assert code == 0
+    assert "# TYPE phantom_" in out
+    assert "phantom_pmc_" in out
+    assert out.rstrip().endswith("# EOF")
+
+
+def test_progress_flag_streams_events(capsys, tmp_path):
+    import json
+
+    progress = tmp_path / "progress.jsonl"
+    code, _ = run(capsys, "matrix", "--uarch", "zen 1", "--jobs", "1",
+                  "--progress", str(progress))
+    assert code == 0
+    events = [json.loads(line)
+              for line in progress.read_text().splitlines()]
+    assert events[0]["event"] == "campaign_begin"
+    assert events[-1]["event"] == "campaign_end"
+    assert events[-1]["status"] == "success"
+    assert all(e["schema"] == "phantom.progress/1" for e in events)
+    done = [e for e in events if e["event"] == "job_done"]
+    assert len(done) == 22                  # one per matrix cell
+    assert done[-1]["done"] == 22
+
+
 def test_chaos_smoke_recovers_and_matches_clean(capsys, tmp_path):
     code, out = run(capsys, "chaos", "--seed", "0", "--jobs", "2",
                     "--cells", "4", "--watchdog", "1.0", "--hang", "10",
