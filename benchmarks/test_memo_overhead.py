@@ -1,0 +1,98 @@
+"""Microbenchmark: what does the content-addressed store cost, and
+what does a warm campaign save?
+
+The campaign service's dedup claim is only interesting if (a) banking
+results into the :class:`repro.service.ResultStore` costs little next
+to running a job and (b) answering a campaign from the store is much
+cheaper than simulating it.  This benchmark runs the same pure-compute
+campaign bare, memoized-cold (every job simulated and stored),
+memoized-warm (every job answered from the store) and store-lookup
+only, and archives per-job costs in a run manifest for ``repro stats``
+to track across revisions.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.runner import JobSpec, derive_seed, run_campaign
+from repro.service import ResultStore, run_campaign_memoized
+
+from _harness import emit, run_once, scale, telemetry_run
+
+JOBS = scale(200, 2_000)
+
+
+@dataclass(frozen=True)
+class MemoToy:
+    """Minimal campaign: store overhead dominates by construction."""
+
+    name: ClassVar[str] = "memo-bench"
+
+    n: int = JOBS
+
+    def campaign_config(self) -> dict:
+        return {"n": self.n}
+
+    def job_specs(self):
+        return [JobSpec.make(self.name, (i,), derive_seed(11, (i,)),
+                             index=i)
+                for i in range(self.n)]
+
+    def run_one(self, spec, ctx):
+        return spec.param("index") * 5 + spec.seed % 13
+
+    def reduce(self, results):
+        return [r.value for r in results if r.ok]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def test_memo_store_overhead(benchmark, tmp_path):
+    experiment = MemoToy()
+
+    def measure():
+        store = ResultStore(tmp_path / "store")
+        with telemetry_run("bench-memo-overhead", jobs=JOBS) as manifest:
+            bare_s, campaign = _timed(
+                lambda: run_campaign(experiment, jobs=1))
+            cold_s, (_, cold_stats) = _timed(
+                lambda: run_campaign_memoized(experiment, store, jobs=1))
+            warm_s, (_, warm_stats) = _timed(
+                lambda: run_campaign_memoized(experiment, store, jobs=1))
+            lookup_s, found = _timed(
+                lambda: store.lookup(experiment.job_specs()))
+            manifest.finish(
+                "success",
+                bare_us_per_job=bare_s / JOBS * 1e6,
+                cold_us_per_job=cold_s / JOBS * 1e6,
+                warm_us_per_job=warm_s / JOBS * 1e6,
+                lookup_us_per_job=lookup_s / JOBS * 1e6,
+                warm_hit_rate=warm_stats.hit_rate)
+            assert not campaign.failures
+            assert cold_stats.stored == JOBS
+            assert warm_stats.hits == JOBS
+            assert len(found) == JOBS
+        return bare_s, cold_s, warm_s, lookup_s, manifest
+
+    bare_s, cold_s, warm_s, lookup_s, manifest = \
+        run_once(benchmark, measure)
+
+    lines = [f"content-addressed store overhead, {JOBS:,} jobs",
+             f"{'variant':24s} {'us/job':>8s}",
+             f"{'bare campaign':24s} {bare_s / JOBS * 1e6:8.1f}",
+             f"{'memoized cold (store)':24s} {cold_s / JOBS * 1e6:8.1f}",
+             f"{'memoized warm (hits)':24s} {warm_s / JOBS * 1e6:8.1f}",
+             f"{'store lookup only':24s} {lookup_s / JOBS * 1e6:8.1f}"]
+    emit("memo_overhead", lines, manifest=manifest)
+
+    # Banking results must stay cheap (file appends, not simulation),
+    # with a generous CI-noise bound.
+    assert cold_s < bare_s * 6 + 0.5
+    # A warm campaign must not be slower than the cold one by more
+    # than noise — it does strictly less work.
+    assert warm_s < cold_s * 2 + 0.5

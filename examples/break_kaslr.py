@@ -14,7 +14,7 @@ Run:  python examples/break_kaslr.py [seed]
 import sys
 
 from repro.core import break_kernel_image_kaslr
-from repro.kernel import Machine
+from repro.api import Machine
 from repro.pipeline import ZEN3
 
 

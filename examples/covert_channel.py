@@ -13,7 +13,7 @@ Run:  python examples/covert_channel.py
 import random
 
 from repro.core import execute_covert_channel, fetch_covert_channel
-from repro.kernel import Machine
+from repro.api import Machine
 from repro.pipeline import ZEN2, ZEN4
 
 

@@ -12,7 +12,8 @@ Run:  python examples/gadget_hunt.py
 
 from repro.analysis import (GadgetKind, Tracer, generate_corpus,
                             scan_corpus, scan_function)
-from repro.kernel import Machine, SYS_MDS
+from repro.api import Machine
+from repro.kernel import SYS_MDS
 from repro.pipeline import ZEN2
 
 

@@ -17,9 +17,9 @@ Run:  python examples/leak_kernel_memory.py
 
 from repro.core import (break_kernel_image_kaslr, break_physmap_kaslr,
                         find_physical_address, leak_kernel_memory)
-from repro.kernel import Machine
+from repro.api import Machine
 from repro.pipeline import ZEN2
-from repro.telemetry import enable_metrics, one_line_summary
+from repro.api import enable_metrics, one_line_summary
 
 RELOAD_BUFFER_VA = 0x0000_0000_7A00_0000
 LEAK_BYTES = 128

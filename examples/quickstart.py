@@ -12,9 +12,9 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import TrainKind, TypeConfusionExperiment, VictimKind
-from repro.kernel import Machine
+from repro.api import Machine
 from repro.pipeline import ZEN2, ZEN3
-from repro.telemetry import enable_metrics, one_line_summary
+from repro.api import enable_metrics, one_line_summary
 
 
 def show(uarch) -> None:

@@ -1,0 +1,63 @@
+"""The stable public API, in one flat namespace.
+
+Everything a script, notebook or downstream package should need lives
+here, re-exported from the subsystem that implements it::
+
+    from repro.api import Machine, MachineSpec, run_campaign
+
+The internal packages (``repro.core``, ``repro.runner``,
+``repro.kernel``, ...) remain importable — they are where the
+docstrings and the physics live — but their layout is allowed to shift
+between versions; ``repro.api`` is the surface that is not.  The
+examples under ``examples/`` and the code snippets in ``docs/`` import
+through this module for exactly that reason.
+
+The facade groups into four layers:
+
+* **Simulation** — :class:`Machine` (an interactive simulated host),
+  :class:`MachineSpec` (its frozen, picklable description).
+* **Campaigns** — the :class:`Experiment` protocol, :class:`JobSpec`,
+  :func:`run_campaign` and its :class:`CampaignResult`/
+  :class:`CampaignOptions`, :func:`manifest_fingerprint` for comparing
+  runs, :func:`spec_fingerprint` for identifying jobs.
+* **Telemetry** — :class:`RunManifest`, :func:`enable_metrics`,
+  :func:`one_line_summary`.
+* **Service** — the content-addressed :class:`ResultStore`,
+  :func:`run_campaign_memoized`, and the :class:`ServiceClient` for a
+  running ``repro serve``.
+"""
+
+from __future__ import annotations
+
+from .core.experiment import Experiment
+from .kernel import Machine, MachineSpec
+from .resilience import spec_fingerprint
+from .runner import (CampaignOptions, CampaignResult, JobContext,
+                     JobResult, JobSpec, manifest_fingerprint,
+                     run_campaign)
+from .service import ResultStore, ServiceClient, run_campaign_memoized
+from .telemetry import RunManifest, enable_metrics, one_line_summary
+
+__all__ = [
+    # simulation
+    "Machine",
+    "MachineSpec",
+    # campaigns
+    "CampaignOptions",
+    "CampaignResult",
+    "Experiment",
+    "JobContext",
+    "JobResult",
+    "JobSpec",
+    "manifest_fingerprint",
+    "run_campaign",
+    "spec_fingerprint",
+    # telemetry
+    "RunManifest",
+    "enable_metrics",
+    "one_line_summary",
+    # service
+    "ResultStore",
+    "ServiceClient",
+    "run_campaign_memoized",
+]

@@ -16,6 +16,10 @@ Commands
   ``summarize`` / ``export`` subcommands inspect a ``--spans`` capture
   (critical path, Perfetto JSON, OpenMetrics)
 * ``fuzz``      — differential fuzz the dual-engine simulator
+* ``serve``     — the campaign service: HTTP submissions, per-tenant
+  quotas, content-addressed result memoization (``--selftest`` replays
+  a load fleet against a private instance; see ``docs/service.md``)
+* ``submit``    — send one campaign to a running ``repro serve``
 * ``chaos``     — fault-injection smoke: recover, resume, diff clean
 * ``stats``     — summarize one run manifest, or diff two
 * ``bench``     — simulator throughput: fast path vs naive interpreter
@@ -50,6 +54,7 @@ import sys
 from pathlib import Path
 
 from .pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
+from .runner import CampaignOptions
 from .telemetry import (JsonLinesSink, ProgressReporter, REGISTRY,
                         RunManifest, SPANS, TRACE, diff_manifests,
                         stitch_to_file, summarize_manifest)
@@ -60,57 +65,6 @@ def _add_uarch(parser, default="zen 2", choices_amd_only=False):
                         help="microarchitecture name (e.g. 'zen 3')")
     parser.add_argument("--seed", type=int, default=0,
                         help="KASLR/RNG seed (a 'reboot')")
-
-
-def _add_jobs(parser):
-    parser.add_argument("--jobs", type=int, default=0,
-                        help="worker processes for the campaign "
-                             "(default 0 = one per available CPU; "
-                             "results are identical at any value)")
-
-
-def _add_resilience(parser):
-    parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
-                        help="resume from a checkpoint journal: jobs "
-                             "already recorded there are skipped, and "
-                             "the merged manifest is identical to an "
-                             "uninterrupted run")
-    parser.add_argument("--checkpoint-every", type=int, default=1,
-                        metavar="N",
-                        help="flush the checkpoint journal every N "
-                             "completed jobs (default 1 = each job "
-                             "durably, as it finishes)")
-
-
-def _campaign_kwargs(args, command: str, run=None) -> dict:
-    """Checkpoint/resume plumbing shared by the campaign commands.
-
-    With ``--results-dir`` the run journals to
-    ``DIR/<command>-checkpoint.jsonl`` (re-journaling any ``--resume``
-    inheritance so the new journal is self-contained); ``--resume``
-    without a results dir keeps appending to the resume journal
-    itself.  Multi-campaign commands (``physmap``, ``leak``) share one
-    journal — spec fingerprints keep their records apart.  When *run*
-    (the :class:`_Run` harness) carries a progress reporter it is
-    threaded through to the campaign's completion stream.
-    """
-    kwargs: dict = {}
-    resume = getattr(args, "resume", None)
-    results_dir = getattr(args, "results_dir", None)
-    if results_dir:
-        checkpoint = Path(results_dir) / f"{command}-checkpoint.jsonl"
-    elif resume:
-        checkpoint = resume
-    else:
-        checkpoint = None
-    if checkpoint is not None:
-        kwargs["checkpoint"] = checkpoint
-        kwargs["checkpoint_every"] = getattr(args, "checkpoint_every", 1)
-    if resume:
-        kwargs["resume"] = resume
-    if run is not None and run.progress is not None:
-        kwargs["progress"] = run.progress
-    return kwargs
 
 
 def _add_telemetry(parser):
@@ -177,6 +131,7 @@ class _Run:
         self.command = command
         self.machine = machine
         self.extra_config = extra_config
+        self.options = CampaignOptions.from_args(args)
         self.json_only = bool(getattr(args, "json", False))
         self._sink = None
         self._absorbed: list[dict] = []
@@ -208,6 +163,15 @@ class _Run:
 
     def phase(self, name: str):
         return self.manifest.phase(name, machine=self.machine)
+
+    def campaign_kwargs(self, command: str | None = None) -> dict:
+        """This run's :class:`~repro.runner.CampaignOptions`, rendered
+        into ``run_campaign`` keywords (checkpoint journal under
+        ``--results-dir``, resume source, the live progress reporter).
+        Multi-campaign commands pass one dict to every campaign — spec
+        fingerprints keep their journal records apart."""
+        return self.options.campaign_kwargs(command or self.command,
+                                            progress=self.progress)
 
     def text(self, line: str = "") -> None:
         if not self.json_only:
@@ -286,7 +250,7 @@ def cmd_matrix(args) -> int:
         with run.phase("matrix"):
             campaign = run_campaign(
                 MatrixExperiment(uarches=tuple(u.name for u in uarches)),
-                jobs=args.jobs, **_campaign_kwargs(args, "matrix", run))
+                jobs=args.jobs, **run.campaign_kwargs())
         run.absorb(campaign)
         results = campaign.raise_on_failure().value
         reach: dict[str, int] = {}
@@ -308,7 +272,7 @@ def cmd_kaslr(args) -> int:
         with run.phase("break-image-kaslr"):
             campaign = run_campaign(KaslrImageExperiment(machine=spec),
                                     jobs=args.jobs,
-                                    **_campaign_kwargs(args, "kaslr", run))
+                                    **run.campaign_kwargs())
         run.absorb(campaign)
         result = campaign.raise_on_failure().value
         kaslr = Kaslr.randomize(args.seed)
@@ -330,7 +294,7 @@ def cmd_physmap(args) -> int:
 
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed)
     with _Run(args, "physmap", **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "physmap", run)
+        resilience = run.campaign_kwargs()
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
                 KaslrImageExperiment(machine=spec), jobs=args.jobs,
@@ -367,7 +331,7 @@ def cmd_leak(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        phys_mem=1 << 30)
     with _Run(args, "leak", n_bytes=args.bytes, **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "leak", run)
+        resilience = run.campaign_kwargs()
         with run.phase("break-image-kaslr"):
             image_campaign = run_campaign(
                 KaslrImageExperiment(machine=spec), jobs=args.jobs,
@@ -419,7 +383,7 @@ def cmd_covert(args) -> int:
     spec = MachineSpec(uarch=args.uarch, kaslr_seed=args.seed,
                        sibling_load=True)
     with _Run(args, "covert", n_bits=args.bits, **spec.describe()) as run:
-        resilience = _campaign_kwargs(args, "covert", run)
+        resilience = run.campaign_kwargs()
         outcome = {"jobs": None}
         with run.phase("fetch-channel"):
             campaign = run_campaign(
@@ -604,7 +568,7 @@ def cmd_fuzz(args) -> int:
                     FuzzExperiment(seed=args.seed, count=args.iters,
                                    shape=args.shape, uarches=uarches,
                                    invariants=invariants),
-                    jobs=args.jobs, **_campaign_kwargs(args, "fuzz", run))
+                    jobs=args.jobs, **run.campaign_kwargs())
             run.absorb(campaign)
             outcome = campaign.raise_on_failure().value
             checked = outcome["programs"]
@@ -758,6 +722,116 @@ def cmd_chaos(args) -> int:
             shutil.rmtree(scratch, ignore_errors=True)
 
 
+def cmd_serve(args) -> int:
+    """Run the campaign service (see ``docs/service.md``).
+
+    ``--selftest`` boots a private service instead, replays a fleet of
+    overlapping campaigns against it and reports the dedup/quota
+    verdict — the CI ``service-smoke`` gate in one flag.
+    """
+    import asyncio
+    import json
+
+    from .service import (ReplayPlan, ServiceConfig, TenantPolicy,
+                          run_loadtest, serve)
+
+    policy = TenantPolicy(rate_per_s=args.rate, burst=args.burst,
+                          max_jobs_per_campaign=args.max_jobs_per_campaign,
+                          max_active_campaigns=args.max_active_campaigns)
+    if args.selftest:
+        plan = ReplayPlan(distinct=args.selftest_distinct,
+                          replays=args.selftest_replays)
+        report = run_loadtest(args.store_dir, plan, jobs=args.jobs)
+        doc = report.to_dict()
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"cold:   {doc['cold']['campaigns']} campaigns, "
+                  f"{doc['cold']['jobs']} jobs "
+                  f"({doc['cold']['hits']} already deduped)")
+            print(f"replay: {doc['replay']['campaigns']} campaigns, "
+                  f"{doc['replay']['jobs']} jobs, hit rate "
+                  f"{doc['replay']['hit_rate'] * 100:.1f}% "
+                  f"({doc['replay']['mismatched_fingerprints']} "
+                  f"fingerprint mismatches)")
+            print(f"storm:  {doc['storm']['rate_limited']} rate-limited, "
+                  f"{doc['storm']['quota_rejected']} quota-rejected, "
+                  f"{doc['storm']['untyped']} untyped failures")
+            print(f"store:  {doc['store']['entries']} entries after "
+                  f"{doc['wall_time_s']}s")
+            print(f"selftest: {'OK' if doc['ok'] else 'FAILED'}")
+        return 0 if doc["ok"] else 1
+
+    config = ServiceConfig(host=args.host, port=args.port,
+                           store_dir=args.store_dir, jobs=args.jobs,
+                           store_max_entries=args.store_max_entries,
+                           max_queue=args.max_queue, policy=policy)
+
+    def _on_ready(host, port, _service):
+        print(f"serving on http://{host}:{port} "
+              f"(store: {config.store_dir})", flush=True)
+
+    try:
+        asyncio.run(serve(config, on_ready=_on_ready))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one campaign to a running ``repro serve``."""
+    import json
+
+    from .service import (JOB_REQUEST_SCHEMA, ServiceClient, ServiceError)
+
+    params: dict = {}
+    for item in args.param or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            print(f"submit: --param wants KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw      # bare strings stay strings
+    options = CampaignOptions.from_args(args).for_service()
+    doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": args.tenant,
+           "experiment": args.experiment}
+    if params:
+        doc["params"] = params
+    if options.to_dict():
+        doc["options"] = options.to_dict()
+
+    client = ServiceClient(args.url)
+    try:
+        status = client.submit(doc, wait=not args.no_wait)
+        if args.follow and not args.no_wait:
+            # the campaign is finished; replay its event stream
+            for event in client.events(status["id"]):
+                print(json.dumps(event, sort_keys=True), file=sys.stderr)
+    except ServiceError as exc:
+        print(f"submit: {exc.code}: {exc}", file=sys.stderr)
+        if getattr(exc, "retry_after_s", 0):
+            print(f"submit: retry in {exc.retry_after_s:.3f}s",
+                  file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0 if status["state"] in ("done", "queued") else 1
+    print(f"campaign {status['id']}: {status['state']} "
+          f"({status['job_count']} jobs)")
+    memo = status.get("memo")
+    if memo:
+        print(f"memo: {memo['hits']}/{memo['jobs']} jobs from the store "
+              f"(hit rate {memo['hit_rate'] * 100:.1f}%)")
+    error = status.get("error")
+    if error:
+        print(f"error: {error.get('error')}: {error.get('message')}",
+              file=sys.stderr)
+    return 0 if status["state"] in ("done", "queued") else 1
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -838,38 +912,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("matrix", help="Table 1 speculation matrix")
     p.add_argument("--uarch", default="amd",
                    help="'all', 'amd', or one name")
-    _add_jobs(p)
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser("kaslr", help="break kernel-image KASLR (§7.1)")
     _add_uarch(p, default="zen 3")
-    _add_jobs(p)
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_kaslr)
 
     p = sub.add_parser("physmap", help="break physmap KASLR (§7.2)")
     _add_uarch(p, default="zen 2")
-    _add_jobs(p)
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_physmap)
 
     p = sub.add_parser("leak", help="full §7 chain: leak kernel memory")
     _add_uarch(p, default="zen 2")
     p.add_argument("--bytes", type=int, default=128)
-    _add_jobs(p)
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_leak)
 
     p = sub.add_parser("covert", help="covert-channel capacity (§6.4)")
     _add_uarch(p, default="zen 4")
     p.add_argument("--bits", type=int, default=1024)
-    _add_jobs(p)
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_covert)
 
@@ -933,9 +1002,6 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME",
                    help="µarch to include in the oracle matrix "
                         "(repeatable; default: zen2 and zen3)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (default 1; results are "
-                        "identical at any value)")
     p.add_argument("--artifact-dir", default="fuzz-artifacts",
                    metavar="DIR",
                    help="where minimized counterexamples are written")
@@ -943,7 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine differential only, skip invariant checks")
     p.add_argument("--no-shrink", action="store_true",
                    help="write counterexamples without minimizing them")
-    _add_resilience(p)
+    CampaignOptions.add_arguments(p, jobs_default=1)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_fuzz)
 
@@ -983,6 +1049,77 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream phantom.progress/1 events to FILE "
                         "('-' = stdout, a number = an inherited fd)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("serve",
+                       help="run the campaign service (HTTP + "
+                            "content-addressed result memoization)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="listen port (default 8321; 0 = ephemeral)")
+    p.add_argument("--store-dir", default="service-store", metavar="DIR",
+                   help="content-addressed result store root "
+                        "(default ./service-store)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="default worker processes per campaign when a "
+                        "request does not name its own (default 1)")
+    p.add_argument("--store-max-entries", type=int, default=0,
+                   metavar="N",
+                   help="evict oldest results beyond N entries "
+                        "(default 0 = unbounded)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                   help="queued-campaign backlog limit (default 256)")
+    p.add_argument("--rate", type=float, default=20.0, metavar="PER_S",
+                   help="per-tenant submission rate (default 20/s)")
+    p.add_argument("--burst", type=int, default=40,
+                   help="per-tenant burst depth (default 40)")
+    p.add_argument("--max-active-campaigns", type=int, default=8,
+                   metavar="N",
+                   help="per-tenant concurrent campaigns (default 8)")
+    p.add_argument("--max-jobs-per-campaign", type=int, default=4096,
+                   metavar="N",
+                   help="per-campaign job ceiling (default 4096)")
+    p.add_argument("--selftest", action="store_true",
+                   help="boot a private service, replay overlapping "
+                        "campaigns against it, report the dedup and "
+                        "quota verdict, exit 0/1")
+    p.add_argument("--selftest-distinct", type=int, default=6,
+                   metavar="N", help=argparse.SUPPRESS)
+    p.add_argument("--selftest-replays", type=int, default=120,
+                   metavar="N", help=argparse.SUPPRESS)
+    p.add_argument("--json", action="store_true",
+                   help="with --selftest: print the "
+                        "phantom.load-replay/1 report as JSON")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one campaign to a running "
+                            "'repro serve'")
+    p.add_argument("experiment",
+                   help="experiment name (matrix, kaslr, covert, fuzz)")
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="service base URL (default "
+                        "http://127.0.0.1:8321)")
+    p.add_argument("--tenant", default=os.environ.get("USER") or "cli",
+                   help="tenant name for quota accounting "
+                        "(default: $USER)")
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   default=None,
+                   help="experiment parameter (repeatable; VALUE is "
+                        "parsed as JSON, else kept as a string — e.g. "
+                        "--param cells=4 --param 'uarches=[\"zen 2\"]')")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes the service should use for "
+                        "this campaign (default 0 = service default)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return after the 202 instead of waiting for "
+                        "the campaign to finish")
+    p.add_argument("--follow", action="store_true",
+                   help="after completion, replay the campaign's "
+                        "phantom.progress/1 events to stderr")
+    p.add_argument("--json", action="store_true",
+                   help="print the final phantom.campaign-status/1 "
+                        "document")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("bench",
                        help="simulator throughput: fast vs naive engine")

@@ -21,15 +21,18 @@ See ``docs/parallel-runner.md``.
 """
 
 from .executor import (CampaignError, CampaignInterrupted, CampaignResult,
-                       JobContext, JobResult, JobTimeout, execute_job,
-                       resolve_jobs, run_campaign)
+                       CheckpointOps, JobContext, JobResult, JobTimeout,
+                       execute_job, resolve_jobs, run_campaign)
+from .options import CampaignOptions
 from .reduce import job_manifest, manifest_fingerprint, merge_job_manifests
 from .spec import JobSpec, derive_seed
 
 __all__ = [
     "CampaignError",
     "CampaignInterrupted",
+    "CampaignOptions",
     "CampaignResult",
+    "CheckpointOps",
     "JobContext",
     "JobResult",
     "JobSpec",

@@ -36,7 +36,7 @@ import time
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ReproError
 from ..telemetry import metrics as _metrics
@@ -67,6 +67,36 @@ class CampaignInterrupted(ReproError):
 
 class JobTimeout(ReproError):
     """A job exceeded its per-job timeout."""
+
+
+@dataclass(frozen=True)
+class CheckpointOps:
+    """The checkpoint primitives the campaign loop needs, as one typed
+    object.
+
+    ``run_campaign`` imports :mod:`repro.resilience.checkpoint` lazily
+    (the resilience package imports the runner, so a module-level
+    import would cycle) and hands the pieces to :func:`_run_campaign`.
+    They used to travel as a positional 3-tuple unpacked by order — a
+    silent-swap hazard; named fields make any mismatch an
+    ``AttributeError`` at the call site instead.
+    """
+
+    #: :class:`repro.resilience.CheckpointWriter` (class, not instance).
+    writer_cls: type
+    #: ``load_checkpoint(path) -> {fingerprint: CheckpointRecord}``.
+    load: Callable[..., Mapping]
+    #: ``spec_fingerprint(spec) -> str``.
+    fingerprint: Callable[[JobSpec], str]
+
+    @classmethod
+    def default(cls) -> "CheckpointOps":
+        from ..resilience.checkpoint import (CheckpointWriter,
+                                             load_checkpoint,
+                                             spec_fingerprint)
+
+        return cls(writer_cls=CheckpointWriter, load=load_checkpoint,
+                   fingerprint=spec_fingerprint)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -324,7 +354,10 @@ def run_campaign(experiment, *, jobs: int | None = None,
       :class:`CampaignInterrupted` with the journal flushed.
     * ``resume`` — a checkpoint path whose journaled jobs are skipped;
       their recorded results merge into the manifest exactly as if
-      they had just run.
+      they had just run.  An in-memory mapping of
+      ``{spec_fingerprint: CheckpointRecord}`` is accepted in place of
+      a path — the campaign service's content-addressed result store
+      answers cache hits through exactly this seam.
     * ``supervision`` — a :class:`repro.resilience.SupervisionPolicy`
       for the pooled path (pool respawn, requeue, watchdog, backoff);
       the default policy applies when omitted.
@@ -341,9 +374,6 @@ def run_campaign(experiment, *, jobs: int | None = None,
     observational: manifests and results are byte-identical with them
     on or off.
     """
-    from ..resilience.checkpoint import (CheckpointWriter, load_checkpoint,
-                                         spec_fingerprint)
-
     specs: Sequence[JobSpec] = list(experiment.job_specs())
     n_workers = resolve_jobs(jobs)
     name = getattr(experiment, "name", type(experiment).__name__)
@@ -360,41 +390,40 @@ def run_campaign(experiment, *, jobs: int | None = None,
             config=config, checkpoint=checkpoint,
             checkpoint_every=checkpoint_every, resume=resume,
             supervision=supervision, on_job_done=on_job_done,
-            progress=progress, checkpoint_mod=(CheckpointWriter,
-                                               load_checkpoint,
-                                               spec_fingerprint))
+            progress=progress, checkpoint_ops=CheckpointOps.default())
 
 
 def _run_campaign(experiment, specs, *, n_workers, name, wall_start,
                   timeout_s, retries, config, checkpoint, checkpoint_every,
                   resume, supervision, on_job_done, progress,
-                  checkpoint_mod) -> CampaignResult:
-    CheckpointWriter, load_checkpoint, spec_fingerprint = checkpoint_mod
-
+                  checkpoint_ops: CheckpointOps) -> CampaignResult:
     slots: list[JobResult | None] = [None] * len(specs)
     resume_info = None
+    resumed_from_records = isinstance(resume, Mapping)
     if resume is not None:
-        journal = load_checkpoint(resume)
+        journal = resume if resumed_from_records \
+            else checkpoint_ops.load(resume)
         hits = 0
         for index, spec in enumerate(specs):
-            record = journal.get(spec_fingerprint(spec))
+            record = journal.get(checkpoint_ops.fingerprint(spec))
             if record is not None:
                 slots[index] = record.to_job_result(spec)
                 hits += 1
         _metrics.REGISTRY.counter("resilience.jobs_resumed").inc(hits)
-        resume_info = {"from": str(resume), "jobs_skipped": hits,
+        source = "<records>" if resumed_from_records else str(resume)
+        resume_info = {"from": source, "jobs_skipped": hits,
                        "jobs_rerun": len(specs) - hits}
 
     owns_writer = False
-    if isinstance(checkpoint, CheckpointWriter):
+    if isinstance(checkpoint, checkpoint_ops.writer_cls):
         writer = checkpoint
     elif checkpoint is not None:
-        writer = CheckpointWriter(checkpoint, every=checkpoint_every)
+        writer = checkpoint_ops.writer_cls(checkpoint, every=checkpoint_every)
         owns_writer = True
     else:
         writer = None
     if writer is not None and resume is not None \
-            and writer.path != Path(resume):
+            and (resumed_from_records or writer.path != Path(resume)):
         # Journaling to a different file than we resumed from: copy the
         # inherited results over so the new journal is self-contained.
         for index, inherited in enumerate(slots):

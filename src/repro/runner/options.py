@@ -1,0 +1,142 @@
+"""One frozen options record for everything a campaign run shares.
+
+Six CLI subcommands (``matrix``, ``kaslr``, ``physmap``, ``leak``,
+``covert``, ``fuzz``) take the same execution knobs — worker count,
+checkpoint/resume, span capture, progress streaming, result archiving —
+and until this module each re-declared and re-plumbed them by hand.
+:class:`CampaignOptions` is the single source of truth: the CLI builds
+one from parsed arguments, the campaign service deserializes one from a
+``phantom.job-request/1`` document, and both hand it to
+:func:`repro.runner.run_campaign` through :meth:`campaign_kwargs`.
+
+The record is frozen and JSON-round-trippable (:meth:`to_dict` /
+:meth:`from_dict`) so it can ride inside request documents unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Execution options shared by every campaign entry point.
+
+    ``jobs=0`` means one worker per available CPU (the
+    :func:`repro.runner.resolve_jobs` convention); results are
+    identical at any value.  ``resume``/``checkpoint_every`` drive the
+    resilience journal (see ``docs/resilience.md``); ``spans``/
+    ``progress`` the observability layer (``docs/observability.md``);
+    ``results_dir`` both archives the run manifest and hosts the
+    per-command checkpoint journal.
+    """
+
+    jobs: int = 0
+    resume: str | None = None
+    checkpoint_every: int = 1
+    spans: str | None = None
+    progress: str | None = None
+    results_dir: str | None = None
+
+    # -- argparse plumbing -------------------------------------------------
+
+    @staticmethod
+    def add_arguments(parser, *, jobs_default: int = 0) -> None:
+        """Register ``--jobs``/``--resume``/``--checkpoint-every`` on
+        *parser* (the telemetry flags — ``--spans``, ``--progress``,
+        ``--results-dir`` — are registered with the output flags, which
+        non-campaign commands also take).  ``jobs_default`` lets a
+        command keep a serial default (``fuzz`` uses 1) without
+        re-declaring the flag."""
+        default_note = "one per available CPU" if jobs_default == 0 \
+            else "serial"
+        parser.add_argument("--jobs", type=int, default=jobs_default,
+                            help=f"worker processes for the campaign "
+                                 f"(default {jobs_default} = "
+                                 f"{default_note}; results are identical "
+                                 f"at any value)")
+        parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                            help="resume from a checkpoint journal: jobs "
+                                 "already recorded there are skipped, and "
+                                 "the merged manifest is identical to an "
+                                 "uninterrupted run")
+        parser.add_argument("--checkpoint-every", type=int, default=1,
+                            metavar="N",
+                            help="flush the checkpoint journal every N "
+                                 "completed jobs (default 1 = each job "
+                                 "durably, as it finishes)")
+
+    @classmethod
+    def from_args(cls, args) -> "CampaignOptions":
+        """Collect whichever of the six options *args* carries."""
+        values = {}
+        for spec in fields(cls):
+            if hasattr(args, spec.name):
+                values[spec.name] = getattr(args, spec.name)
+        return cls(**values)
+
+    # -- serialization (the service submit path) ----------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict with defaulted fields dropped."""
+        defaults = CampaignOptions()
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)
+                if getattr(self, spec.name) != getattr(defaults, spec.name)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so a
+        typo in a request document fails loudly."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign option(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})")
+        return cls(**doc)
+
+    def for_service(self) -> "CampaignOptions":
+        """The subset a multi-tenant service honours from a client:
+        worker count and flush cadence.  Paths (resume journal, span
+        dir, progress sink, results dir) are server resources a remote
+        tenant must not aim at the server's filesystem."""
+        return replace(self, resume=None, spans=None, progress=None,
+                       results_dir=None)
+
+    # -- run_campaign plumbing ----------------------------------------------
+
+    def checkpoint_path(self, command: str) -> Path | None:
+        """Where this run journals finished jobs, or ``None``.
+
+        With ``results_dir`` the run journals to
+        ``DIR/<command>-checkpoint.jsonl`` (re-journaling any
+        ``resume`` inheritance so the new journal is self-contained);
+        ``resume`` without a results dir keeps appending to the resume
+        journal itself.
+        """
+        if self.results_dir:
+            return Path(self.results_dir) / f"{command}-checkpoint.jsonl"
+        if self.resume:
+            return Path(self.resume)
+        return None
+
+    def campaign_kwargs(self, command: str, *, progress=None) -> dict:
+        """The checkpoint/resume/progress keyword arguments for one
+        :func:`repro.runner.run_campaign` call.  Multi-campaign
+        commands (``physmap``, ``leak``) reuse one kwargs dict — spec
+        fingerprints keep their journal records apart."""
+        kwargs: dict = {}
+        checkpoint = self.checkpoint_path(command)
+        if checkpoint is not None:
+            kwargs["checkpoint"] = checkpoint
+            kwargs["checkpoint_every"] = self.checkpoint_every
+        if self.resume:
+            kwargs["resume"] = self.resume
+        if progress is not None:
+            kwargs["progress"] = progress
+        return kwargs
+
+    def describe(self) -> dict:
+        """Full field dump (manifest/config use — includes defaults)."""
+        return asdict(self)

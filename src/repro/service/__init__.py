@@ -1,0 +1,73 @@
+"""Campaign service: simulation-as-a-service with result memoization.
+
+The batch runner (:mod:`repro.runner`) answers "run this campaign for
+me, here, now".  This package turns it into a long-lived service:
+
+* :mod:`~repro.service.store` — a content-addressed
+  :class:`ResultStore` keyed by job :func:`~repro.resilience.spec_fingerprint`,
+  so identical jobs are simulated once, ever;
+* :mod:`~repro.service.memo` — :func:`run_campaign_memoized`, the
+  store threaded through ``run_campaign``'s resume seam (warm and cold
+  campaigns are :func:`~repro.runner.manifest_fingerprint`-identical);
+* :mod:`~repro.service.quota` — per-tenant token buckets and hard
+  quotas, raising the typed errors in :mod:`~repro.service.errors`;
+* :mod:`~repro.service.protocol` — the ``phantom.job-request/1`` /
+  ``phantom.campaign-status/1`` wire documents;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  asyncio HTTP front (``repro serve``) and the blocking client
+  (``repro submit``), stdlib only;
+* :mod:`~repro.service.loadtest` — the replay harness behind the CI
+  dedup gate.
+
+See ``docs/service.md`` for the architecture and wire formats.
+"""
+
+from .client import ServiceClient
+from .errors import (ERROR_SCHEMA, BadRequest, CampaignFailed, NotFound,
+                     QuotaExceeded, RateLimited, ServiceError,
+                     error_from_doc)
+from .loadtest import (REPLAY_SCHEMA, ReplayPlan, ReplayReport, replay,
+                       run_loadtest)
+from .memo import MemoStats, run_campaign_memoized
+from .protocol import (CAMPAIGN_STATUS_SCHEMA, EXPERIMENTS, HEALTH_SCHEMA,
+                       JOB_REQUEST_SCHEMA, STATS_SCHEMA, JobRequest)
+from .quota import QuotaManager, TenantPolicy, TokenBucket
+from .server import (CampaignRecord, CampaignService, ServiceConfig,
+                     ServiceHandle, serve, start_in_thread)
+from .store import RESULT_ENTRY_SCHEMA, ResultStore
+
+__all__ = [
+    "BadRequest",
+    "CampaignFailed",
+    "CampaignRecord",
+    "CampaignService",
+    "CAMPAIGN_STATUS_SCHEMA",
+    "ERROR_SCHEMA",
+    "EXPERIMENTS",
+    "error_from_doc",
+    "HEALTH_SCHEMA",
+    "JobRequest",
+    "JOB_REQUEST_SCHEMA",
+    "MemoStats",
+    "NotFound",
+    "QuotaExceeded",
+    "QuotaManager",
+    "RateLimited",
+    "ReplayPlan",
+    "ReplayReport",
+    "REPLAY_SCHEMA",
+    "replay",
+    "RESULT_ENTRY_SCHEMA",
+    "ResultStore",
+    "run_campaign_memoized",
+    "run_loadtest",
+    "serve",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "start_in_thread",
+    "STATS_SCHEMA",
+    "TenantPolicy",
+    "TokenBucket",
+]

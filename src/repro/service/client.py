@@ -1,0 +1,123 @@
+"""A small synchronous client for the campaign service.
+
+``repro submit`` and the load-replay harness both talk to the service
+through this class; it is stdlib-only (:mod:`http.client`) and maps
+``phantom.error/1`` responses back into the same typed
+:class:`~repro.service.errors.ServiceError` hierarchy the server
+raised, so ``except RateLimited`` works identically in-process and
+over the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import urlsplit
+
+from .errors import ServiceError, error_from_doc
+from .protocol import JOB_REQUEST_SCHEMA
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, "
+                             f"got {base_url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise ServiceError(
+                f"service returned non-JSON ({response.status}): "
+                f"{raw[:200]!r}", http_status=response.status) from None
+        if response.status >= 400:
+            raise error_from_doc(doc, http_status=response.status)
+        return doc
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, doc: dict, *, wait: bool = False) -> dict:
+        """POST one ``phantom.job-request/1``; returns the campaign
+        status document (final when ``wait=True``)."""
+        path = "/v1/campaigns" + ("?wait=1" if wait else "")
+        return self._request("POST", path, body=doc)
+
+    def submit_request(self, tenant: str, experiment: str,
+                       params: dict | None = None,
+                       options: dict | None = None, *,
+                       wait: bool = False) -> dict:
+        """Convenience wrapper assembling the request document."""
+        doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": tenant,
+               "experiment": experiment}
+        if params:
+            doc["params"] = params
+        if options:
+            doc["options"] = options
+        return self.submit(doc, wait=wait)
+
+    def campaign(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def events(self, campaign_id: str):
+        """Yield ``phantom.progress/1`` documents until the campaign
+        finishes (streams live; replays history for finished ones)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/campaigns/{campaign_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    raise ServiceError(
+                        f"service returned non-JSON "
+                        f"({response.status})") from None
+                raise error_from_doc(doc, http_status=response.status)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()

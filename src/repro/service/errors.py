@@ -1,0 +1,101 @@
+"""Typed service errors with a wire representation.
+
+Every error the campaign service can hand a client is a
+:class:`ServiceError` subclass carrying an HTTP status and a stable
+machine-readable ``code``; :meth:`ServiceError.to_doc` renders the
+``phantom.error/1`` document the HTTP layer returns, and
+:func:`error_from_doc` rebuilds the typed exception client-side so
+callers catch :class:`RateLimited` — not "status 429" — on both ends
+of the wire.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+ERROR_SCHEMA = "phantom.error/1"
+
+
+class ServiceError(ReproError):
+    """Base class for every error the campaign service reports."""
+
+    code = "service_error"
+    http_status = 500
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message)
+        self.details = details
+
+    def to_doc(self) -> dict:
+        doc = {"schema": ERROR_SCHEMA, "error": self.code,
+               "message": str(self)}
+        if self.details:
+            doc["details"] = dict(self.details)
+        return doc
+
+
+class BadRequest(ServiceError):
+    """The submitted document is not a valid ``phantom.job-request/1``."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+class NotFound(ServiceError):
+    """No campaign (or route) with that identity."""
+
+    code = "not_found"
+    http_status = 404
+
+
+class RateLimited(ServiceError):
+    """The tenant's token bucket is empty; retry after a delay."""
+
+    code = "rate_limited"
+    http_status = 429
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0,
+                 **details) -> None:
+        super().__init__(message, retry_after_s=round(retry_after_s, 6),
+                         **details)
+        self.retry_after_s = retry_after_s
+
+
+class QuotaExceeded(ServiceError):
+    """The tenant is over a hard quota (jobs or active campaigns)."""
+
+    code = "quota_exceeded"
+    http_status = 403
+
+
+class CampaignFailed(ServiceError):
+    """A waited-on campaign finished with a failure outcome."""
+
+    code = "campaign_failed"
+    http_status = 500
+
+
+_BY_CODE = {cls.code: cls for cls in
+            (ServiceError, BadRequest, NotFound, RateLimited,
+             QuotaExceeded, CampaignFailed)}
+
+
+def error_from_doc(doc: dict, *, http_status: int | None = None
+                   ) -> ServiceError:
+    """``phantom.error/1`` document → the matching typed exception.
+
+    Unknown codes degrade to the :class:`ServiceError` base (a newer
+    server than client must still raise *something* typed).
+    """
+    code = doc.get("error", "service_error")
+    message = doc.get("message", code)
+    details = dict(doc.get("details", ()))
+    cls = _BY_CODE.get(code, ServiceError)
+    if cls is RateLimited:
+        retry = details.pop("retry_after_s", 0.0)
+        exc = cls(message, retry_after_s=retry, **details)
+    else:
+        exc = cls(message, **details)
+    if http_status is not None:
+        exc.details.setdefault("http_status", http_status)
+    return exc

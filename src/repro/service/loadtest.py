@@ -1,0 +1,234 @@
+"""Load replay: hammer a service with overlapping campaigns.
+
+The dedup claim behind the campaign service — "hundreds of overlapping
+campaigns, almost all answered from the store" — is a systems property,
+not a unit one, so it gets a harness: :func:`run_loadtest` boots a
+service, replays a fleet of campaigns whose job sets overlap (the
+matrix experiment's cell-prefix structure gives natural overlap), and
+measures
+
+* the **replay hit rate** — fraction of replayed jobs served from the
+  content-addressed store (the acceptance bar is ≥ 0.95);
+* **fingerprint consistency** — every warm campaign's
+  :func:`~repro.runner.manifest_fingerprint` must equal its cold
+  original's, or memoization changed results and is disqualified;
+* **typed rejection** — a deliberately throttled tenant storms the
+  service and must collect :class:`~repro.service.errors.RateLimited`
+  / :class:`~repro.service.errors.QuotaExceeded`, never untyped
+  failures or accepted work beyond its quota.
+
+``repro serve --selftest`` and the CI ``service-smoke`` job both call
+this module; tests call it with a small fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..runner import manifest_fingerprint
+from .client import ServiceClient
+from .errors import QuotaExceeded, RateLimited, ServiceError
+from .protocol import JOB_REQUEST_SCHEMA
+from .quota import TenantPolicy
+from .server import ServiceConfig, start_in_thread
+
+REPLAY_SCHEMA = "phantom.load-replay/1"
+
+# The throttled tenant the storm phase plays: one active campaign,
+# a near-empty bucket.  Everything it does beyond the first submit
+# must bounce with a typed error.
+STORM_TENANT = "storm"
+STORM_POLICY = TenantPolicy(rate_per_s=0.5, burst=1,
+                            max_active_campaigns=1,
+                            max_jobs_per_campaign=64)
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Shape of one load replay."""
+
+    distinct: int = 6        # distinct campaign shapes (overlapping cells)
+    replays: int = 120       # warm submissions cycling the shapes
+    tenants: tuple = ("alice", "bob", "carol")
+    storm_attempts: int = 25
+    jobs: int = 1            # workers per campaign
+    min_hit_rate: float = 0.95
+
+    def request_doc(self, index: int, tenant: str) -> dict:
+        """The *index*-th campaign shape, as a request document.
+
+        ``cells=index+1`` slices a prefix of the asymmetric combo
+        matrix, so shape *k* contains every job of shape *k-1* — the
+        overlap that makes even the cold phase partially dedup.
+        """
+        return {"schema": JOB_REQUEST_SCHEMA, "tenant": tenant,
+                "experiment": "matrix",
+                "params": {"uarches": ["zen 2"],
+                           "cells": (index % self.distinct) + 1,
+                           "seed": 0},
+                "options": {"jobs": self.jobs}}
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay measured; ``ok`` is the verdict."""
+
+    plan: ReplayPlan
+    cold_campaigns: int = 0
+    cold_jobs: int = 0
+    cold_hits: int = 0
+    replay_campaigns: int = 0
+    replay_jobs: int = 0
+    replay_hits: int = 0
+    mismatched_fingerprints: int = 0
+    storm_accepted: int = 0
+    storm_rate_limited: int = 0
+    storm_quota_rejected: int = 0
+    storm_untyped: int = 0
+    wall_time_s: float = 0.0
+    store_stats: dict = field(default_factory=dict)
+
+    @property
+    def replay_hit_rate(self) -> float:
+        return (self.replay_hits / self.replay_jobs) \
+            if self.replay_jobs else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.replay_campaigns == self.plan.replays
+                and self.replay_hit_rate >= self.plan.min_hit_rate
+                and self.mismatched_fingerprints == 0
+                and self.storm_untyped == 0
+                and (self.storm_rate_limited
+                     + self.storm_quota_rejected) > 0)
+
+    def to_dict(self) -> dict:
+        return {"schema": REPLAY_SCHEMA, "ok": self.ok,
+                "plan": {"distinct": self.plan.distinct,
+                         "replays": self.plan.replays,
+                         "min_hit_rate": self.plan.min_hit_rate},
+                "cold": {"campaigns": self.cold_campaigns,
+                         "jobs": self.cold_jobs,
+                         "hits": self.cold_hits},
+                "replay": {"campaigns": self.replay_campaigns,
+                           "jobs": self.replay_jobs,
+                           "hits": self.replay_hits,
+                           "hit_rate": round(self.replay_hit_rate, 6),
+                           "mismatched_fingerprints":
+                               self.mismatched_fingerprints},
+                "storm": {"accepted": self.storm_accepted,
+                          "rate_limited": self.storm_rate_limited,
+                          "quota_rejected": self.storm_quota_rejected,
+                          "untyped": self.storm_untyped},
+                "wall_time_s": round(self.wall_time_s, 3),
+                "store": dict(self.store_stats)}
+
+
+def _fingerprint_digest(manifest: dict) -> str:
+    blob = json.dumps(manifest_fingerprint(manifest), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _wait_done(client: ServiceClient, campaign_id: str,
+               timeout: float = 300.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        status = client.campaign(campaign_id)
+        if status["state"] in ("done", "failed"):
+            return status
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"campaign {campaign_id} still {status['state']} "
+                f"after {timeout}s")
+        time.sleep(0.02)
+
+
+def replay(url: str, plan: ReplayPlan | None = None) -> ReplayReport:
+    """Run the three replay phases against a service at *url*.
+
+    The service should give the plan's tenants headroom (the storm
+    phase brings its own throttled tenant policy — see
+    :data:`STORM_POLICY`, wired in by :func:`run_loadtest`).
+    """
+    plan = plan or ReplayPlan()
+    client = ServiceClient(url)
+    report = ReplayReport(plan=plan)
+    started = time.monotonic()
+
+    # Phase 1 — cold: establish every distinct shape and its
+    # fingerprint.  Sequential on purpose: the digests are the oracle
+    # the replay phase checks against.
+    cold_digest: dict[int, str] = {}
+    for index in range(plan.distinct):
+        tenant = plan.tenants[index % len(plan.tenants)]
+        status = client.submit(plan.request_doc(index, tenant), wait=True)
+        if status["state"] != "done":
+            raise ServiceError(f"cold campaign {index} failed: "
+                               f"{status.get('error')}")
+        report.cold_campaigns += 1
+        report.cold_jobs += status["memo"]["jobs"]
+        report.cold_hits += status["memo"]["hits"]
+        cold_digest[index % plan.distinct] = \
+            _fingerprint_digest(status["manifest"])
+
+    # Phase 2 — replay: flood the queue with warm submissions (async
+    # 202s, so submissions overlap execution), then collect.
+    pending: list[tuple[int, str]] = []
+    for index in range(plan.replays):
+        tenant = plan.tenants[index % len(plan.tenants)]
+        status = client.submit(plan.request_doc(index, tenant))
+        pending.append((index % plan.distinct, status["id"]))
+    for shape, campaign_id in pending:
+        status = _wait_done(client, campaign_id)
+        if status["state"] != "done":
+            raise ServiceError(f"replay campaign {campaign_id} failed: "
+                               f"{status.get('error')}")
+        report.replay_campaigns += 1
+        report.replay_jobs += status["memo"]["jobs"]
+        report.replay_hits += status["memo"]["hits"]
+        if _fingerprint_digest(status["manifest"]) != cold_digest[shape]:
+            report.mismatched_fingerprints += 1
+
+    # Phase 3 — storm: the throttled tenant hammers the service and
+    # must be turned away with *typed* errors.
+    storm_ids = []
+    for index in range(plan.storm_attempts):
+        try:
+            status = client.submit(plan.request_doc(index, STORM_TENANT))
+        except RateLimited:
+            report.storm_rate_limited += 1
+        except QuotaExceeded:
+            report.storm_quota_rejected += 1
+        except ServiceError:
+            report.storm_untyped += 1
+        else:
+            report.storm_accepted += 1
+            storm_ids.append(status["id"])
+    for campaign_id in storm_ids:
+        _wait_done(client, campaign_id)
+
+    report.wall_time_s = time.monotonic() - started
+    report.store_stats = client.stats()["store"]
+    return report
+
+
+def run_loadtest(store_dir, plan: ReplayPlan | None = None,
+                 *, jobs: int = 1) -> ReplayReport:
+    """Boot a service configured for replay, run it, tear it down."""
+    plan = plan or ReplayPlan()
+    config = ServiceConfig(
+        port=0, store_dir=str(store_dir), jobs=jobs,
+        max_queue=max(64, plan.replays + plan.distinct + 8),
+        # Replay tenants get headroom — the point is measuring dedup,
+        # not tripping the limiter; the storm tenant gets STORM_POLICY.
+        policy=TenantPolicy(rate_per_s=1000.0, burst=2000,
+                            max_active_campaigns=10_000),
+        overrides=((STORM_TENANT, STORM_POLICY),))
+    handle = start_in_thread(config)
+    try:
+        return replay(handle.url, plan)
+    finally:
+        handle.stop()

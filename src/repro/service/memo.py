@@ -1,0 +1,84 @@
+"""Memoized campaign execution: answer cached jobs from the store.
+
+:func:`run_campaign_memoized` is :func:`repro.runner.run_campaign`
+with a content-addressed :class:`~repro.service.ResultStore` in front
+of it: every job whose fingerprint is already stored is *resumed* from
+the stored record (the same seam checkpoint resume uses, so the
+reducer and manifest merge treat it exactly like a fresh run), every
+miss simulates and is stored as it completes.  A fully-warm campaign
+therefore does zero simulated work and still yields a campaign
+manifest whose :func:`~repro.runner.manifest_fingerprint` equals the
+cold run's — the property the service-level dedup rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resilience.checkpoint import spec_fingerprint
+from ..runner import CampaignResult, run_campaign
+from ..telemetry.spans import SPANS
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """How one memoized campaign split between cache and simulation."""
+
+    jobs: int
+    hits: int
+    stored: int
+
+    @property
+    def misses(self) -> int:
+        return self.jobs - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.hits / self.jobs) if self.jobs else 0.0
+
+    def to_dict(self) -> dict:
+        return {"jobs": self.jobs, "hits": self.hits,
+                "misses": self.misses, "stored": self.stored,
+                "hit_rate": round(self.hit_rate, 6)}
+
+
+def run_campaign_memoized(experiment, store: ResultStore, *,
+                          on_job_done=None, **kwargs
+                          ) -> tuple[CampaignResult, MemoStats]:
+    """Run *experiment* answering every known job from *store*.
+
+    Accepts every :func:`~repro.runner.run_campaign` keyword except
+    ``resume`` (the store *is* the resume source here).  Fresh
+    successful results are stored from the campaign's completion
+    stream, so an interrupted campaign still banks its finished jobs.
+    """
+    if "resume" in kwargs:
+        raise TypeError("run_campaign_memoized owns resume=; "
+                        "pre-seed the store instead")
+    specs = list(experiment.job_specs())
+    with SPANS.span("service:memoize",
+                    experiment=getattr(experiment, "name",
+                                       type(experiment).__name__),
+                    job_count=len(specs)) as span:
+        cached = store.lookup(specs)
+        stored = 0
+
+        def _bank(result) -> None:
+            nonlocal stored
+            if spec_fingerprint(result.spec) not in cached:
+                stored += store.put(result.spec, result)
+            if on_job_done is not None:
+                on_job_done(result)
+
+        campaign = run_campaign(experiment, resume=cached or None,
+                                on_job_done=_bank, **kwargs)
+        span.set(hits=len(cached), misses=len(specs) - len(cached),
+                 stored=stored)
+    resume_info = campaign.manifest["outcome"].get("resume")
+    if resume_info is not None:
+        # Name the actual source in the lineage (fingerprint-stripped,
+        # so this stays an execution detail).
+        resume_info["from"] = f"store:{store.root}"
+    stats = MemoStats(jobs=len(specs), hits=len(cached), stored=stored)
+    return campaign, stats

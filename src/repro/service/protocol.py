@@ -1,0 +1,209 @@
+"""The service wire protocol: versioned request and status documents.
+
+Clients submit campaigns as ``phantom.job-request/1`` JSON documents::
+
+    {"schema": "phantom.job-request/1",
+     "tenant": "alice",
+     "experiment": "matrix",
+     "params": {"uarches": ["zen 2"], "cells": 4, "seed": 0},
+     "options": {"jobs": 2}}
+
+``experiment`` names a builder in :data:`EXPERIMENTS` (the same frozen,
+picklable Experiment dataclasses the CLI drives); ``params`` feeds that
+builder and is validated key-by-key so a typo is a
+:class:`~repro.service.errors.BadRequest`, never a silently-defaulted
+campaign; ``options`` deserializes into the shared
+:class:`~repro.runner.CampaignOptions` record (the exact dataclass the
+CLI subcommands build from their flags).
+
+The service answers with ``phantom.campaign-status/1`` documents and
+streams ``phantom.progress/1`` events — both produced by code that
+already exists (:mod:`repro.runner.reduce`,
+:mod:`repro.telemetry.progress`); this module only frames them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..runner.options import CampaignOptions
+from .errors import BadRequest
+
+JOB_REQUEST_SCHEMA = "phantom.job-request/1"
+CAMPAIGN_STATUS_SCHEMA = "phantom.campaign-status/1"
+HEALTH_SCHEMA = "phantom.service-health/1"
+STATS_SCHEMA = "phantom.service-stats/1"
+
+
+# -- experiment builders ------------------------------------------------------
+#
+# Each builder: params dict -> a picklable Experiment.  Builders
+# validate eagerly and import lazily (a service process that only ever
+# runs matrix campaigns never imports the fuzz generator).
+
+def _take(params: dict, known: dict) -> dict:
+    """Apply *params* over the *known* defaults, rejecting strangers."""
+    unknown = set(params) - set(known)
+    if unknown:
+        raise BadRequest(
+            f"unknown param(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
+    merged = dict(known)
+    merged.update(params)
+    return merged
+
+def _uarch_names(value, *, what: str) -> tuple[str, ...]:
+    from ..pipeline import ALL_MICROARCHES, AMD_MICROARCHES, by_name
+
+    if value == "all":
+        return tuple(u.name for u in ALL_MICROARCHES)
+    if value == "amd":
+        return tuple(u.name for u in AMD_MICROARCHES)
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, (list, tuple)) or not value:
+        raise BadRequest(f"{what} must be a µarch name, a list of "
+                         f"names, 'amd' or 'all'")
+    try:
+        return tuple(by_name(str(name)).name for name in value)
+    except Exception as exc:
+        raise BadRequest(f"{what}: {exc}") from None
+
+
+def _int(params: dict, name: str, *, minimum: int = 0) -> int:
+    value = params[name]
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise BadRequest(f"param {name!r} must be an integer >= {minimum}, "
+                         f"got {value!r}")
+    return value
+
+
+def build_matrix(params: dict):
+    from ..core.matrix import ASYMMETRIC_COMBOS, MatrixExperiment
+
+    merged = _take(params, {"uarches": "amd", "cells": 0, "seed": 0})
+    uarches = _uarch_names(merged["uarches"], what="param 'uarches'")
+    cells = _int(merged, "cells")
+    combos = tuple(ASYMMETRIC_COMBOS[:cells]) if cells else ASYMMETRIC_COMBOS
+    return MatrixExperiment(uarches=uarches, combos=combos,
+                            seed=_int(merged, "seed"))
+
+
+def build_kaslr(params: dict):
+    from ..core import KaslrImageExperiment
+    from ..kernel import MachineSpec
+
+    merged = _take(params, {"uarch": "zen 3", "seed": 0})
+    [uarch] = _uarch_names(merged["uarch"], what="param 'uarch'")
+    return KaslrImageExperiment(
+        machine=MachineSpec(uarch=uarch, kaslr_seed=_int(merged, "seed")))
+
+
+def build_covert(params: dict):
+    from ..core import CovertExperiment
+    from ..kernel import MachineSpec
+
+    merged = _take(params, {"uarch": "zen 4", "seed": 1, "bits": 512,
+                            "channel": "fetch", "kaslr_seed": 0})
+    [uarch] = _uarch_names(merged["uarch"], what="param 'uarch'")
+    if merged["channel"] not in ("fetch", "execute"):
+        raise BadRequest("param 'channel' must be 'fetch' or 'execute'")
+    machine = MachineSpec(uarch=uarch,
+                          kaslr_seed=_int(merged, "kaslr_seed"),
+                          sibling_load=merged["channel"] == "fetch")
+    return CovertExperiment(machine=machine, channel=merged["channel"],
+                            n_bits=_int(merged, "bits", minimum=1),
+                            seed=_int(merged, "seed"))
+
+
+def build_fuzz(params: dict):
+    from ..fuzz import DEFAULT_UARCHES, SHAPES, FuzzExperiment
+
+    merged = _take(params, {"seed": 0, "iters": 50, "shape": None,
+                            "uarches": None, "invariants": True})
+    shape = merged["shape"]
+    if shape is not None and shape not in SHAPES:
+        raise BadRequest(f"param 'shape' must be one of "
+                         f"{', '.join(SHAPES)}")
+    uarches = DEFAULT_UARCHES if merged["uarches"] is None \
+        else _uarch_names(merged["uarches"], what="param 'uarches'")
+    return FuzzExperiment(seed=_int(merged, "seed"),
+                          count=_int(merged, "iters", minimum=1),
+                          shape=shape, uarches=uarches,
+                          invariants=bool(merged["invariants"]))
+
+
+EXPERIMENTS = {
+    "matrix": build_matrix,
+    "kaslr": build_kaslr,
+    "covert": build_covert,
+    "fuzz": build_fuzz,
+}
+
+
+# -- request documents --------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated campaign submission."""
+
+    tenant: str
+    experiment: str
+    params: dict = field(default_factory=dict)
+    options: CampaignOptions = CampaignOptions()
+
+    @classmethod
+    def from_doc(cls, doc) -> "JobRequest":
+        if not isinstance(doc, dict):
+            raise BadRequest("request body must be a JSON object")
+        if doc.get("schema") != JOB_REQUEST_SCHEMA:
+            raise BadRequest(
+                f"expected schema {JOB_REQUEST_SCHEMA!r}, "
+                f"got {doc.get('schema')!r}")
+        tenant = doc.get("tenant")
+        if not isinstance(tenant, str) or not tenant.strip():
+            raise BadRequest("'tenant' must be a non-empty string")
+        experiment = doc.get("experiment")
+        if experiment not in EXPERIMENTS:
+            raise BadRequest(
+                f"unknown experiment {experiment!r} "
+                f"(known: {', '.join(sorted(EXPERIMENTS))})")
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise BadRequest("'params' must be a JSON object")
+        try:
+            options = CampaignOptions.from_dict(doc.get("options", {}))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad 'options': {exc}") from None
+        unknown = set(doc) - {"schema", "tenant", "experiment", "params",
+                              "options"}
+        if unknown:
+            raise BadRequest(
+                f"unknown field(s): {', '.join(sorted(unknown))}")
+        return cls(tenant=tenant.strip(), experiment=experiment,
+                   params=dict(params), options=options)
+
+    def to_doc(self) -> dict:
+        doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": self.tenant,
+               "experiment": self.experiment}
+        if self.params:
+            doc["params"] = dict(self.params)
+        options = self.options.to_dict()
+        if options:
+            doc["options"] = options
+        return doc
+
+    def build(self):
+        """Params → the campaign's Experiment object (validates)."""
+        return EXPERIMENTS[self.experiment](self.params)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the requested *work* — tenant and
+        execution options excluded, exactly like job fingerprints."""
+        blob = json.dumps({"experiment": self.experiment,
+                           "params": self.params},
+                          sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]

@@ -1,0 +1,185 @@
+"""Per-tenant admission control: token-bucket rates and hard quotas.
+
+A multi-tenant service dies the first time one client submits a loop;
+admission control is what lets the campaign service absorb heavy
+traffic without starving everyone else.  Two mechanisms, both typed
+(see :mod:`.errors`) so clients can distinguish "slow down"
+(:class:`RateLimited`, retryable after ``retry_after_s``) from "you
+are over a hard limit" (:class:`QuotaExceeded`, not retryable until
+campaigns finish):
+
+* **Token bucket per tenant** — ``rate_per_s`` submissions refill a
+  bucket of depth ``burst``; an empty bucket rejects with the exact
+  time until the next token.  Deterministic under an injected clock,
+  which is how the tests pin the arithmetic.
+* **Hard quotas** — per-campaign job ceiling, concurrent active
+  campaigns, and a cumulative job budget (``max_total_jobs``, 0 = off)
+  against fleets that stay under the rate but are simply too big.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..telemetry import metrics as _metrics
+from .errors import QuotaExceeded, RateLimited
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant (or the service default)."""
+
+    rate_per_s: float = 20.0
+    burst: int = 40
+    max_jobs_per_campaign: int = 4096
+    max_active_campaigns: int = 8
+    max_total_jobs: int = 0        # cumulative job budget; 0 = unlimited
+
+    def describe(self) -> dict:
+        return {"rate_per_s": self.rate_per_s, "burst": self.burst,
+                "max_jobs_per_campaign": self.max_jobs_per_campaign,
+                "max_active_campaigns": self.max_active_campaigns,
+                "max_total_jobs": self.max_total_jobs}
+
+
+class TokenBucket:
+    """Classic token bucket over an injectable monotonic clock."""
+
+    def __init__(self, rate_per_s: float, burst: int,
+                 clock=time.monotonic) -> None:
+        self.rate = max(1e-9, float(rate_per_s))
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take *n* tokens; returns 0.0 on success, else the seconds
+        until *n* tokens will be available (nothing is taken)."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+@dataclass
+class _TenantState:
+    bucket: TokenBucket
+    policy: TenantPolicy
+    active_campaigns: int = 0
+    total_jobs: int = 0
+    submitted: int = 0
+    rejected: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class QuotaManager:
+    """Admission decisions for every tenant the service has seen.
+
+    ``overrides`` maps tenant name → :class:`TenantPolicy` for tenants
+    with non-default limits (a paying fleet, a throttled abuser); every
+    other tenant gets ``default_policy``.  Thread-safe: ``admit`` runs
+    on the event loop, ``release`` from campaign worker threads.
+    """
+
+    def __init__(self, default_policy: TenantPolicy | None = None,
+                 overrides: dict[str, TenantPolicy] | None = None,
+                 clock=time.monotonic) -> None:
+        self.default_policy = default_policy or TenantPolicy()
+        self.overrides = dict(overrides or {})
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.overrides.get(tenant, self.default_policy)
+
+    def _state(self, tenant: str) -> _TenantState:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                policy = self.policy_for(tenant)
+                state = _TenantState(
+                    bucket=TokenBucket(policy.rate_per_s, policy.burst,
+                                       self._clock),
+                    policy=policy)
+                self._tenants[tenant] = state
+            return state
+
+    def admit(self, tenant: str, n_jobs: int) -> None:
+        """Admit one campaign of *n_jobs* for *tenant* or raise.
+
+        Checks run cheapest-first and only a fully admitted campaign
+        consumes a token or counts against quotas, so a rejection
+        leaves the tenant's state untouched.
+        """
+        state = self._state(tenant)
+        policy = state.policy
+        with state.lock:
+            if n_jobs > policy.max_jobs_per_campaign:
+                self._reject(state, "service.quota_rejected")
+                raise QuotaExceeded(
+                    f"campaign of {n_jobs} jobs exceeds tenant "
+                    f"{tenant!r}'s per-campaign ceiling of "
+                    f"{policy.max_jobs_per_campaign}",
+                    tenant=tenant, jobs=n_jobs,
+                    max_jobs_per_campaign=policy.max_jobs_per_campaign)
+            if state.active_campaigns >= policy.max_active_campaigns:
+                self._reject(state, "service.quota_rejected")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} already has "
+                    f"{state.active_campaigns} active campaigns "
+                    f"(limit {policy.max_active_campaigns})",
+                    tenant=tenant,
+                    max_active_campaigns=policy.max_active_campaigns)
+            if policy.max_total_jobs and \
+                    state.total_jobs + n_jobs > policy.max_total_jobs:
+                self._reject(state, "service.quota_rejected")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} would exceed its cumulative "
+                    f"job budget ({state.total_jobs} + {n_jobs} > "
+                    f"{policy.max_total_jobs})",
+                    tenant=tenant, max_total_jobs=policy.max_total_jobs)
+            retry_after = state.bucket.try_acquire()
+            if retry_after > 0.0:
+                self._reject(state, "service.rate_limited")
+                raise RateLimited(
+                    f"tenant {tenant!r} is over {policy.rate_per_s}/s "
+                    f"(burst {policy.burst}); retry in "
+                    f"{retry_after:.3f}s",
+                    retry_after_s=retry_after, tenant=tenant)
+            state.active_campaigns += 1
+            state.total_jobs += n_jobs
+            state.submitted += 1
+        _metrics.REGISTRY.counter("service.admitted").inc()
+
+    @staticmethod
+    def _reject(state: _TenantState, counter: str) -> None:
+        state.rejected += 1
+        _metrics.REGISTRY.counter(counter).inc()
+
+    def release(self, tenant: str) -> None:
+        """A campaign for *tenant* left the running set."""
+        state = self._state(tenant)
+        with state.lock:
+            state.active_campaigns = max(0, state.active_campaigns - 1)
+
+    def snapshot(self) -> dict:
+        """Per-tenant stats for ``/v1/stats``."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        return {tenant: {"active_campaigns": state.active_campaigns,
+                         "total_jobs": state.total_jobs,
+                         "submitted": state.submitted,
+                         "rejected": state.rejected,
+                         "policy": state.policy.describe()}
+                for tenant, state in sorted(tenants.items())}

@@ -1,0 +1,523 @@
+"""The campaign service: asyncio HTTP front, queued campaign execution.
+
+``repro serve`` turns the batch runner into a long-lived multi-tenant
+system: clients POST ``phantom.job-request/1`` documents, the service
+admits them through per-tenant token buckets and quotas
+(:mod:`.quota`), queues them, and executes each campaign through
+:func:`~repro.service.run_campaign_memoized` — so every job whose
+fingerprint is already in the content-addressed result store is
+answered from disk instead of simulated, and fresh results are banked
+for the next tenant who asks.  Campaign execution itself is the
+existing :func:`repro.runner.run_campaign` machinery (process-pool
+sharding, supervision, deterministic reduce), untouched.
+
+Concurrency model: the asyncio loop owns all bookkeeping (campaign
+table, quota admission, event fan-out); campaigns run one at a time on
+a single worker thread (parallelism lives *inside* a campaign, via its
+``jobs`` option) so the process-global metrics registry and span
+recorder never see two campaigns interleaved.  Worker-side progress
+events hop back onto the loop via ``call_soon_threadsafe``.
+
+Endpoints (see ``docs/service.md`` for schemas):
+
+* ``GET  /healthz``                 — liveness + queue depth
+* ``GET  /v1/stats``                — store/quota/campaign counters
+* ``POST /v1/campaigns``            — submit; ``?wait=1`` blocks until done
+* ``GET  /v1/campaigns/<id>``        — status document
+* ``GET  /v1/campaigns/<id>/events`` — ``phantom.progress/1`` NDJSON stream
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..telemetry import metrics as _metrics
+from ..telemetry.progress import ProgressReporter
+from ..telemetry.spans import SPANS
+from .errors import BadRequest, NotFound, ServiceError
+from .memo import run_campaign_memoized
+from .protocol import (CAMPAIGN_STATUS_SCHEMA, HEALTH_SCHEMA, STATS_SCHEMA,
+                       JobRequest)
+from .quota import QuotaManager, TenantPolicy
+from .store import ResultStore
+
+_MAX_BODY = 4 << 20          # a job-request document is small; 4 MiB is ample
+_EVENT_DONE = None           # stream sentinel
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to boot one service process."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    store_dir: str = "service-store"
+    jobs: int = 1                  # default per-campaign worker processes
+    store_max_entries: int = 0     # 0 = unbounded
+    policy: TenantPolicy = TenantPolicy()
+    overrides: tuple[tuple[str, TenantPolicy], ...] = ()
+    max_queue: int = 256
+    timeout_s: float | None = None   # per-job timeout inside campaigns
+    retries: int = 0
+
+    def describe(self) -> dict:
+        return {"host": self.host, "port": self.port,
+                "store_dir": str(self.store_dir), "jobs": self.jobs,
+                "store_max_entries": self.store_max_entries,
+                "max_queue": self.max_queue,
+                "policy": self.policy.describe()}
+
+
+@dataclass
+class CampaignRecord:
+    """Everything the service remembers about one submitted campaign."""
+
+    id: str
+    request: JobRequest
+    jobs: int
+    job_count: int
+    state: str = "queued"          # queued | running | done | failed
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    manifest: dict | None = None
+    memo: dict | None = None
+    error: dict | None = None
+    event_lines: list[str] = field(default_factory=list)
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def status_doc(self) -> dict:
+        doc = {"schema": CAMPAIGN_STATUS_SCHEMA, "id": self.id,
+               "state": self.state, "tenant": self.request.tenant,
+               "experiment": self.request.experiment,
+               "request_fingerprint": self.request.fingerprint(),
+               "jobs": self.jobs, "job_count": self.job_count,
+               "submitted_at": self.submitted_at}
+        if self.started_at is not None:
+            doc["started_at"] = self.started_at
+        if self.finished_at is not None:
+            doc["finished_at"] = self.finished_at
+        if self.memo is not None:
+            doc["memo"] = self.memo
+        if self.manifest is not None:
+            doc["manifest"] = self.manifest
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class _EventFanout:
+    """File-like sink :class:`ProgressReporter` writes JSONL into,
+    forwarding each complete line onto the loop thread-safely."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, push) -> None:
+        self._loop = loop
+        self._push = push
+        self._buffer = ""
+
+    def write(self, text: str) -> None:
+        self._buffer += text
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            if line.strip():
+                self._loop.call_soon_threadsafe(self._push, line)
+
+    def flush(self) -> None:   # file-like protocol
+        pass
+
+
+class CampaignService:
+    """The service core, independent of any particular socket.
+
+    Tests drive it directly (``await submit_doc(...)``); the HTTP layer
+    below is a thin framing of the same methods.
+    """
+
+    def __init__(self, config: ServiceConfig, *,
+                 store: ResultStore | None = None,
+                 quotas: QuotaManager | None = None) -> None:
+        self.config = config
+        self.store = store or ResultStore(
+            config.store_dir, max_entries=config.store_max_entries)
+        self.quotas = quotas or QuotaManager(config.policy,
+                                             dict(config.overrides))
+        self.campaigns: dict[str, CampaignRecord] = {}
+        self.started_at = time.time()
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue[CampaignRecord] = \
+            asyncio.Queue(maxsize=config.max_queue)
+        self._runner_task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._runner_task = asyncio.create_task(self._drain(),
+                                                name="campaign-runner")
+
+    async def close(self) -> None:
+        if self._runner_task is not None:
+            self._runner_task.cancel()
+            try:
+                await self._runner_task
+            except asyncio.CancelledError:
+                pass
+            self._runner_task = None
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_doc(self, doc) -> CampaignRecord:
+        """Validate, admit, and queue one request document.
+
+        Raises a typed :class:`ServiceError` (bad request, rate limit,
+        quota) without side effects; on success the campaign is queued
+        and visible in the table immediately.
+        """
+        request = JobRequest.from_doc(doc)
+        experiment = request.build()          # validates params
+        job_count = len(list(experiment.job_specs()))
+        if self._queue.full():
+            raise ServiceError("service queue is full; retry later",
+                               max_queue=self.config.max_queue)
+        self.quotas.admit(request.tenant, job_count)
+        options = request.options.for_service()
+        jobs = options.jobs if options.jobs else self.config.jobs
+        record = CampaignRecord(
+            id=f"c{next(self._ids):06d}-{request.fingerprint()[:8]}",
+            request=request, jobs=jobs, job_count=job_count)
+        self.campaigns[record.id] = record
+        self._queue.put_nowait(record)
+        _metrics.REGISTRY.counter("service.campaigns_submitted").inc()
+        SPANS.event("service:submit", tenant=request.tenant,
+                    experiment=request.experiment, campaign=record.id)
+        return record
+
+    def get(self, campaign_id: str) -> CampaignRecord:
+        record = self.campaigns.get(campaign_id)
+        if record is None:
+            raise NotFound(f"no campaign {campaign_id!r}")
+        return record
+
+    # -- execution -----------------------------------------------------------
+
+    async def _drain(self) -> None:
+        while True:
+            record = await self._queue.get()
+            record.state = "running"
+            record.started_at = time.time()
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._run_one, record)
+                record.state = "done"
+            except Exception as exc:   # noqa: BLE001 — report, keep serving
+                record.state = "failed"
+                if isinstance(exc, ServiceError):
+                    record.error = exc.to_doc()
+                else:
+                    record.error = ServiceError(
+                        f"{type(exc).__name__}: {exc}").to_doc()
+                _metrics.REGISTRY.counter("service.campaigns_failed").inc()
+            finally:
+                record.finished_at = time.time()
+                self.quotas.release(record.request.tenant)
+                self._push_event(record, _EVENT_DONE)
+                record.done.set()
+                self._queue.task_done()
+
+    def _run_one(self, record: CampaignRecord) -> None:
+        """Worker-thread body: one memoized campaign, start to finish."""
+        experiment = record.request.build()
+        reporter = ProgressReporter(
+            stream=_EventFanout(self._loop,
+                                lambda line: self._push_event(record, line)))
+        with SPANS.span("service:campaign", campaign=record.id,
+                        tenant=record.request.tenant,
+                        experiment=record.request.experiment):
+            try:
+                campaign, memo = run_campaign_memoized(
+                    experiment, self.store, jobs=record.jobs,
+                    timeout_s=self.config.timeout_s,
+                    retries=self.config.retries, progress=reporter)
+            finally:
+                reporter.close()
+        record.manifest = campaign.manifest
+        record.memo = memo.to_dict()
+        _metrics.REGISTRY.counter("service.jobs_served").inc(memo.jobs)
+        _metrics.REGISTRY.counter("service.jobs_deduped").inc(memo.hits)
+
+    def _push_event(self, record: CampaignRecord, line: str | None) -> None:
+        # Always runs on the loop thread: worker-side writes hop here
+        # through _EventFanout's call_soon_threadsafe.
+        if line is not None:
+            record.event_lines.append(line)
+        for queue in list(record.subscribers):
+            queue.put_nowait(line)
+
+    def subscribe(self, record: CampaignRecord) -> asyncio.Queue:
+        """Replay + live queue of a campaign's progress lines; a
+        ``None`` item marks the end of the stream."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for line in record.event_lines:
+            queue.put_nowait(line)
+        if record.state in ("done", "failed"):
+            queue.put_nowait(_EVENT_DONE)
+        else:
+            record.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, record: CampaignRecord,
+                    queue: asyncio.Queue) -> None:
+        if queue in record.subscribers:
+            record.subscribers.remove(queue)
+
+    # -- introspection ---------------------------------------------------------
+
+    def health_doc(self) -> dict:
+        states: dict[str, int] = {}
+        for record in self.campaigns.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {"schema": HEALTH_SCHEMA, "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "queue_depth": self._queue.qsize(),
+                "campaigns": states}
+
+    def stats_doc(self) -> dict:
+        return {"schema": STATS_SCHEMA,
+                "store": self.store.stats(),
+                "tenants": self.quotas.snapshot(),
+                "campaigns": self.health_doc()["campaigns"],
+                "config": self.config.describe()}
+
+
+# -- the HTTP layer -----------------------------------------------------------
+#
+# Deliberately minimal HTTP/1.1 on asyncio streams (stdlib only, no new
+# dependencies): one request per connection, Content-Length bodies,
+# NDJSON streaming with Connection: close for the events endpoint.
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+def _response_bytes(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: dict | None = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, doc: dict,
+                   extra_headers: dict | None = None) -> bytes:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return _response_bytes(status, body, extra_headers=extra_headers)
+
+
+class HttpFront:
+    """Routes HTTP requests onto one :class:`CampaignService`."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except ValueError as exc:
+                writer.write(_json_response(
+                    400, BadRequest(str(exc)).to_doc()))
+                return
+            _metrics.REGISTRY.counter("service.http_requests").inc()
+            try:
+                await self._route(method, target, body, writer)
+            except ServiceError as exc:
+                headers = {}
+                if getattr(exc, "retry_after_s", 0):
+                    headers["Retry-After"] = \
+                        str(max(1, int(exc.retry_after_s + 0.5)))
+                writer.write(_json_response(exc.http_status, exc.to_doc(),
+                                            extra_headers=headers))
+            except Exception as exc:   # noqa: BLE001 — never kill the server
+                writer.write(_json_response(
+                    500, ServiceError(f"{type(exc).__name__}: {exc}")
+                    .to_doc()))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body of {length} bytes exceeds "
+                             f"the {_MAX_BODY}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path, _, query = target.partition("?")
+        parts = [part for part in path.split("/") if part]
+        service = self.service
+        if method == "GET" and parts == ["healthz"]:
+            writer.write(_json_response(200, service.health_doc()))
+            return
+        if method == "GET" and parts == ["v1", "stats"]:
+            writer.write(_json_response(200, service.stats_doc()))
+            return
+        if parts[:2] == ["v1", "campaigns"]:
+            if method == "POST" and len(parts) == 2:
+                await self._submit(body, query, writer)
+                return
+            if method == "GET" and len(parts) == 3:
+                record = service.get(parts[2])
+                writer.write(_json_response(200, record.status_doc()))
+                return
+            if method == "GET" and len(parts) == 4 \
+                    and parts[3] == "events":
+                await self._stream_events(service.get(parts[2]), writer)
+                return
+        raise NotFound(f"no route {method} {path}")
+
+    async def _submit(self, body: bytes, query: str,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"request body is not JSON: {exc}") from None
+        record = self.service.submit_doc(doc)
+        if "wait=1" in query.split("&"):
+            await record.done.wait()
+            writer.write(_json_response(200, record.status_doc()))
+        else:
+            writer.write(_json_response(202, record.status_doc()))
+
+    async def _stream_events(self, record: CampaignRecord,
+                             writer: asyncio.StreamWriter) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        queue = self.service.subscribe(record)
+        try:
+            while True:
+                line = await queue.get()
+                if line is _EVENT_DONE:
+                    break
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.service.unsubscribe(record, queue)
+
+
+# -- entry points ---------------------------------------------------------------
+
+async def serve(config: ServiceConfig, *,
+                service: CampaignService | None = None,
+                on_ready=None) -> None:
+    """Run the service until cancelled.
+
+    ``on_ready(host, port, service)`` fires once the socket is bound —
+    the hook tests and :func:`start_in_thread` use to learn an
+    ephemeral port.
+    """
+    service = service or CampaignService(config)
+    await service.start()
+    front = HttpFront(service)
+    server = await asyncio.start_server(front.handle, config.host,
+                                        config.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    if on_ready is not None:
+        on_ready(host, port, service)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.close()
+
+
+@dataclass
+class ServiceHandle:
+    """A service running on a background thread (tests, load replay)."""
+
+    url: str
+    service: CampaignService
+    _loop: asyncio.AbstractEventLoop
+    _thread: threading.Thread
+    _task: "asyncio.Task"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout)
+
+
+def start_in_thread(config: ServiceConfig) -> ServiceHandle:
+    """Boot a service on a daemon thread and return its URL.
+
+    Uses ``port=0`` friendly readiness signalling, so callers can bind
+    ephemeral ports without racing the listener.
+    """
+    ready = threading.Event()
+    state: dict = {}
+
+    def _main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        def _on_ready(host, port, service):
+            state["url"] = f"http://{host}:{port}"
+            state["service"] = service
+            ready.set()
+
+        task = loop.create_task(serve(config, on_ready=_on_ready))
+        state["loop"], state["task"] = loop, task
+        try:
+            loop.run_until_complete(task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_main, name="repro-service",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("service failed to start within 30s")
+    return ServiceHandle(url=state["url"], service=state["service"],
+                         _loop=state["loop"], _thread=thread,
+                         _task=state["task"])

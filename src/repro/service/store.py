@@ -1,0 +1,215 @@
+"""Content-addressed result store: memoize jobs by spec fingerprint.
+
+Jobs are deterministic functions of their :class:`~repro.runner.JobSpec`
+(the ``--jobs``-independence guarantee the whole runner rests on), so
+two requests for the same (experiment, key, seed, machine, params) job
+must produce the same result — which means the second one never needs
+to simulate.  The store keeps one JSON file per job, addressed by the
+SHA-256 :func:`~repro.resilience.spec_fingerprint` that already keys
+the checkpoint journal, and wrapping the same
+:class:`~repro.resilience.CheckpointRecord` serialization — a cache
+hit rehydrates into exactly the :class:`~repro.runner.JobResult` a
+resume would have produced, so the reducer cannot tell a warm campaign
+from a cold one (their ``manifest_fingerprint``\\ s are equal).
+
+Design points, mirroring the checkpoint journal it generalizes:
+
+* **One object per fingerprint, written atomically.**  Entries land
+  via write-to-temp + ``os.replace``, so readers never see a torn
+  object and concurrent writers degrade to last-write-wins — harmless,
+  both wrote the same deterministic result.
+* **Corrupt entries are misses, not errors.**  An unparsable, foreign
+  or mis-addressed object is counted (``service.cache_corrupt``),
+  evicted, and re-simulated; the store can always be rebuilt from
+  work.
+* **Only successes memoize.**  Failures may be environmental (timeout,
+  lost worker); caching them would pin flakes forever.
+* **Bounded, oldest-first eviction.**  ``max_entries`` caps the object
+  count; hits refresh an entry's mtime so eviction is LRU-ish without
+  an index file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from ..resilience.checkpoint import CheckpointRecord, spec_fingerprint
+from ..runner.executor import JobResult
+from ..runner.spec import JobSpec
+from ..telemetry import metrics as _metrics
+
+RESULT_ENTRY_SCHEMA = "phantom.result-entry/1"
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store of job results.
+
+    Layout: ``root/objects/<fp[:2]>/<fp>.json`` — the two-character fan
+    keeps directories small at millions of entries.  All counters are
+    kept both as plain attributes (always-on, cheap) and mirrored into
+    the process metrics registry (``service.cache_*``) so campaign
+    manifests and the ``/v1/stats`` endpoint agree.
+    """
+
+    def __init__(self, root, *, max_entries: int = 0) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max(0, int(max_entries))   # 0 = unbounded
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evictions = 0
+        self.corrupt = 0
+
+    # -- addressing ----------------------------------------------------------
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self._objects / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_paths())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def _iter_paths(self):
+        if not self._objects.exists():
+            return
+        for fan in sorted(self._objects.iterdir()):
+            if fan.is_dir():
+                yield from sorted(fan.glob("*.json"))
+
+    # -- read ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> CheckpointRecord | None:
+        """The stored record for *fingerprint*, or ``None`` on miss.
+
+        Corrupt objects (torn write survivors, foreign schemas, an
+        object whose recorded fingerprint disagrees with its address)
+        are deleted and reported as misses — the job simply re-runs
+        and re-stores, the same degradation the checkpoint journal
+        chose for torn lines.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return self._miss()
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return self._miss(corrupt=path)
+        if (not isinstance(doc, dict)
+                or doc.get("schema") != RESULT_ENTRY_SCHEMA
+                or doc.get("fingerprint") != fingerprint
+                or not isinstance(doc.get("record"), dict)):
+            return self._miss(corrupt=path)
+        try:
+            record = CheckpointRecord.from_dict(doc["record"])
+        except (KeyError, TypeError):
+            return self._miss(corrupt=path)
+        self.hits += 1
+        _metrics.REGISTRY.counter("service.cache_hits").inc()
+        try:
+            os.utime(path)   # refresh for LRU eviction
+        except OSError:
+            pass
+        return record
+
+    def _miss(self, corrupt: Path | None = None) -> None:
+        self.misses += 1
+        _metrics.REGISTRY.counter("service.cache_misses").inc()
+        if corrupt is not None:
+            self.corrupt += 1
+            _metrics.REGISTRY.counter("service.cache_corrupt").inc()
+            try:
+                corrupt.unlink()
+            except OSError:
+                pass
+        return None
+
+    def lookup(self, specs) -> dict[str, CheckpointRecord]:
+        """Fingerprint → record for every hit among *specs* — the
+        mapping ``run_campaign(resume=...)`` accepts directly."""
+        found: dict[str, CheckpointRecord] = {}
+        for spec in specs:
+            fingerprint = spec_fingerprint(spec)
+            record = self.get(fingerprint)
+            if record is not None:
+                found[fingerprint] = record
+        return found
+
+    # -- write -----------------------------------------------------------------
+
+    def put(self, spec: JobSpec, result: JobResult) -> bool:
+        """Store *result* under its spec's fingerprint.
+
+        Returns ``False`` (stores nothing) for failed results — see the
+        module doc — and ``True`` once the entry is durably in place.
+        """
+        if not result.ok:
+            return False
+        return self.put_record(CheckpointRecord.from_result(spec, result))
+
+    def put_record(self, record: CheckpointRecord) -> bool:
+        path = self.path_for(record.fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": RESULT_ENTRY_SCHEMA,
+               "fingerprint": record.fingerprint,
+               "stored_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+               "record": record.to_dict()}
+        blob = json.dumps(doc, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        self.stored += 1
+        _metrics.REGISTRY.counter("service.cache_stores").inc()
+        if self.max_entries:
+            self.evict_to(self.max_entries)
+        return True
+
+    # -- maintenance -------------------------------------------------------------
+
+    def evict_to(self, limit: int) -> int:
+        """Delete oldest-mtime entries until at most *limit* remain."""
+        paths = list(self._iter_paths())
+        excess = len(paths) - max(0, int(limit))
+        if excess <= 0:
+            return 0
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        evicted = 0
+        for path in sorted(paths, key=mtime)[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+        self.evictions += evicted
+        _metrics.REGISTRY.counter("service.cache_evictions").inc(evicted)
+        return evicted
+
+    def stats(self) -> dict:
+        """Snapshot for ``/v1/stats`` and load-test reports."""
+        lookups = self.hits + self.misses
+        return {"entries": len(self), "hits": self.hits,
+                "misses": self.misses, "stored": self.stored,
+                "evictions": self.evictions, "corrupt": self.corrupt,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "max_entries": self.max_entries, "root": str(self.root)}

@@ -1,0 +1,104 @@
+"""The typed checkpoint-primitive object and the mapping-resume seam.
+
+Regression coverage for the old positional 3-tuple plumbing between
+``run_campaign`` and its checkpoint module: the bundle is now a frozen
+:class:`CheckpointOps`, and ``resume=`` additionally accepts an
+in-memory ``{fingerprint: CheckpointRecord}`` mapping (the seam the
+campaign service's result store answers through).
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.resilience import (CheckpointRecord, CheckpointWriter,
+                              load_checkpoint, spec_fingerprint)
+from repro.runner import (CheckpointOps, JobSpec, derive_seed,
+                          manifest_fingerprint, run_campaign)
+from repro.runner.executor import execute_job
+
+
+@dataclass(frozen=True)
+class ToyExperiment:
+    name: ClassVar[str] = "toy"
+    n: int = 5
+
+    def campaign_config(self):
+        return {"n": self.n}
+
+    def job_specs(self):
+        return [JobSpec.make(self.name, (i,), derive_seed(3, (i,)),
+                             index=i)
+                for i in range(self.n)]
+
+    def run_one(self, spec, ctx):
+        return spec.param("index") + 100
+
+    def reduce(self, results):
+        return sum(r.value for r in results if r.ok)
+
+
+def test_default_ops_bundle_the_checkpoint_module():
+    ops = CheckpointOps.default()
+    assert ops.writer_cls is CheckpointWriter
+    assert ops.load is load_checkpoint
+    assert ops.fingerprint is spec_fingerprint
+
+
+def test_ops_are_frozen():
+    ops = CheckpointOps.default()
+    with pytest.raises(AttributeError):
+        ops.writer_cls = dict
+
+
+def _records(experiment, indices):
+    records = {}
+    for index in indices:
+        spec = experiment.job_specs()[index]
+        result = execute_job(experiment, spec)
+        records[spec_fingerprint(spec)] = \
+            CheckpointRecord.from_result(spec, result)
+    return records
+
+
+def test_resume_accepts_in_memory_mapping():
+    experiment = ToyExperiment()
+    clean = run_campaign(experiment, jobs=1)
+
+    resumed = run_campaign(experiment, jobs=1,
+                           resume=_records(experiment, (0, 2, 4)))
+    assert resumed.value == clean.value
+    info = resumed.manifest["outcome"]["resume"]
+    assert info["from"] == "<records>"
+    assert info["jobs_skipped"] == 3
+    assert info["jobs_rerun"] == 2
+    assert manifest_fingerprint(resumed.manifest) \
+        == manifest_fingerprint(clean.manifest)
+
+
+def test_mapping_resume_with_checkpoint_path(tmp_path):
+    """The regression: a mapping resume plus a checkpoint path used to
+    hit ``Path(resume)`` on a dict.  The journal must re-record the
+    inherited jobs so it is self-contained."""
+    experiment = ToyExperiment()
+    journal = tmp_path / "checkpoint.jsonl"
+    campaign = run_campaign(experiment, jobs=1,
+                            resume=_records(experiment, (0, 1)),
+                            checkpoint=journal)
+    assert campaign.value == run_campaign(experiment, jobs=1).value
+    replayed = load_checkpoint(journal)
+    assert len(replayed) == experiment.n      # inherited + fresh
+
+    # and that self-contained journal resumes everything
+    final = run_campaign(experiment, jobs=1, resume=journal)
+    assert final.manifest["outcome"]["resume"]["jobs_skipped"] \
+        == experiment.n
+
+
+def test_empty_mapping_means_no_resume():
+    experiment = ToyExperiment()
+    campaign = run_campaign(experiment, jobs=1, resume={})
+    # an empty mapping still counts as "resuming from records"
+    assert campaign.manifest["outcome"]["resume"]["jobs_skipped"] == 0
+    assert campaign.value == sum(range(100, 105))

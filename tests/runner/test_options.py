@@ -1,0 +1,84 @@
+"""CampaignOptions: the one record behind six subcommands' flags and
+the service submit path."""
+
+import argparse
+
+import pytest
+
+from repro.runner import CampaignOptions
+
+
+def _parse(argv, **add_kwargs):
+    parser = argparse.ArgumentParser()
+    CampaignOptions.add_arguments(parser, **add_kwargs)
+    return parser.parse_args(argv)
+
+
+def test_add_arguments_defaults():
+    args = _parse([])
+    options = CampaignOptions.from_args(args)
+    assert options == CampaignOptions()
+
+
+def test_add_arguments_jobs_default_override():
+    assert _parse([], jobs_default=1).jobs == 1
+    assert _parse(["--jobs", "4"], jobs_default=1).jobs == 4
+
+
+def test_from_args_collects_only_present_fields():
+    args = argparse.Namespace(jobs=3, progress="-")   # no resume etc.
+    options = CampaignOptions.from_args(args)
+    assert options.jobs == 3 and options.progress == "-"
+    assert options.resume is None
+
+
+def test_dict_roundtrip_drops_defaults():
+    options = CampaignOptions(jobs=2, checkpoint_every=5)
+    doc = options.to_dict()
+    assert doc == {"jobs": 2, "checkpoint_every": 5}
+    assert CampaignOptions.from_dict(doc) == options
+    assert CampaignOptions.from_dict({}) == CampaignOptions()
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError) as info:
+        CampaignOptions.from_dict({"workers": 8})
+    assert "workers" in str(info.value)
+
+
+def test_for_service_strips_server_paths():
+    options = CampaignOptions(jobs=4, resume="j.jsonl", spans="s",
+                              progress="p", results_dir="r",
+                              checkpoint_every=3)
+    safe = options.for_service()
+    assert safe.jobs == 4 and safe.checkpoint_every == 3
+    assert safe.resume is None and safe.spans is None
+    assert safe.progress is None and safe.results_dir is None
+
+
+def test_checkpoint_path_precedence(tmp_path):
+    results = CampaignOptions(results_dir=str(tmp_path))
+    assert results.checkpoint_path("matrix") \
+        == tmp_path / "matrix-checkpoint.jsonl"
+    resume_only = CampaignOptions(resume="old.jsonl")
+    assert str(resume_only.checkpoint_path("matrix")) == "old.jsonl"
+    assert CampaignOptions().checkpoint_path("matrix") is None
+
+
+def test_campaign_kwargs_shapes(tmp_path):
+    assert CampaignOptions().campaign_kwargs("matrix") == {}
+    kwargs = CampaignOptions(results_dir=str(tmp_path),
+                             checkpoint_every=4).campaign_kwargs("kaslr")
+    assert kwargs["checkpoint"] == tmp_path / "kaslr-checkpoint.jsonl"
+    assert kwargs["checkpoint_every"] == 4
+    assert "resume" not in kwargs
+    sentinel = object()
+    kwargs = CampaignOptions(resume="j.jsonl").campaign_kwargs(
+        "leak", progress=sentinel)
+    assert kwargs["resume"] == "j.jsonl"
+    assert kwargs["progress"] is sentinel
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        CampaignOptions().jobs = 5

@@ -1,0 +1,16 @@
+"""Service tests touch the process-wide metrics registry (cache
+counters, admission counters); give each test a clean slate."""
+
+import pytest
+
+from repro.telemetry import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    REGISTRY.reset()
+    REGISTRY.set_base_labels()
+    yield
+    REGISTRY.disable()
+    REGISTRY.reset()
+    REGISTRY.set_base_labels()

@@ -1,0 +1,34 @@
+"""The load-replay harness at test scale: overlapping campaigns dedup,
+fingerprints hold, the storm tenant is turned away with typed errors.
+
+CI runs the full fleet (``repro serve --selftest``); this keeps the
+harness itself honest with a smaller one.
+"""
+
+from repro.service import ReplayPlan, run_loadtest
+
+
+def test_replay_dedups_and_rejects(tmp_path):
+    plan = ReplayPlan(distinct=3, replays=15, storm_attempts=8)
+    report = run_loadtest(tmp_path / "store", plan)
+
+    assert report.cold_campaigns == 3
+    assert report.replay_campaigns == 15
+    # every replayed job must come from the store
+    assert report.replay_hit_rate == 1.0
+    assert report.mismatched_fingerprints == 0
+
+    # the storm tenant got typed rejections, nothing untyped
+    assert report.storm_untyped == 0
+    assert report.storm_rate_limited + report.storm_quota_rejected > 0
+    assert report.storm_accepted <= 2
+
+    assert report.ok
+    doc = report.to_dict()
+    assert doc["schema"] == "phantom.load-replay/1"
+    assert doc["ok"] is True
+    assert doc["replay"]["hit_rate"] == 1.0
+
+    # the store holds exactly the distinct union (3 cells), not one
+    # entry per campaign
+    assert report.store_stats["entries"] == 3

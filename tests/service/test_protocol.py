@@ -1,0 +1,118 @@
+"""The wire protocol: request validation, experiment builders, work
+fingerprints, and typed-error round-trips."""
+
+import pytest
+
+from repro.runner import CampaignOptions
+from repro.service import (BadRequest, JOB_REQUEST_SCHEMA, JobRequest,
+                           NotFound, QuotaExceeded, RateLimited,
+                           ServiceError, error_from_doc)
+
+
+def _doc(**overrides):
+    doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": "alice",
+           "experiment": "matrix",
+           "params": {"uarches": ["zen 2"], "cells": 2}}
+    doc.update(overrides)
+    return doc
+
+
+def test_valid_request_roundtrip():
+    request = JobRequest.from_doc(_doc(options={"jobs": 2}))
+    assert request.tenant == "alice"
+    assert request.options == CampaignOptions(jobs=2)
+    again = JobRequest.from_doc(request.to_doc())
+    assert again == request
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    ({"schema": "phantom.job-request/0"}, "schema"),
+    ({"tenant": ""}, "tenant"),
+    ({"tenant": 7}, "tenant"),
+    ({"experiment": "nope"}, "unknown experiment"),
+    ({"params": [1]}, "params"),
+    ({"options": {"workers": 3}}, "workers"),
+    ({"extra": 1}, "unknown field"),
+])
+def test_bad_documents_are_typed_rejections(mutate, fragment):
+    with pytest.raises(BadRequest) as info:
+        JobRequest.from_doc(_doc(**mutate))
+    assert fragment in str(info.value)
+
+
+def test_non_object_body_rejected():
+    with pytest.raises(BadRequest):
+        JobRequest.from_doc([1, 2])
+
+
+def test_unknown_params_rejected_per_experiment():
+    with pytest.raises(BadRequest) as info:
+        JobRequest.from_doc(_doc(params={"cellz": 4})).build()
+    assert "cellz" in str(info.value)
+    with pytest.raises(BadRequest):
+        JobRequest.from_doc(
+            _doc(experiment="kaslr", params={"uarch": "zen 99"})).build()
+    with pytest.raises(BadRequest):
+        JobRequest.from_doc(
+            _doc(experiment="covert",
+                 params={"channel": "smoke-signal"})).build()
+    with pytest.raises(BadRequest):
+        JobRequest.from_doc(_doc(params={"cells": -1})).build()
+
+
+def test_matrix_builder_slices_cells():
+    small = JobRequest.from_doc(_doc(params={"uarches": ["zen 2"],
+                                             "cells": 2})).build()
+    full = JobRequest.from_doc(_doc(params={"uarches": ["zen 2"],
+                                            "cells": 0})).build()
+    assert len(small.job_specs()) == 2
+    assert len(full.job_specs()) > len(small.job_specs())
+    # prefix property: the small campaign's jobs are a subset
+    small_keys = {s.key for s in small.job_specs()}
+    full_keys = {s.key for s in full.job_specs()}
+    assert small_keys <= full_keys
+
+
+def test_every_experiment_builds():
+    for experiment, params in [
+        ("matrix", {"uarches": ["zen 2"], "cells": 1}),
+        ("kaslr", {"uarch": "zen 3", "seed": 1}),
+        ("covert", {"bits": 64, "channel": "execute"}),
+        ("fuzz", {"iters": 2}),
+    ]:
+        built = JobRequest.from_doc(
+            _doc(experiment=experiment, params=params)).build()
+        assert len(built.job_specs()) >= 1
+
+
+def test_fingerprint_ignores_tenant_and_options():
+    a = JobRequest.from_doc(_doc(tenant="alice", options={"jobs": 1}))
+    b = JobRequest.from_doc(_doc(tenant="bob", options={"jobs": 8}))
+    c = JobRequest.from_doc(_doc(params={"uarches": ["zen 2"],
+                                         "cells": 3}))
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_error_doc_roundtrip_is_typed():
+    for exc in (BadRequest("nope", field="x"),
+                NotFound("gone"),
+                RateLimited("slow down", retry_after_s=1.5),
+                QuotaExceeded("too big", tenant="t"),
+                ServiceError("broke")):
+        doc = exc.to_doc()
+        assert doc["schema"] == "phantom.error/1"
+        back = error_from_doc(doc, http_status=exc.http_status)
+        assert type(back) is type(exc)
+        assert str(back) == str(exc)
+        assert back.code == exc.code
+    back = error_from_doc(RateLimited("x", retry_after_s=2.0).to_doc())
+    assert back.retry_after_s == pytest.approx(2.0)
+
+
+def test_unknown_error_code_degrades_to_base():
+    back = error_from_doc({"schema": "phantom.error/1",
+                           "error": "fancy_future_thing",
+                           "message": "??"}, http_status=418)
+    assert type(back) is ServiceError
+    assert back.details["http_status"] == 418

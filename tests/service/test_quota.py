@@ -1,0 +1,114 @@
+"""Admission control: token-bucket arithmetic under a fake clock,
+typed quota rejections, and state accounting."""
+
+import pytest
+
+from repro.service import (QuotaExceeded, QuotaManager, RateLimited,
+                           TenantPolicy, TokenBucket)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=2.0, burst=3, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    retry = bucket.try_acquire()
+    assert retry == pytest.approx(0.5)      # 1 token at 2/s
+    clock.advance(0.25)                      # only half a token back
+    assert bucket.try_acquire() == pytest.approx(0.25)
+    clock.advance(0.25)
+    assert bucket.try_acquire() == 0.0       # exactly refilled
+    clock.advance(100.0)
+    for _ in range(3):                       # capped at burst, not 200
+        assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+
+
+def test_rejection_takes_nothing():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=1.0, burst=1, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    first = bucket.try_acquire()
+    second = bucket.try_acquire()
+    assert first == second == pytest.approx(1.0)
+
+
+def _manager(clock, **policy):
+    return QuotaManager(TenantPolicy(**policy), clock=clock)
+
+
+def test_rate_limit_is_typed_with_retry_after():
+    clock = FakeClock()
+    quotas = _manager(clock, rate_per_s=1.0, burst=1)
+    quotas.admit("alice", 4)
+    with pytest.raises(RateLimited) as info:
+        quotas.admit("alice", 4)
+    assert info.value.code == "rate_limited"
+    assert info.value.http_status == 429
+    assert info.value.retry_after_s == pytest.approx(1.0)
+    assert info.value.to_doc()["details"]["retry_after_s"] \
+        == pytest.approx(1.0)
+    clock.advance(1.0)
+    quotas.admit("alice", 4)     # refilled
+
+
+def test_per_campaign_job_ceiling():
+    quotas = _manager(FakeClock(), max_jobs_per_campaign=10)
+    with pytest.raises(QuotaExceeded) as info:
+        quotas.admit("alice", 11)
+    assert info.value.http_status == 403
+    assert info.value.to_doc()["details"]["max_jobs_per_campaign"] == 10
+    quotas.admit("alice", 10)    # the rejection consumed nothing
+
+
+def test_active_campaign_limit_and_release():
+    quotas = _manager(FakeClock(), max_active_campaigns=2,
+                      rate_per_s=1000.0, burst=1000)
+    quotas.admit("alice", 1)
+    quotas.admit("alice", 1)
+    with pytest.raises(QuotaExceeded):
+        quotas.admit("alice", 1)
+    quotas.release("alice")
+    quotas.admit("alice", 1)
+
+
+def test_cumulative_job_budget():
+    quotas = _manager(FakeClock(), max_total_jobs=10,
+                      rate_per_s=1000.0, burst=1000)
+    quotas.admit("alice", 6)
+    quotas.release("alice")
+    with pytest.raises(QuotaExceeded):      # 6 + 6 > 10, forever
+        quotas.admit("alice", 6)
+    quotas.admit("alice", 4)                 # 6 + 4 == 10 fits
+
+
+def test_tenants_are_isolated_and_overrides_apply():
+    clock = FakeClock()
+    quotas = QuotaManager(
+        TenantPolicy(rate_per_s=1000.0, burst=1000,
+                     max_active_campaigns=100),
+        overrides={"throttled": TenantPolicy(rate_per_s=1.0, burst=1)},
+        clock=clock)
+    quotas.admit("throttled", 1)
+    with pytest.raises(RateLimited):
+        quotas.admit("throttled", 1)
+    for _ in range(20):                      # default tenants unharmed
+        quotas.admit("alice", 1)
+    snapshot = quotas.snapshot()
+    assert snapshot["alice"]["submitted"] == 20
+    assert snapshot["alice"]["rejected"] == 0
+    assert snapshot["throttled"]["submitted"] == 1
+    assert snapshot["throttled"]["rejected"] == 1
+    assert snapshot["throttled"]["policy"]["rate_per_s"] == 1.0

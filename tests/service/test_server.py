@@ -1,0 +1,133 @@
+"""The HTTP service end to end: submit, memoize, stream, reject.
+
+One service instance per module (ephemeral port, tmp store) — boots in
+well under a second and every test drives it through the real client,
+so this is the full wire path: argparse-free request documents in,
+typed errors and fingerprint-stable manifests out.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import manifest_fingerprint
+from repro.service import (BadRequest, JOB_REQUEST_SCHEMA, NotFound,
+                           RateLimited, ServiceClient, ServiceConfig,
+                           TenantPolicy, start_in_thread)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    config = ServiceConfig(
+        port=0,
+        store_dir=str(tmp_path_factory.mktemp("store")),
+        policy=TenantPolicy(rate_per_s=1000.0, burst=2000,
+                            max_active_campaigns=100),
+        overrides=(("narrow", TenantPolicy(rate_per_s=0.001, burst=1,
+                                           max_jobs_per_campaign=4)),))
+    handle = start_in_thread(config)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+def _matrix_doc(tenant="alice", cells=2, jobs=0):
+    doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": tenant,
+           "experiment": "matrix",
+           "params": {"uarches": ["zen 2"], "cells": cells, "seed": 0}}
+    if jobs:
+        doc["options"] = {"jobs": jobs}
+    return doc
+
+
+def test_health_and_stats_shapes(client):
+    health = client.health()
+    assert health["schema"] == "phantom.service-health/1"
+    assert health["status"] == "ok"
+    stats = client.stats()
+    assert stats["schema"] == "phantom.service-stats/1"
+    assert "store" in stats and "tenants" in stats
+
+
+def test_submit_wait_then_resubmit_is_memoized(client):
+    cold = client.submit(_matrix_doc(cells=3), wait=True)
+    assert cold["state"] == "done"
+    assert cold["memo"]["jobs"] == 3
+
+    warm = client.submit(_matrix_doc(tenant="bob", cells=3), wait=True)
+    assert warm["state"] == "done"
+    assert warm["memo"]["hits"] == 3
+    assert warm["memo"]["hit_rate"] == 1.0
+
+    # the dedup is invisible in the result: identical fingerprints
+    assert manifest_fingerprint(warm["manifest"]) \
+        == manifest_fingerprint(cold["manifest"])
+    # and identical bytes once execution details are stripped
+    assert json.dumps(manifest_fingerprint(warm["manifest"]),
+                      sort_keys=True) \
+        == json.dumps(manifest_fingerprint(cold["manifest"]),
+                      sort_keys=True)
+
+
+def test_worker_count_is_a_client_option(client):
+    status = client.submit(_matrix_doc(cells=2, jobs=2), wait=True)
+    assert status["state"] == "done"
+    assert status["jobs"] == 2
+    assert status["manifest"]["config"]["jobs"] == 2
+
+
+def test_async_submit_then_poll_and_events(client):
+    accepted = client.submit(_matrix_doc(cells=1))
+    assert accepted["state"] in ("queued", "running", "done")
+    campaign_id = accepted["id"]
+    events = list(client.events(campaign_id))     # blocks until done
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "campaign_begin"
+    assert kinds[-1] == "campaign_end"
+    assert all(event["schema"] == "phantom.progress/1"
+               for event in events)
+    final = client.campaign(campaign_id)
+    assert final["state"] == "done"
+    assert final["request_fingerprint"]
+
+
+def test_unknown_campaign_is_typed_404(client):
+    with pytest.raises(NotFound):
+        client.campaign("c999999-deadbeef")
+
+
+def test_bad_request_is_typed_400(client):
+    with pytest.raises(BadRequest) as info:
+        client.submit({"schema": JOB_REQUEST_SCHEMA, "tenant": "x",
+                       "experiment": "matrix",
+                       "params": {"cellz": 1}})
+    assert "cellz" in str(info.value)
+    with pytest.raises(BadRequest):
+        client.submit({"nope": True})
+
+
+def test_unknown_route_is_typed_404(client):
+    with pytest.raises(NotFound):
+        client._request("GET", "/v2/everything")
+
+
+def test_throttled_tenant_gets_typed_429_over_the_wire(client):
+    first = client.submit(_matrix_doc(tenant="narrow", cells=1),
+                          wait=True)
+    assert first["state"] == "done"
+    with pytest.raises(RateLimited) as info:
+        client.submit(_matrix_doc(tenant="narrow", cells=1))
+    assert info.value.retry_after_s > 0
+    stats = client.stats()
+    assert stats["tenants"]["narrow"]["rejected"] >= 1
+
+
+def test_stats_reflect_the_store(client):
+    stats = client.stats()
+    assert stats["store"]["entries"] >= 3
+    assert stats["store"]["hits"] >= 3
+    assert stats["campaigns"].get("done", 0) >= 4

@@ -1,0 +1,193 @@
+"""The content-addressed result store: roundtrip, corruption
+tolerance, eviction, and the property everything rests on — a warm
+campaign fingerprints identically to a cold one at any worker count.
+
+The toy experiment lives at module top level so the process pool can
+pickle it for the ``--jobs 2/4`` warm runs.
+"""
+
+import json
+import os
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.resilience import spec_fingerprint
+from repro.runner import JobSpec, derive_seed, manifest_fingerprint
+from repro.runner.executor import execute_job
+from repro.service import MemoStats, ResultStore, run_campaign_memoized
+
+
+@dataclass(frozen=True)
+class ToyExperiment:
+    name: ClassVar[str] = "toy"
+    n: int = 6
+    fail_keys: tuple = ()
+
+    def campaign_config(self):
+        return {"n": self.n}
+
+    def job_specs(self):
+        return [JobSpec.make(self.name, (i,), derive_seed(7, (i,)),
+                             index=i)
+                for i in range(self.n)]
+
+    def run_one(self, spec, ctx):
+        if spec.key in self.fail_keys:
+            raise RuntimeError(f"boom {spec.key}")
+        return spec.param("index") * 10 + spec.seed % 7
+
+    def reduce(self, results):
+        return [r.value for r in results if r.ok]
+
+
+def _one_result(index=0):
+    experiment = ToyExperiment()
+    spec = experiment.job_specs()[index]
+    return spec, execute_job(experiment, spec)
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultStore(tmp_path)
+    spec, result = _one_result()
+    fingerprint = spec_fingerprint(spec)
+    assert store.get(fingerprint) is None          # cold miss
+    assert store.put(spec, result) is True
+    record = store.get(fingerprint)
+    assert record is not None
+    assert record.fingerprint == fingerprint
+    rehydrated = record.to_job_result(spec)
+    assert rehydrated.ok and rehydrated.value == result.value
+    assert store.hits == 1 and store.misses == 1 and store.stored == 1
+    assert fingerprint in store and len(store) == 1
+
+
+def test_failed_results_are_not_stored(tmp_path):
+    store = ResultStore(tmp_path)
+    experiment = ToyExperiment(fail_keys=((0,),))
+    spec = experiment.job_specs()[0]
+    result = execute_job(experiment, spec)
+    assert not result.ok
+    assert store.put(spec, result) is False
+    assert len(store) == 0 and store.stored == 0
+
+
+def test_corrupt_entries_are_misses_and_deleted(tmp_path):
+    store = ResultStore(tmp_path)
+    spec, result = _one_result()
+    fingerprint = spec_fingerprint(spec)
+    store.put(spec, result)
+    path = store.path_for(fingerprint)
+
+    # torn write / garbage
+    path.write_text("{not json", encoding="utf-8")
+    assert store.get(fingerprint) is None
+    assert not path.exists()
+    assert store.corrupt == 1
+
+    # valid JSON, wrong address
+    store.put(spec, result)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc["fingerprint"] = "0" * 32
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    assert store.get(fingerprint) is None
+    assert store.corrupt == 2
+
+    # foreign schema
+    store.put(spec, result)
+    path.write_text(json.dumps({"schema": "something/9"}),
+                    encoding="utf-8")
+    assert store.get(fingerprint) is None
+    assert store.corrupt == 3
+
+    # the store recovers: re-put, re-get
+    store.put(spec, result)
+    assert store.get(fingerprint) is not None
+
+
+def test_evict_to_is_oldest_mtime_first(tmp_path):
+    store = ResultStore(tmp_path)        # unbounded; evict manually
+    experiment = ToyExperiment(n=3)
+    paths = []
+    for stamp, spec in enumerate(experiment.job_specs()):
+        store.put(spec, execute_job(experiment, spec))
+        path = store.path_for(spec_fingerprint(spec))
+        os.utime(path, (1_000_000 + stamp, 1_000_000 + stamp))
+        paths.append(path)
+    assert store.evict_to(2) == 1
+    assert not paths[0].exists()         # oldest stamp went first
+    assert paths[1].exists() and paths[2].exists()
+    assert store.evictions == 1 and len(store) == 2
+
+
+def test_put_enforces_max_entries(tmp_path):
+    store = ResultStore(tmp_path, max_entries=2)
+    experiment = ToyExperiment(n=4)
+    for spec in experiment.job_specs():
+        store.put(spec, execute_job(experiment, spec))
+    assert len(store) == 2
+    assert store.evictions == 2
+
+
+def test_lookup_returns_only_hits(tmp_path):
+    store = ResultStore(tmp_path)
+    experiment = ToyExperiment(n=4)
+    specs = experiment.job_specs()
+    for spec in specs[:2]:
+        store.put(spec, execute_job(experiment, spec))
+    found = store.lookup(specs)
+    assert set(found) == {spec_fingerprint(s) for s in specs[:2]}
+
+
+def test_stats_shape(tmp_path):
+    store = ResultStore(tmp_path, max_entries=5)
+    stats = store.stats()
+    assert stats["entries"] == 0 and stats["max_entries"] == 5
+    assert stats["hit_rate"] == 0.0
+    assert str(tmp_path) in stats["root"]
+
+
+def test_cold_vs_warm_fingerprints_at_any_jobs(tmp_path):
+    """The acceptance property: a memoized (fully warm) campaign's
+    manifest fingerprints identically to the cold run, at --jobs 1,
+    2 and 4."""
+    experiment = ToyExperiment(n=8)
+    store = ResultStore(tmp_path)
+
+    cold, cold_stats = run_campaign_memoized(experiment, store, jobs=1)
+    assert cold_stats == MemoStats(jobs=8, hits=0, stored=8)
+    want = manifest_fingerprint(cold.manifest)
+
+    for jobs in (1, 2, 4):
+        warm, warm_stats = run_campaign_memoized(experiment, store,
+                                                 jobs=jobs)
+        assert warm_stats.hits == 8 and warm_stats.hit_rate == 1.0
+        assert warm.value == cold.value
+        assert manifest_fingerprint(warm.manifest) == want
+
+
+def test_partial_warm_campaign_banks_the_misses(tmp_path):
+    store = ResultStore(tmp_path)
+    small = ToyExperiment(n=3)
+    big = ToyExperiment(n=6)     # same campaign_config? no — n differs
+    run_campaign_memoized(small, store, jobs=1)
+    # jobs 0..2 of the big campaign share specs with the small one
+    # only if their fingerprints match; toy specs embed only the key
+    # and seed, so they do.
+    campaign, stats = run_campaign_memoized(big, store, jobs=1)
+    assert stats.jobs == 6 and stats.hits == 3 and stats.stored == 3
+    assert len(store) == 6
+    # resume lineage names the store, and is stripped by fingerprint
+    assert campaign.manifest["outcome"]["resume"]["from"] \
+        == f"store:{store.root}"
+    assert "resume" not in \
+        manifest_fingerprint(campaign.manifest)["outcome"]
+
+
+def test_memoized_rejects_explicit_resume(tmp_path):
+    store = ResultStore(tmp_path)
+    try:
+        run_campaign_memoized(ToyExperiment(), store, resume="x.jsonl")
+    except TypeError as exc:
+        assert "resume" in str(exc)
+    else:
+        raise AssertionError("resume= should be rejected")

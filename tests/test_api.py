@@ -1,0 +1,46 @@
+"""The repro.api facade: every promised name, nothing dangling.
+
+The facade is the import surface examples and downstream code build
+on; this pins that every ``__all__`` entry resolves and that the
+re-exports are the same objects the subsystems define (not copies).
+"""
+
+import repro.api as api
+
+
+def test_all_names_resolve():
+    assert len(api.__all__) == len(set(api.__all__))
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_reexports_are_identities():
+    from repro.core.experiment import Experiment
+    from repro.kernel import Machine, MachineSpec
+    from repro.resilience import spec_fingerprint
+    from repro.runner import (CampaignOptions, CampaignResult, JobSpec,
+                              manifest_fingerprint, run_campaign)
+    from repro.service import (ResultStore, ServiceClient,
+                               run_campaign_memoized)
+    from repro.telemetry import RunManifest, enable_metrics
+
+    assert api.Experiment is Experiment
+    assert api.Machine is Machine
+    assert api.MachineSpec is MachineSpec
+    assert api.spec_fingerprint is spec_fingerprint
+    assert api.CampaignOptions is CampaignOptions
+    assert api.CampaignResult is CampaignResult
+    assert api.JobSpec is JobSpec
+    assert api.manifest_fingerprint is manifest_fingerprint
+    assert api.run_campaign is run_campaign
+    assert api.ResultStore is ResultStore
+    assert api.ServiceClient is ServiceClient
+    assert api.run_campaign_memoized is run_campaign_memoized
+    assert api.RunManifest is RunManifest
+    assert api.enable_metrics is enable_metrics
+
+
+def test_facade_is_sufficient_to_boot_a_machine():
+    """The quickstart path works through the facade alone."""
+    machine = api.MachineSpec(uarch="zen 2").boot()
+    assert machine.uarch.name == "Zen 2"

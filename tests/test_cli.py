@@ -313,3 +313,90 @@ def test_chaos_smoke_recovers_and_matches_clean(capsys, tmp_path):
     assert "chaos smoke: OK" in out
     assert "faults fired: 4/4" in out
     assert "fingerprint-equals" in out
+
+
+def test_serve_selftest_dedups_and_reports(capsys, tmp_path):
+    code, out = run(capsys, "serve", "--selftest",
+                    "--selftest-distinct", "2",
+                    "--selftest-replays", "6",
+                    "--store-dir", str(tmp_path / "store"))
+    assert code == 0
+    assert "hit rate 100.0%" in out
+    assert "0 fingerprint mismatches" in out
+    assert "0 untyped failures" in out
+    assert "selftest: OK" in out
+
+
+def test_serve_selftest_json_document(capsys, tmp_path):
+    import json
+
+    code, out = run(capsys, "serve", "--selftest", "--json",
+                    "--selftest-distinct", "2",
+                    "--selftest-replays", "4",
+                    "--store-dir", str(tmp_path / "store"))
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == "phantom.load-replay/1"
+    assert doc["ok"] is True
+    assert doc["replay"]["hit_rate"] >= 0.95
+
+
+def test_submit_rejects_malformed_param(capsys):
+    code = main(["submit", "matrix", "--param", "no-equals-sign"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "KEY=VALUE" in err
+
+
+def test_submit_connection_refused_is_clean_failure(capsys):
+    # nothing listens on this port; the client must fail, not hang
+    import pytest
+
+    with pytest.raises(OSError):
+        main(["submit", "matrix", "--url", "http://127.0.0.1:9",
+              "--param", "cells=1"])
+
+
+def test_submit_and_serve_roundtrip(capsys, tmp_path):
+    """Full CLI pair: a background service, two identical submissions,
+    the second one answered from the store."""
+    from repro.service import ServiceConfig, start_in_thread
+
+    handle = start_in_thread(
+        ServiceConfig(port=0, store_dir=str(tmp_path / "store")))
+    try:
+        code, out = run(capsys, "submit", "matrix",
+                        "--url", handle.url, "--tenant", "cli-test",
+                        "--param", 'uarches=["zen 2"]',
+                        "--param", "cells=2")
+        assert code == 0
+        assert "done" in out
+        assert "hit rate 0.0%" in out
+        code, out = run(capsys, "submit", "matrix",
+                        "--url", handle.url, "--tenant", "cli-test",
+                        "--param", 'uarches=["zen 2"]',
+                        "--param", "cells=2")
+        assert code == 0
+        assert "2/2 jobs from the store" in out
+        assert "hit rate 100.0%" in out
+    finally:
+        handle.stop()
+
+
+def test_campaign_flags_share_one_record(capsys, tmp_path):
+    """--jobs/--resume/--checkpoint-every come from CampaignOptions on
+    every campaign command (the six copies of flag plumbing are gone)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for command in ("matrix", "kaslr", "physmap", "leak", "covert",
+                    "fuzz"):
+        args = parser.parse_args([command, "--jobs", "3",
+                                  "--checkpoint-every", "2"])
+        from repro.runner import CampaignOptions
+        options = CampaignOptions.from_args(args)
+        assert options.jobs == 3
+        assert options.checkpoint_every == 2
+    # fuzz keeps its serial default
+    assert parser.parse_args(["fuzz"]).jobs == 1
+    assert parser.parse_args(["matrix"]).jobs == 0
