@@ -872,26 +872,49 @@ def cmd_bench(args) -> int:
 def cmd_stats(args) -> int:
     import json
 
+    from .bench import diff_bench, is_bench_document, summarize_bench
     from .telemetry import SchemaError, validate_manifest
 
     if len(args.manifest) > 2:
-        print("stats takes one manifest (summary) or two (diff)",
+        print("stats takes one document (summary) or two (diff)",
               file=sys.stderr)
         return 2
     docs = []
+    bench = []
     for path in args.manifest:
         try:
-            doc = RunManifest.load(path)
-            validate_manifest(doc)
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
         except OSError as exc:
             print(f"stats: cannot read {path}: {exc}", file=sys.stderr)
             return 2
+        except json.JSONDecodeError as exc:
+            print(f"stats: {path} is not JSON: {exc}", file=sys.stderr)
+            return 2
+        if is_bench_document(raw):
+            bench.append(True)
+            docs.append(raw)
+            continue
+        bench.append(False)
+        try:
+            doc = RunManifest.load(path)
+            validate_manifest(doc)
         except (json.JSONDecodeError, SchemaError) as exc:
             reason = str(exc).splitlines()[0]
-            print(f"stats: {path} is not a run manifest: {reason}",
-                  file=sys.stderr)
+            print(f"stats: {path} is not a run manifest or bench "
+                  f"document: {reason}", file=sys.stderr)
             return 2
         docs.append(doc)
+    if len(set(bench)) > 1:
+        print("stats: cannot diff a run manifest against a bench "
+              "document", file=sys.stderr)
+        return 2
+    if bench[0]:
+        if len(docs) == 1:
+            print(summarize_bench(docs[0]))
+        else:
+            print(diff_bench(docs[0], docs[1]))
+        return 0
     if len(docs) == 1:
         print("\n".join(summarize_manifest(docs[0])))
     else:
@@ -1139,9 +1162,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("stats",
-                       help="summarize one run manifest, or diff two")
+                       help="summarize one run manifest or bench "
+                            "document, or diff two")
     p.add_argument("manifest", nargs="+",
-                   help="manifest file(s) written by --json/--results-dir")
+                   help="run manifest(s) written by --json/--results-dir, "
+                        "or phantom.bench/1 document(s) from `repro "
+                        "bench --out`")
     p.set_defaults(fn=cmd_stats)
 
     return parser

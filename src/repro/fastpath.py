@@ -1,24 +1,86 @@
 """Fast-path execution gate.
 
 The simulator ships two architecturally identical execution engines: the
-naive per-step interpreter and a fast path built on compiled step thunks
-plus translation memoization (see ``docs/performance.md``).  The
-``PHANTOM_REPRO_FASTPATH`` environment variable selects the engine at
-*construction* time — ``CPU``/``MemorySystem`` read it once when built,
-so flipping the variable mid-run has no effect on live objects.  Any
-value other than ``0``/``false``/``off`` (or unset) enables the fast
-path; the slow path exists purely as the differential-testing oracle.
+naive per-step interpreter and a fast path built on compiled step thunks,
+superblock compilation and translation memoization (see
+``docs/performance.md``).  The ``PHANTOM_REPRO_FASTPATH`` environment
+variable selects the engine at *construction* time — ``CPU``/
+``MemorySystem`` read it once when built, so flipping the variable
+mid-run has no effect on live objects.
+
+Accepted values:
+
+* unset, ``1`` or anything not listed below — fast path fully on;
+* ``0`` / ``false`` / ``off`` / ``no`` — naive path (the
+  differential-testing oracle);
+* a comma-separated flag list selectively disabling fast-path layers
+  while keeping the rest: ``superblocks=0`` (step thunks only, no
+  superblock fusion), ``quiesce=0`` (ticked idle instead of
+  event-skipped), or both (``superblocks=0,quiesce=0``).
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 ENV_VAR = "PHANTOM_REPRO_FASTPATH"
 
 _DISABLED = ("0", "false", "off", "no")
 
+#: Flags the selective syntax understands.
+_FLAGS = ("superblocks", "quiesce")
+
+
+@dataclass(frozen=True)
+class FastpathConfig:
+    """Parsed engine selection.
+
+    ``enabled`` picks the engine; the layer flags only matter when the
+    fast path is on (the naive engine never fuses superblocks, and both
+    engines must agree on idle semantics — quiescence skipping is
+    behaviour-neutral by construction, pinned by
+    ``tests/pipeline/test_quiescence.py``).
+    """
+
+    enabled: bool = True
+    superblocks: bool = True
+    quiesce: bool = True
+
+
+def parse_fastpath(value: str | None) -> FastpathConfig:
+    """Parse one ``PHANTOM_REPRO_FASTPATH`` value (None = unset)."""
+    if value is None:
+        return FastpathConfig()
+    text = value.strip().lower()
+    if not text:
+        return FastpathConfig()
+    if text in _DISABLED:
+        return FastpathConfig(enabled=False, superblocks=False,
+                              quiesce=False)
+    flags = {"superblocks": True, "quiesce": True}
+    saw_flag = False
+    for part in text.split(","):
+        part = part.strip()
+        if "=" not in part:
+            continue
+        name, _, raw = part.partition("=")
+        name = name.strip()
+        if name in _FLAGS:
+            saw_flag = True
+            flags[name] = raw.strip() not in _DISABLED
+    if not saw_flag and text != "1":
+        # Unknown non-flag value: historical behaviour is "anything not
+        # explicitly disabling enables the fast path".
+        return FastpathConfig()
+    return FastpathConfig(enabled=True, **flags)
+
+
+def fastpath_config() -> FastpathConfig:
+    """The engine configuration the environment selects."""
+    return parse_fastpath(os.environ.get(ENV_VAR))
+
 
 def fastpath_enabled() -> bool:
     """True unless ``PHANTOM_REPRO_FASTPATH`` explicitly disables it."""
-    return os.environ.get(ENV_VAR, "1").strip().lower() not in _DISABLED
+    return fastpath_config().enabled

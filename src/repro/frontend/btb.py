@@ -177,6 +177,12 @@ class BTB:
 
         self._sets: dict[int, "OrderedDict[int, BTBEntry]"] = {}
         self._hash_cache: dict[tuple[int, bool], tuple[int, int]] = {}
+        #: Every ``(set, tag)`` currently holding an entry.  Mirror of
+        #: ``_sets`` maintained at all mutation points so the superblock
+        #: engine can test a block's key footprint against the live
+        #: population with one set intersection instead of re-scanning
+        #: each byte (see :meth:`block_keys`).
+        self.live_keys: set[tuple[int, int]] = set()
         self.installs = 0
         self.hits = 0
         self.evictions = 0
@@ -219,8 +225,10 @@ class BTB:
                              trained_kernel=kernel_mode,
                              source_pc=source_pc)
         ways.move_to_end(tag)
+        self.live_keys.add((set_index, tag))
         if len(ways) > self.ways:
-            ways.popitem(last=False)
+            evicted_tag, _ = ways.popitem(last=False)
+            self.live_keys.discard((set_index, evicted_tag))
             self.evictions += 1
             if _REG.enabled:
                 self._m_evictions.value += 1
@@ -232,8 +240,8 @@ class BTB:
         """Drop the entry a source address selects (untraining)."""
         set_index, tag = self._key(source_pc, kernel_mode)
         ways = self._sets.get(set_index)
-        if ways is not None:
-            ways.pop(tag, None)
+        if ways is not None and ways.pop(tag, None) is not None:
+            self.live_keys.discard((set_index, tag))
 
     def lookup(self, source_pc: int, *, kernel_mode: bool) -> BTBEntry | None:
         """Query the predictor for a branch at *source_pc*."""
@@ -282,9 +290,36 @@ class BTB:
                 found.append((pc, entry))
         return found
 
+    def block_keys(self, block_start: int, block_len: int, *,
+                   kernel_mode: bool) -> frozenset[tuple[int, int]]:
+        """The ``(set, tag)`` footprint of a code block's byte addresses.
+
+        The footprint is a pure function of the address range and the
+        hash functions — independent of BTB contents — so the superblock
+        engine computes it once at compile time and later decides
+        "would :meth:`scan_block` find anything?" by intersecting with
+        :attr:`live_keys`.  Matching in key space rather than stored-pc
+        space is what keeps aliasing (the Phantom mechanism) visible: a
+        trainer at an unrelated va that hashes onto one of these keys
+        must still force the block onto the scanning slow path.
+        """
+        cache = self._hash_cache
+        index = self.indexing.index
+        priv = kernel_mode and self.indexing.privilege_in_tag
+        keys = set()
+        for pc in range(block_start, block_start + block_len):
+            cache_key = (pc, True) if priv else pc
+            key = cache.get(cache_key)
+            if key is None:
+                key = index(pc, kernel_mode)
+                cache[cache_key] = key
+            keys.add(key)
+        return frozenset(keys)
+
     def flush(self) -> None:
         """IBPB: drop all predictions."""
         self._sets.clear()
+        self.live_keys.clear()
 
     def set_occupancy(self, set_index: int) -> int:
         ways = self._sets.get(set_index)

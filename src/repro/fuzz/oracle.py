@@ -5,10 +5,13 @@ decoder loses the resteer race and one where it wins), the oracle runs
 the program under the naive interpreter and the fast-path engine and
 compares the full :class:`~repro.fuzz.harness.Observables` — cycles,
 registers, flags, PMC snapshot, episode list, data digest, outcome.
-The fast-path run carries the PMC-monotonicity hook (architecturally
-invisible, so hooked-fast vs unhooked-slow still has to match — the
-comparison doubles as a test of that claim), and is then subjected to
-the post-run invariant checks from :mod:`repro.fuzz.invariants`.
+The naive run carries the PMC-monotonicity hook (architecturally
+invisible, so hooked-slow vs unhooked-fast still has to match — the
+comparison doubles as a test of that claim); it rides the slow engine
+because superblock dispatch steps aside while a per-instruction hook
+is attached, and the oracle's fast run must exercise the fused path.
+Both worlds are then subjected to the post-run invariant checks from
+:mod:`repro.fuzz.invariants`.
 
 The `--jobs 1` vs `--jobs N` axis is covered by
 :class:`FuzzExperiment`, which shards a seed range into fixed-size
@@ -26,8 +29,7 @@ from ..pipeline import by_name
 from ..runner import JobSpec, derive_seed
 from ..core.experiment import chunked, values
 from .gen import generate
-from .harness import (build_world, compare_observables, run_program,
-                      run_world)
+from .harness import build_world, compare_observables, run_world
 from .invariants import (PMCMonotoneHook, check_cache_coherence,
                          check_episodes, check_no_transient_architectural_effect,
                          check_pmc_episode_consistency)
@@ -91,14 +93,22 @@ def check_program(program: FuzzProgram,
     report = verdict.divergences
     for name in uarches:
         uarch = by_name(name)
-        slow, slow_world = run_program(program, uarch, fastpath=False)
+        # Build the slow world by hand so the monotonicity hook can be
+        # bound to its CPU before the first instruction retires.  The
+        # hook rides the *naive* engine: it is architecturally passive
+        # (hooked-slow vs unhooked-fast still has to match — the
+        # comparison doubles as a test of that claim), and the fast
+        # engine must run bare because superblock dispatch steps aside
+        # whenever a per-instruction hook is observing — a hooked fast
+        # run would silently stop exercising the fused path.
+        slow_world = build_world(program, uarch, fastpath=False)
+        slow_world.cpu.record_episodes = True
+        hook = PMCMonotoneHook(slow_world.cpu)
+        slow_world.cpu.instr_hook = hook
+        slow = run_world(slow_world)
 
-        # Build the fast world by hand so the monotonicity hook can be
-        # bound to its CPU before the first instruction retires.
         fast_world = build_world(program, uarch, fastpath=True)
         fast_world.cpu.record_episodes = True
-        hook = PMCMonotoneHook(fast_world.cpu)
-        fast_world.cpu.instr_hook = hook
         fast = run_world(fast_world)
 
         for diff in compare_observables(slow, fast):

@@ -4,8 +4,9 @@ from .assembler import Assembler, Image, Segment
 from .decoder import decode
 from .encoder import NOPL_SEQUENCES, encode, encode_with_length
 from .instructions import BranchKind, Cond, Instruction, Mnemonic, Reg
-from .semantics import (ArchState, ExecResult, Flags, MemAccess,
-                        compile_executor, condition_met, execute)
+from .semantics import (SUPERBLOCK_FUSIBLE, ArchState, ExecResult, Flags,
+                        MemAccess, compile_executor, compile_superblock,
+                        condition_met, execute, superblock_fusible)
 from .uops import Uop, UopKind, crack, uop_count
 
 __all__ = [
@@ -21,15 +22,18 @@ __all__ = [
     "Mnemonic",
     "NOPL_SEQUENCES",
     "Reg",
+    "SUPERBLOCK_FUSIBLE",
     "Segment",
     "Uop",
     "UopKind",
     "compile_executor",
+    "compile_superblock",
     "condition_met",
     "crack",
     "decode",
     "encode",
     "encode_with_length",
     "execute",
+    "superblock_fusible",
     "uop_count",
 ]

@@ -262,6 +262,13 @@ class Machine:
         """Simulated wall-clock time since boot."""
         return self.cpu.cycles / (self.uarch.clock_ghz * 1e9)
 
+    def idle(self, cycles: int) -> None:
+        """Let the core sit quiescent for *cycles* cycles (e.g. waiting
+        on a timer): delegates to :meth:`CPU.idle`, which either ticks
+        or event-skips depending on the fast-path configuration —
+        identically either way."""
+        self.cpu.idle(cycles)
+
     @property
     def timing_jitter_sigma(self) -> float:
         """Timer noise level; a loaded sibling stabilises timing

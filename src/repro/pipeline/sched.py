@@ -1,0 +1,81 @@
+"""Quiescence event scheduler: tick-exact idle-cycle skipping.
+
+When the core is quiescent — nothing in flight, no instruction to
+retire — the only things that can happen are *scheduled events*
+(deferred timer wakeups, device callbacks the harness plants).  Ticking
+one cycle at a time through such a stretch costs a Python iteration per
+cycle for work a closed form predicts exactly, so :meth:`CPU.idle`
+offers two modes with provably identical observables:
+
+* **ticked** (``PHANTOM_REPRO_FASTPATH=quiesce=0`` or the naive
+  engine): advance ``cycles`` by one, count one idle cycle on the
+  ``cycles`` PMC, fire every event that has come due — repeat;
+* **event-skipped** (fast path default): jump ``cycles`` straight to
+  the next event timestamp (or the end of the idle window), applying
+  the per-cycle counter effect arithmetically, then fire the event.
+
+The two modes agree because event timestamps are normalised *at
+insertion time* (:meth:`EventScheduler.schedule` clamps to the next
+cycle boundary — an event can never fire in the past or on the current
+cycle, in either mode) and because the only per-cycle effect of a
+quiescent core is the idle-cycle counter, which is linear in the jump
+width.  ``tests/pipeline/test_quiescence.py`` pins cycle-exact equality
+of ``cycles``, every PMC slot and episode/fire timestamps between the
+two modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """A min-heap of ``(cycle, seq, callback)`` deadlines.
+
+    ``seq`` makes same-cycle events fire in insertion order and keeps
+    heap comparisons away from the (uncomparable) callbacks.  The
+    scheduler holds no reference to the CPU; :meth:`CPU.idle` drives it
+    and passes the current cycle in.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        #: Events fired over the scheduler's lifetime (diagnostics).
+        self.fired = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, now: int, delay: int,
+                 callback: Callable[[int], None]) -> int:
+        """Arm *callback* to fire *delay* cycles after *now*.
+
+        Returns the cycle the event will fire at.  The deadline is
+        clamped to ``now + 1``: a zero/negative delay still fires on the
+        *next* cycle, never retroactively — the normalisation that makes
+        ticked and event-skipped replay agree no matter when the caller
+        armed the event.  Callbacks receive the fire cycle; they run
+        while the core is idle, so they must not retire instructions
+        (schedule further events, poke counters, flip machine state).
+        """
+        when = max(int(now) + 1, int(now) + int(delay))
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+        return when
+
+    def next_deadline(self) -> int | None:
+        """Cycle of the earliest armed event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: int) -> Callable[[int], None] | None:
+        """Pop the earliest callback due at or before *now*."""
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            _, _, callback = heapq.heappop(heap)
+            self.fired += 1
+            return callback
+        return None

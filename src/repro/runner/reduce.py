@@ -122,7 +122,7 @@ def manifest_fingerprint(doc: dict) -> dict:
     outcome = out.get("outcome", {})
     for execution_detail in ("jobs", "attempts", "attempt_history",
                              "retried", "resume", "supervision",
-                             "spans", "progress"):
+                             "spans", "progress", "elapsed_seconds"):
         outcome.pop(execution_detail, None)
     out.get("totals", {}).pop("wall_time_s", None)
     for phase in out.get("phases", ()):

@@ -1,0 +1,178 @@
+"""Ticked vs event-skipped idle must be cycle-exact equivalents.
+
+``CPU.idle`` has two implementations: the naive mode ticks every
+quiescent cycle and polls the scheduler, the fast mode (``quiesce``)
+jumps straight between event deadlines and applies the per-cycle
+counter effect arithmetically.  Everything observable — the cycle
+clock, every PMC slot, event fire timestamps and ordering, episodes of
+surrounding bursts — must be identical, no matter how events and
+retire bursts interleave.
+"""
+
+import pytest
+
+from repro.errors import HaltRequested
+from repro.isa import Assembler, Cond, Reg
+from repro.memory import MemorySystem
+from repro.params import PAGE_SIZE
+from repro.pipeline import CPU, ZEN2
+
+CODE = 0x0000_0010_0000
+STACK = 0x0000_7FF0_0000
+
+
+def make_cpu(*, fastpath: bool = True, quiesce: bool) -> CPU:
+    mem = MemorySystem(128 << 20, fastpath=fastpath)
+    cpu = CPU(ZEN2, mem, fastpath=fastpath, quiesce=quiesce)
+    cpu.record_episodes = True
+    mem.map_anonymous(STACK - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                      user=True, nx=True)
+    cpu.state.write(Reg.RSP, STACK)
+    return cpu
+
+
+def burst(iters: int = 40) -> Assembler:
+    """A small mispredicting loop: episodes around the idle stretches."""
+    asm = Assembler(CODE)
+    asm.mov_ri(Reg.RAX, 0x9E3779B97F4A7C15)
+    asm.mov_ri(Reg.RCX, iters)
+    asm.label("loop")
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.shl_ri(Reg.RDX, 13)
+    asm.xor_rr(Reg.RAX, Reg.RDX)
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.and_ri(Reg.RDX, 1)
+    asm.cmp_ri(Reg.RDX, 0)
+    asm.jcc(Cond.E, "skip")
+    asm.add_ri(Reg.RBX, 1)
+    asm.label("skip")
+    asm.sub_ri(Reg.RCX, 1)
+    asm.jcc(Cond.NE, "loop")
+    asm.hlt()
+    return asm
+
+
+def run_to_halt(cpu: CPU, pc: int = CODE) -> None:
+    try:
+        cpu.run(pc, max_instructions=100_000)
+    except HaltRequested:
+        return
+    raise AssertionError("program did not halt")
+
+
+def observables(cpu: CPU) -> tuple:
+    return (cpu.cycles, cpu.pmc.snapshot(), cpu.episodes,
+            tuple(cpu.state.read(r) for r in Reg))
+
+
+def idle_heavy_scenario(cpu: CPU) -> list:
+    """Bursts interleaved with idles through a mixed event schedule."""
+    cpu.mem.load_image(burst().image(), user=True)
+    fired: list[int] = []
+    for delay in (1, 7, 250, 999, 1000, 1001, 5000):
+        run_to_halt(cpu)
+        cpu.sched.schedule(cpu.cycles, delay, fired.append)
+        cpu.sched.schedule(cpu.cycles, delay, fired.append)  # same cycle
+        cpu.sched.schedule(cpu.cycles, 2 * delay + 3, fired.append)
+        cpu.idle(1000)
+    cpu.idle(10_000)   # drain whatever is still armed
+    return fired
+
+
+class TestTickedVsSkipped:
+    def test_idle_heavy_scenario_is_cycle_exact(self):
+        ticked = make_cpu(quiesce=False)
+        skipped = make_cpu(quiesce=True)
+        fired_ticked = idle_heavy_scenario(ticked)
+        fired_skipped = idle_heavy_scenario(skipped)
+        assert fired_skipped == fired_ticked   # timestamps and order
+        assert observables(skipped) == observables(ticked)
+        assert skipped.cycles_skipped > 0
+        assert ticked.cycles_skipped == 0
+
+    def test_slow_engine_agrees_with_skipping_fast_engine(self):
+        slow = make_cpu(fastpath=False, quiesce=False)
+        fast = make_cpu(fastpath=True, quiesce=True)
+        fired_slow = idle_heavy_scenario(slow)
+        fired_fast = idle_heavy_scenario(fast)
+        assert fired_fast == fired_slow
+        assert observables(fast) == observables(slow)
+
+    def test_eventless_idle_jumps_to_end(self):
+        ticked = make_cpu(quiesce=False)
+        skipped = make_cpu(quiesce=True)
+        for cpu in (ticked, skipped):
+            cpu.idle(12_345)
+        assert skipped.cycles == ticked.cycles == 12_345
+        assert skipped.pmc.snapshot() == ticked.pmc.snapshot()
+        assert skipped.cycles_skipped == 12_345
+        assert skipped.sched.fired == ticked.sched.fired == 0
+
+    def test_zero_and_negative_idle_are_noops(self):
+        for cpu in (make_cpu(quiesce=False), make_cpu(quiesce=True)):
+            cpu.idle(0)
+            cpu.idle(-5)
+            assert cpu.cycles == 0
+            assert cpu.sched.fired == 0
+
+
+class TestEventSemantics:
+    @pytest.mark.parametrize("quiesce", [False, True])
+    def test_overdue_event_fires_on_first_idle_cycle(self, quiesce):
+        cpu = make_cpu(quiesce=quiesce)
+        fired: list[int] = []
+        deadline = cpu.sched.schedule(cpu.cycles, 5, fired.append)
+        # Run the clock past the deadline with retire work, then idle:
+        # the event is overdue and must fire on the first idle cycle.
+        cpu.mem.load_image(burst(5).image(), user=True)
+        run_to_halt(cpu)
+        assert cpu.cycles > deadline
+        start = cpu.cycles
+        cpu.idle(100)
+        assert fired == [start + 1]
+
+    @pytest.mark.parametrize("quiesce", [False, True])
+    def test_zero_delay_clamps_to_next_cycle(self, quiesce):
+        cpu = make_cpu(quiesce=quiesce)
+        fired: list[int] = []
+        cpu.sched.schedule(cpu.cycles, 0, fired.append)
+        cpu.sched.schedule(cpu.cycles, -3, fired.append)
+        cpu.idle(10)
+        assert fired == [1, 1]
+        assert cpu.cycles == 10
+
+    @pytest.mark.parametrize("quiesce", [False, True])
+    def test_same_deadline_fires_in_arming_order(self, quiesce):
+        cpu = make_cpu(quiesce=quiesce)
+        order: list[str] = []
+        for tag in ("a", "b", "c"):
+            cpu.sched.schedule(cpu.cycles, 50,
+                               lambda now, tag=tag: order.append(tag))
+        cpu.idle(100)
+        assert order == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("quiesce", [False, True])
+    def test_deadline_beyond_idle_span_stays_armed(self, quiesce):
+        cpu = make_cpu(quiesce=quiesce)
+        fired: list[int] = []
+        cpu.sched.schedule(cpu.cycles, 500, fired.append)
+        cpu.idle(100)
+        assert fired == []
+        assert cpu.cycles == 100
+        cpu.idle(1000)
+        assert fired == [500]
+
+    @pytest.mark.parametrize("quiesce", [False, True])
+    def test_callbacks_may_rearm_within_the_same_idle(self, quiesce):
+        cpu = make_cpu(quiesce=quiesce)
+        fired: list[int] = []
+
+        def periodic(now: int) -> None:
+            fired.append(now)
+            if len(fired) < 4:
+                cpu.sched.schedule(now, 100, periodic)
+
+        cpu.sched.schedule(cpu.cycles, 100, periodic)
+        cpu.idle(1000)
+        assert fired == [100, 200, 300, 400]
+        assert cpu.cycles == 1000

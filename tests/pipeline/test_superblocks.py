@@ -1,0 +1,245 @@
+"""Superblock fusion: equivalence, lifecycle, and the escape hatch.
+
+The superblock engine consumes straight-line runs in one fused call
+behind a BTB entry guard.  It must be observably identical to the
+per-step engines (architecture, cycles, PMCs, episodes), split/retire
+around self-modifying writes, fall back when the instruction budget
+cannot fit a whole block, and bail to the per-step path the moment a
+BTB entry lands inside a fused range — phantom episodes included.
+"""
+
+import pytest
+
+from repro.errors import HaltRequested, SimulationLimit
+from repro.fastpath import ENV_VAR
+from repro.isa import Assembler, BranchKind, Cond, Reg
+from repro.memory import MemorySystem
+from repro.params import PAGE_SIZE
+from repro.pipeline import CPU, ZEN2
+
+CODE = 0x0000_0010_0000
+STACK = 0x0000_7FF0_0000
+
+
+class Twin:
+    """One CPU per engine configuration, same program, same inputs."""
+
+    def __init__(self, *, fastpath: bool = True, superblocks: bool = True):
+        self.mem = MemorySystem(128 << 20, fastpath=fastpath)
+        self.cpu = CPU(ZEN2, self.mem, fastpath=fastpath,
+                       superblocks=superblocks)
+        self.cpu.record_episodes = True
+        self.mem.map_anonymous(STACK - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                               user=True, nx=True)
+        self.cpu.state.write(Reg.RSP, STACK)
+
+    def load(self, asm: Assembler) -> None:
+        self.mem.load_image(asm.image(), user=True)
+
+    def run(self, pc: int = CODE, max_instructions: int = 200_000) -> None:
+        try:
+            self.cpu.run(pc, max_instructions=max_instructions)
+        except HaltRequested:
+            return
+        raise AssertionError("program did not halt")
+
+    def observables(self) -> tuple:
+        return (self.cpu.cycles, self.cpu.pmc.snapshot(),
+                self.cpu.episodes,
+                tuple(self.cpu.state.read(r) for r in Reg))
+
+
+def fused_loop(iters: int = 100, body: int = 8) -> Assembler:
+    """A loop whose body is one long fusible straight-line run."""
+    asm = Assembler(CODE)
+    asm.mov_ri(Reg.RAX, 1)
+    asm.mov_ri(Reg.RBX, 3)
+    asm.mov_ri(Reg.RCX, iters)
+    asm.label("loop")
+    for _ in range(body):
+        asm.add_rr(Reg.RAX, Reg.RBX)
+        asm.xor_rr(Reg.RBX, Reg.RAX)
+        asm.add_ri(Reg.RAX, 7)
+    asm.sub_ri(Reg.RCX, 1)
+    asm.jcc(Cond.NE, "loop")
+    asm.hlt()
+    return asm
+
+
+def branchy(iters: int = 200) -> Assembler:
+    """Data-dependent branches: mispredicts open transient windows."""
+    asm = Assembler(CODE)
+    asm.mov_ri(Reg.RAX, 0x9E3779B97F4A7C15)
+    asm.mov_ri(Reg.RCX, iters)
+    asm.label("loop")
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.shl_ri(Reg.RDX, 13)
+    asm.xor_rr(Reg.RAX, Reg.RDX)
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.shr_ri(Reg.RDX, 7)
+    asm.xor_rr(Reg.RAX, Reg.RDX)
+    asm.mov_rr(Reg.RDX, Reg.RAX)
+    asm.and_ri(Reg.RDX, 1)
+    asm.cmp_ri(Reg.RDX, 0)
+    asm.jcc(Cond.E, "skip")
+    asm.add_ri(Reg.RBX, 1)
+    asm.label("skip")
+    asm.sub_ri(Reg.RCX, 1)
+    asm.jcc(Cond.NE, "loop")
+    asm.hlt()
+    return asm
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("program", [fused_loop, branchy])
+    def test_superblocks_match_both_other_engines(self, program):
+        slow = Twin(fastpath=False)
+        stepped = Twin(superblocks=False)
+        fused = Twin(superblocks=True)
+        for twin in (slow, stepped, fused):
+            twin.load(program())
+            twin.run()
+        assert fused.observables() == stepped.observables()
+        assert fused.observables() == slow.observables()
+        assert fused.cpu.sb_compiled > 0
+        assert fused.cpu.sb_fused_instructions >= \
+            3 * fused.cpu.sb_compiled
+        assert stepped.cpu.sb_compiled == 0
+        assert slow.cpu.sb_compiled == 0
+
+    def test_env_escape_hatch_disables_fusion(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "superblocks=0")
+        # No explicit superblocks= argument: the flag must come from
+        # the environment's selective syntax.
+        mem = MemorySystem(128 << 20, fastpath=True)
+        cpu = CPU(ZEN2, mem, fastpath=True)
+        assert cpu._fastpath
+        assert not cpu._superblocks
+        mem.map_anonymous(STACK - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                          user=True, nx=True)
+        cpu.state.write(Reg.RSP, STACK)
+        mem.load_image(fused_loop(20).image(), user=True)
+        with pytest.raises(HaltRequested):
+            cpu.run(CODE, max_instructions=10_000)
+        assert cpu.sb_compiled == 0
+        assert cpu.tb_compiled == 0
+        assert len(cpu._step_cache_user) > 0
+
+
+class TestLifecycle:
+    def test_midblock_write_retires_and_recompiles(self):
+        fused = Twin()
+        fused.load(fused_loop())
+        fused.run()
+        compiled = fused.cpu.sb_compiled
+        heads = [head for head, entry in fused.cpu._sb_user.items()
+                 if entry is not None]
+        assert heads
+        # Find an interior pc of a live block (indexed, not the head).
+        interior = next(pc for pc, owners in fused.cpu._sb_index.items()
+                        if any(not kernel and head != pc and head in heads
+                               for kernel, head in owners))
+        owner = next(head for kernel, head
+                     in fused.cpu._sb_index[interior]
+                     if not kernel and head in heads)
+        fused.cpu.invalidate_code(interior, interior + 1)
+        assert owner not in fused.cpu._sb_user
+        assert fused.cpu.sb_invalidated > 0
+        # Re-dispatch recompiles over whatever decodes survive, and the
+        # rerun still matches the per-step engine exactly.  The stepped
+        # twin gets the identical invalidation: dropping µop-cache
+        # windows is cycle-visible, and both engines must pay it.
+        stepped = Twin(superblocks=False)
+        stepped.load(fused_loop())
+        stepped.run()
+        stepped.cpu.invalidate_code(interior, interior + 1)
+        fused.run()
+        stepped.run()
+        assert fused.observables() == stepped.observables()
+        assert fused.cpu.sb_compiled > compiled
+
+    def test_remap_flushes_block_caches(self):
+        fused = Twin()
+        fused.load(fused_loop(50))
+        fused.run()
+        assert any(entry is not None
+                   for entry in fused.cpu._sb_user.values())
+        generation = fused.mem.aspace.generation
+        fused.mem.map_anonymous(0x0000_0300_0000, PAGE_SIZE, user=True)
+        assert fused.mem.aspace.generation != generation
+        fused.run()            # first dispatch notices and clears
+        assert fused.cpu._sb_gen == fused.mem.aspace.generation
+        # Blocks recompiled under the new generation still agree.
+        stepped = Twin(superblocks=False)
+        stepped.load(fused_loop(50))
+        stepped.run()
+        stepped.run()
+        assert fused.cpu.cycles == stepped.cpu.cycles
+        assert fused.cpu.pmc.snapshot() == stepped.cpu.pmc.snapshot()
+
+    def test_budget_smaller_than_block_still_exact(self):
+        for budget in (1, 2, 7):
+            fused = Twin()
+            fused.load(fused_loop())
+            fused.run()        # warm + compile
+            stepped = Twin(superblocks=False)
+            stepped.load(fused_loop())
+            stepped.run()
+            for twin in (fused, stepped):
+                with pytest.raises(SimulationLimit):
+                    twin.cpu.run(CODE, max_instructions=budget)
+            assert fused.cpu.pmc.read("instructions") == \
+                stepped.cpu.pmc.read("instructions")
+            assert fused.cpu.pc == stepped.cpu.pc
+            assert fused.cpu.cycles == stepped.cpu.cycles
+
+
+class TestProbeGuard:
+    def test_btb_entry_inside_block_bails_to_step_path(self):
+        """An aliasing BTB entry landing mid-block must force the
+        per-step path, which performs the phantom episode — fused and
+        stepped engines stay identical through it."""
+        fused = Twin()
+        stepped = Twin(superblocks=False)
+        slow = Twin(fastpath=False)
+        twins = (fused, stepped, slow)
+        for twin in twins:
+            twin.load(fused_loop())
+            twin.run()
+        heads = [head for head, entry in fused.cpu._sb_user.items()
+                 if entry is not None]
+        interior = next(pc for pc, owners in fused.cpu._sb_index.items()
+                        if any(not kernel and head != pc and head in heads
+                               for kernel, head in owners))
+        bails = fused.cpu.sb_probe_bails
+        for twin in twins:
+            # Train a jump "at" a straight-line pc: the decoder will
+            # detect the disagreement (Phantom's trigger condition).
+            twin.cpu.bpu.btb.train(interior, BranchKind.DIRECT,
+                                   CODE, kernel_mode=False)
+            twin.run()
+        assert fused.cpu.sb_probe_bails > bails
+        assert fused.observables() == stepped.observables()
+        assert fused.observables() == slow.observables()
+        # The rerun actually tripped phantom machinery somewhere.
+        assert any(e.frontend_resteer for e in fused.cpu.episodes)
+
+
+class TestTransientBlocks:
+    def test_compile_and_invalidate(self):
+        fused = Twin()
+        fused.load(branchy(400))
+        fused.run()
+        assert fused.cpu.tb_compiled > 0
+        assert any(entry is not None
+                   for entry in fused.cpu._tb_user.values())
+        invalidated = fused.cpu.sb_invalidated
+        fused.cpu.invalidate_code(CODE, CODE + PAGE_SIZE)
+        assert not fused.cpu._tb_user
+        assert fused.cpu.sb_invalidated > invalidated
+
+    def test_disabled_superblocks_compile_no_transient_blocks(self):
+        stepped = Twin(superblocks=False)
+        stepped.load(branchy(400))
+        stepped.run()
+        assert stepped.cpu.tb_compiled == 0

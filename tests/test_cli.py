@@ -176,6 +176,48 @@ def test_stats_diffs_two_manifests(capsys, tmp_path):
     assert "diff: gadgets" in out
 
 
+def _write_bench_doc(path, speedup=10.0):
+    import json
+
+    from repro.bench import WorkloadResult, document
+
+    result = WorkloadResult(
+        name="branch_heavy", iterations=10, instructions=100,
+        slow_seconds=speedup, fast_seconds=1.0,
+        superblocks={"compiled": 2, "fused_instructions": 10,
+                     "mean_length": 5.0, "invalidated": 0,
+                     "probe_bails": 0, "transient_compiled": 1,
+                     "cycles_skipped": 0})
+    path.write_text(json.dumps(document([result])))
+    return path
+
+
+def test_stats_summarizes_bench_document(capsys, tmp_path):
+    path = _write_bench_doc(tmp_path / "bench.json")
+    code, out = run(capsys, "stats", str(path))
+    assert code == 0
+    assert "branch_heavy" in out
+    assert "superblocks:" in out
+
+
+def test_stats_diffs_two_bench_documents(capsys, tmp_path):
+    a = _write_bench_doc(tmp_path / "a.json", speedup=10.0)
+    b = _write_bench_doc(tmp_path / "b.json", speedup=12.0)
+    code, out = run(capsys, "stats", str(a), str(b))
+    assert code == 0
+    assert "+2.00x" in out
+
+
+def test_stats_refuses_mixed_document_kinds(capsys, tmp_path):
+    run(capsys, "gadgets", "--functions", "60",
+        "--results-dir", str(tmp_path))
+    (manifest,) = tmp_path.glob("gadgets-*.json")
+    bench = _write_bench_doc(tmp_path / "bench.json")
+    code = main(["stats", str(manifest), str(bench)])
+    assert code == 2
+    assert "cannot diff" in capsys.readouterr().err
+
+
 def test_stats_rejects_three_manifests(capsys):
     code = main(["stats", "a.json", "b.json", "c.json"])
     assert code == 2
