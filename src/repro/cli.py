@@ -115,6 +115,16 @@ def _fuzz_shapes():
     return SHAPES
 
 
+def _fuzz_contracts():
+    from .fuzz import contract_names
+    return contract_names()
+
+
+def _mitigation_names():
+    from .kernel import mitigation_names
+    return mitigation_names()
+
+
 class _Run:
     """Telemetry harness shared by every experiment command.
 
@@ -181,9 +191,14 @@ class _Run:
         """Fold a :class:`repro.runner.CampaignResult`'s merged manifest
         into this run's manifest at finish time.  The jobs' metrics
         live in the absorbed document, so the process registry is reset
-        to keep the final snapshot from counting the last job twice."""
+        to keep the final snapshot from counting the last job twice.
+        It is then re-enabled: an in-process (--jobs 1) campaign leaves
+        the registry disabled after its last job, and any post-campaign
+        work (violation replay, shrinking) must be metered identically
+        at every worker count."""
         self._absorbed.append(campaign.manifest)
         REGISTRY.reset()
+        REGISTRY.enable()
 
     def finish(self, status: str, **outcome) -> None:
         self.manifest.finish(status, machine=self.machine, **outcome)
@@ -535,6 +550,12 @@ def cmd_fuzz(args) -> int:
                        generate, program_seed, save_counterexample, shrink)
     from .runner import run_campaign
 
+    if args.contract:
+        return _cmd_fuzz_contract(args)
+    if args.mitigation:
+        print("fuzz: --mitigation requires --contract", file=sys.stderr)
+        return 2
+
     uarches = tuple(args.uarch) if args.uarch else DEFAULT_UARCHES
     invariants = not args.no_invariants
     with _Run(args, "fuzz", seed=args.seed, iters=args.iters,
@@ -607,6 +628,119 @@ def cmd_fuzz(args) -> int:
                  f"{', '.join(uarches)}: {len(failures)} divergence(s) "
                  f"in {elapsed:.1f}s")
     return 1 if failures else 0
+
+
+def _cmd_fuzz_contract(args) -> int:
+    """Relational mode of ``repro fuzz``: generated pairs against one
+    leakage contract; violations shrink and ship as
+    ``phantom.contract-violation/1`` artifacts."""
+    import time
+
+    from .fuzz import (ContractExperiment, DEFAULT_UARCHES, check_pair,
+                       contract_by_name, generate_pair, pair_seed,
+                       save_violation, shrink_pair)
+    from .kernel import mitigation_by_name
+    from .runner import run_campaign
+
+    uarches = tuple(args.uarch) if args.uarch else DEFAULT_UARCHES
+    contract = contract_by_name(args.contract)
+    override = mitigation_by_name(args.mitigation) if args.mitigation \
+        else None
+    effective = override if override is not None \
+        else contract.resolve_mitigation()
+    with _Run(args, "fuzz", seed=args.seed, iters=args.iters,
+              uarches=list(uarches), shape=args.shape,
+              contract=contract.name, mitigation=effective.name) as run:
+        started = time.monotonic()
+        violations = []   # (index, pair, verdict)
+        checked = 0
+        # Only a --time-budget needs the inline loop (the campaign
+        # runner cannot stop mid-chunk); otherwise even --jobs 1 goes
+        # through run_campaign so the manifest is byte-identical at
+        # any worker count.
+        if args.jobs == 1 and not args.resume and args.time_budget:
+            with run.phase("contract-fuzz"):
+                for index in range(args.iters):
+                    if time.monotonic() - started >= args.time_budget:
+                        run.text(f"time budget hit after {checked} pairs")
+                        break
+                    pair = generate_pair(pair_seed(args.seed, index),
+                                         args.shape)
+                    verdict = check_pair(pair, contract, uarches,
+                                         mitigation=override)
+                    checked += 1
+                    if not verdict.ok:
+                        violations.append((index, pair, verdict))
+        else:
+            # Sharded exactly like the engine-differential campaign:
+            # fixed chunks, --jobs-independent manifests.
+            with run.phase("contract-fuzz"):
+                campaign = run_campaign(
+                    ContractExperiment(seed=args.seed, count=args.iters,
+                                       contract=contract.name,
+                                       shape=args.shape, uarches=uarches,
+                                       mitigation=args.mitigation),
+                    jobs=args.jobs, **run.campaign_kwargs())
+            run.absorb(campaign)
+            outcome = campaign.raise_on_failure().value
+            checked = outcome["pairs"]
+            for index in outcome["violated_indices"]:
+                pair = generate_pair(pair_seed(args.seed, index),
+                                     args.shape)
+                violations.append((index, pair,
+                                   check_pair(pair, contract, uarches,
+                                              mitigation=override)))
+
+        artifacts = []
+        for index, pair, verdict in violations:
+            run.text(f"CONTRACT VIOLATION at index {index}: {pair.name} "
+                     f"[{contract.name} / {effective.name}]")
+            for divergence in verdict.divergences[:8]:
+                run.text(f"  {divergence}")
+            shrink_checks = 0
+            if not args.no_shrink:
+                result = shrink_pair(pair, verdict, uarches=uarches,
+                                     mitigation=override)
+                run.text(f"  shrunk {result.items_before} -> "
+                         f"{result.items_after} items "
+                         f"({result.checks} pair checks)")
+                pair, shrink_checks = result.pair, result.checks
+                # Re-verdict the shrunk pair so the shipped artifact's
+                # divergences describe the program it actually contains.
+                verdict = check_pair(pair, contract, uarches,
+                                     mitigation=override)
+            path = save_violation(pair, verdict, args.artifact_dir,
+                                  shrink_checks=shrink_checks)
+            artifacts.append(str(path))
+            run.text(f"  wrote {path}")
+
+        elapsed = time.monotonic() - started
+        run.finish("success" if not violations else "failure",
+                   pairs=checked, violations=len(violations),
+                   violated_indices=[index for index, _, _ in violations],
+                   artifacts=artifacts, elapsed_seconds=round(elapsed, 3))
+        run.text(f"checked {checked}/{args.iters} pairs against "
+                 f"'{contract.name}' (mitigation {effective.name}) on "
+                 f"{', '.join(uarches)}: {len(violations)} violation(s) "
+                 f"in {elapsed:.1f}s")
+    return 1 if violations else 0
+
+
+def cmd_contracts(args) -> int:
+    """List the leakage-contract and mitigation registries."""
+    from .fuzz import CONTRACTS
+    from .kernel import MITIGATIONS
+
+    print(f"{'contract':18s} {'mitigation':14s} protected channels")
+    for contract in CONTRACTS:
+        print(f"{contract.name:18s} {contract.mitigation:14s} "
+              f"{', '.join(contract.protects)}")
+    print()
+    print(f"{'mitigation':14s} {'mechanism':36s} config toggles")
+    for mitigation in MITIGATIONS:
+        toggles = ", ".join(mitigation.toggles) or "(baseline)"
+        print(f"{mitigation.name:14s} {mitigation.mechanism:36s} {toggles}")
+    return 0
 
 
 def cmd_chaos(args) -> int:
@@ -1032,9 +1166,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine differential only, skip invariant checks")
     p.add_argument("--no-shrink", action="store_true",
                    help="write counterexamples without minimizing them")
+    p.add_argument("--contract", default=None, choices=_fuzz_contracts(),
+                   metavar="NAME",
+                   help="relational mode: check public-equivalent "
+                        "secret-divergent input pairs against leakage "
+                        "contract NAME (see 'repro contracts')")
+    p.add_argument("--mitigation", default=None,
+                   choices=_mitigation_names(), metavar="NAME",
+                   help="override the contract's mitigation setting "
+                        "(requires --contract)")
     CampaignOptions.add_arguments(p, jobs_default=1)
     _add_telemetry(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("contracts",
+                       help="list leakage contracts and the mitigation "
+                            "registry")
+    csub = p.add_subparsers(dest="contracts_command")
+    pl = csub.add_parser("list", help="contract and mitigation tables")
+    pl.set_defaults(fn=cmd_contracts)
+    p.set_defaults(fn=cmd_contracts)
 
     p = sub.add_parser("chaos",
                        help="fault-injection smoke: inject every fault "

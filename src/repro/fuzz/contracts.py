@@ -1,0 +1,170 @@
+"""Leakage contracts: which observables may depend on secret inputs.
+
+A **contract** is the unit of relational (model-based) testing à la
+Revizor/sca-fuzzer: it names a mitigation setting (from
+:data:`repro.kernel.mitigations.MITIGATIONS`) and an **observer
+clause** — the subset of :data:`~repro.sidechannel.leaktrace.CHANNELS`
+the contract *protects*.  Running a public-equivalent, secret-divergent
+input pair under the contract's mitigations and finding any protected
+channel differing between the two :class:`LeakTrace` records is a
+**contract violation**: the system leaks a secret through a channel the
+contract declares closed, whether the mechanism is speculative (a
+phantom fetch of a secret-correlated target) or architectural (a
+secret-indexed load).  Channels outside the clause are *permitted* to
+depend on secrets — that is the contract's honest statement of residual
+leakage (SuppressBPOnNonBr, for example, still permits the whole
+instruction-fetch side: O4).
+
+Violations ship as ``phantom.contract-violation/1`` artifacts
+(:func:`violation_document` / :func:`save_violation`), validated
+against :data:`repro.telemetry.schema.CONTRACT_VIOLATION_JSON_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..kernel.mitigations import (Mitigation, MitigationConfig,
+                                  mitigation_by_name)
+from ..sidechannel.leaktrace import CHANNELS
+
+#: Schema tag on shipped violation artifacts.
+VIOLATION_SCHEMA = "phantom.contract-violation/1"
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One leakage contract: (mitigation setting, observer clause)."""
+
+    name: str
+    #: Mitigation registry entry armed while checking this contract.
+    mitigation: str
+    #: Channels that must NOT depend on secret inputs.
+    protects: tuple[str, ...]
+    #: The µarch guarantee this contract is an executable statement of.
+    claim: str
+
+    def __post_init__(self) -> None:
+        unknown = set(self.protects) - set(CHANNELS)
+        if unknown:
+            raise ValueError(f"contract {self.name}: unknown channels "
+                             f"{sorted(unknown)}")
+
+    @property
+    def permits(self) -> tuple[str, ...]:
+        """Channels the contract allows to depend on secrets."""
+        return tuple(c for c in CHANNELS if c not in self.protects)
+
+    def resolve_mitigation(self) -> Mitigation:
+        return mitigation_by_name(self.mitigation)
+
+    def mitigation_config(self) -> MitigationConfig:
+        return self.resolve_mitigation().config
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "mitigation": self.mitigation,
+                "protects": list(self.protects),
+                "permits": list(self.permits), "claim": self.claim}
+
+
+#: The contract registry.  Ordering is the docs/CLI presentation order.
+CONTRACTS: tuple[Contract, ...] = (
+    Contract(
+        name="no-leak",
+        mitigation="none",
+        protects=CHANNELS,
+        claim="Nothing attacker-visible may depend on secrets — the "
+              "strictest clause; the bring-up finder that any leaking "
+              "idiom violates."),
+    Contract(
+        name="no-if-leak",
+        mitigation="none",
+        protects=("icache", "l2"),
+        claim="The instruction-fetch side (L1I/L2 code residue) is "
+              "secret-independent.  Phantom's central result is that "
+              "this fails on every tested µarch: a decoder-detectable "
+              "misprediction fetches the predicted target before any "
+              "mitigation can intervene."),
+    Contract(
+        name="suppress-bp-safe",
+        mitigation="suppress-bp",
+        protects=("dcache",),
+        claim="With SuppressBPOnNonBr armed, prediction sites on "
+              "non-branch bytes never reach transient execute, so no "
+              "secret-dependent data access happens there (O4 — fetch "
+              "and decode remain permitted, hence the narrow clause)."),
+    Contract(
+        name="auto-ibrs-safe",
+        mitigation="auto-ibrs",
+        protects=("dcache",),
+        claim="With AutoIBRS armed (Zen 4), cross-privilege "
+              "predictions are refused before execute, closing the "
+              "data side; the fetch/decode of the predicted target "
+              "still happens (O5)."),
+    Contract(
+        name="retbleed-safe",
+        mitigation="rsb-stuffing",
+        protects=("ret-episodes",),
+        claim="With RSB stuffing on kernel entry, no return executes "
+              "under a secret-dependent (or user-poisoned) return "
+              "prediction — the episode log's ret slice is "
+              "secret-independent."),
+    Contract(
+        name="ibpb-hardened",
+        mitigation="ibpb",
+        protects=("icache", "dcache", "l2"),
+        claim="With IBPB on every kernel entry, injected predictions "
+              "die before kernel code runs: no speculative cache "
+              "residue may depend on secrets (§8.2)."),
+)
+
+_BY_NAME = {c.name: c for c in CONTRACTS}
+
+
+def contract_names() -> tuple[str, ...]:
+    return tuple(c.name for c in CONTRACTS)
+
+
+def contract_by_name(name: str) -> Contract:
+    """Resolve a contract, separator- and case-insensitive."""
+    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        known = ", ".join(contract_names())
+        raise ValueError(
+            f"unknown contract {name!r} (one of: {known})") from None
+
+
+# -- violation artifacts ---------------------------------------------------
+
+
+def violation_document(pair, verdict, *, shrink_checks: int = 0) -> dict:
+    """The ``phantom.contract-violation/1`` document for one violating
+    pair (*verdict* is a :class:`~repro.fuzz.relational.ContractVerdict`).
+    """
+    contract = verdict.contract
+    return {
+        "schema": VIOLATION_SCHEMA,
+        "contract": contract.name,
+        "mitigation": verdict.mitigation.name,
+        "uarches": list(verdict.uarches),
+        "protects": list(contract.protects),
+        "classes": list(verdict.classes),
+        "divergences": [str(d) for d in verdict.divergences],
+        "shrink_checks": shrink_checks,
+        "pair": pair.to_dict(),
+    }
+
+
+def save_violation(pair, verdict, directory: Path | str, *,
+                   shrink_checks: int = 0) -> Path:
+    """Write one violation artifact; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = violation_document(pair, verdict, shrink_checks=shrink_checks)
+    path = directory / f"violation-{verdict.contract.name}-{pair.name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path

@@ -78,14 +78,38 @@ def save_counterexample(program: FuzzProgram, divergences: list[str],
     return path
 
 
+#: Schemas iter_corpus silently skips: relational-pair documents and
+#: contract-violation artifacts live in the same directory but replay
+#: through tests/fuzz/test_contract_corpus.py, not the program oracle.
+_RELATIONAL_SCHEMAS = ("phantom.fuzz-pair/1", "phantom.contract-violation/1")
+
+
 def iter_corpus(directory: Path | str) -> list[tuple[Path, FuzzProgram]]:
-    """All corpus entries under *directory*, sorted by file name."""
+    """All *program* corpus entries under *directory*, sorted by file
+    name (relational pair / violation documents are skipped)."""
     directory = Path(directory)
     if not directory.is_dir():
         return []
     entries = []
     for path in sorted(directory.glob("*.json")):
+        doc = json.loads(path.read_text())
+        if doc.get("schema") in _RELATIONAL_SCHEMAS:
+            continue
         entries.append((path, load_program(path)))
+    return entries
+
+
+def iter_pair_corpus(directory: Path | str) -> list[tuple[Path, dict]]:
+    """All relational documents (pairs and violation artifacts) under
+    *directory* as raw docs, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        doc = json.loads(path.read_text())
+        if doc.get("schema") in _RELATIONAL_SCHEMAS:
+            entries.append((path, doc))
     return entries
 
 

@@ -40,8 +40,9 @@ import random
 
 from ..isa import Cond, NOPL_SEQUENCES, Reg, encode
 from ..params import PAGE_SIZE
-from .program import (FuzzProgram, InstrSpec, Item, Patch,
-                      USER_CODE_PAGES, USER_DATA, USER_DATA_PAGES)
+from .program import (FuzzProgram, InstrSpec, Item, Patch, SECRET_OFFSET,
+                      SECRET_SIZE, USER_CODE_PAGES, USER_DATA,
+                      USER_DATA_PAGES)
 
 #: Generator shapes, selectable by name or drawn uniformly per seed.
 SHAPES = ("branchy", "alias", "straddle", "syscall", "smc", "mixed")
@@ -86,11 +87,17 @@ class _Emitter:
             self.patchable.append((len(self.items) - 1, tag, length))
 
 
+#: Secret-tainted gadget flavours the relational generator can emit.
+TAINT_GADGETS = ("load", "branch", "index")
+
+
 class _Gen:
-    def __init__(self, seed: int, shape: str) -> None:
+    def __init__(self, seed: int, shape: str, taint: bool = False) -> None:
         self.rng = random.Random(seed)
         self.seed = seed
         self.shape = shape
+        self.taint = taint
+        self.secret_reads: list[tuple[int, int]] = []
         self.user = _Emitter()
         self.kernel: list[Item] = []
         self.patches: list[Patch] = []
@@ -189,6 +196,52 @@ class _Gen:
         if self.rng.random() < 0.06:
             return InstrSpec(self.rng.choice(("lfence", "mfence")))
         return self.alu()
+
+    # -- secret-tainted gadgets (relational fuzzing) ---------------------
+
+    def emit_secret_gadget(self) -> None:
+        """One secret-consuming gadget: a byte load from the secret
+        region, annotated in ``secret_reads``, optionally followed by a
+        secret-dependent branch or a secret-indexed second access — the
+        classic leaking idioms a leakage contract must notice.
+        """
+        rng = self.rng
+        kind = rng.choice(TAINT_GADGETS)
+        secret_byte = rng.randrange(SECRET_SIZE)
+        ptr = self.writable()
+        self.user.emit(InstrSpec("mov_ri", dest=ptr.name.lower(),
+                                 imm=USER_DATA + SECRET_OFFSET + secret_byte))
+        val = rng.choice([r for r in _GP
+                          if r not in _POINTERS
+                          and r not in self._loop_counters and r is not ptr])
+        self.secret_reads.append((len(self.user.items), secret_byte))
+        self.user.emit(InstrSpec("movb_rm", dest=val.name.lower(),
+                                 base=ptr.name.lower(), disp=0))
+        if kind == "branch":
+            # Secret-dependent direction: fetched code differs per run.
+            skip = self.uniq("T")
+            self.user.emit(InstrSpec("cmp_ri", dest=val.name.lower(),
+                                     imm=128))
+            self.user.emit(InstrSpec("jcc", cc=rng.choice(("b", "ae")),
+                                     target=skip))
+            for _ in range(rng.randrange(1, 4)):
+                self.user.emit(self.body_instr())
+            self.user.label(skip)
+        elif kind == "index":
+            # Secret-indexed access: the touched D-cache line encodes
+            # the byte (16-byte stride keeps it inside the data pages).
+            self.user.emit(InstrSpec("shl_ri", dest=val.name.lower(),
+                                     imm=4))
+            base = rng.choice([r for r in _GP
+                               if r not in _POINTERS
+                               and r not in self._loop_counters
+                               and r is not val])
+            self.user.emit(InstrSpec("mov_ri", dest=base.name.lower(),
+                                     imm=USER_DATA))
+            self.user.emit(InstrSpec("add_rr", dest=base.name.lower(),
+                                     src=val.name.lower()))
+            self.user.emit(InstrSpec("mov_rm", dest=val.name.lower(),
+                                     base=base.name.lower(), disp=0))
 
     # -- structure -------------------------------------------------------
 
@@ -372,6 +425,9 @@ class _Gen:
             if shape == "straddle" and rng.random() < 0.6:
                 self.emit_pad_to_boundary()
             self.emit_block_body(rng.randrange(2, 8))
+            if self.taint and len(self.secret_reads) < 3 \
+                    and rng.random() < 0.4:
+                self.emit_secret_gadget()
             self.emit_terminator(block, labels, functions, use_kernel)
             if self.user.offset > _CODE_BYTE_BUDGET - 1024:
                 break
@@ -379,6 +435,9 @@ class _Gen:
         # park them on the exit instruction.
         for name in labels[emitted:-1]:
             self.user.label(name)
+        if self.taint and not self.secret_reads:
+            # Every tainted program consumes at least one secret byte.
+            self.emit_secret_gadget()
         self.user.label("exit")
         self.user.emit(InstrSpec("hlt"))
         for name in functions:
@@ -394,24 +453,31 @@ class _Gen:
             [(reg.name.lower(), rng.getrandbits(64))
              for reg in (Reg.RAX, Reg.RCX, Reg.RDX)]))
         data = rng.randbytes(512)
+        prefix = "tainted-" if self.taint else ""
         return FuzzProgram(
-            name=f"{shape}-{self.seed & 0xFFFFFFFFFFFFFFFF:016x}",
+            name=f"{prefix}{shape}-{self.seed & 0xFFFFFFFFFFFFFFFF:016x}",
             seed=self.seed, shape=shape,
             user_items=tuple(self.user.items),
             kernel_items=tuple(self.kernel),
             regs=regs, data=data,
             patches=tuple(self.patches), runs=self.runs,
-            max_instructions=6000)
+            max_instructions=6000,
+            secret_loads=tuple(self.secret_reads))
 
 
-def generate(seed: int, shape: str | None = None) -> FuzzProgram:
+def generate(seed: int, shape: str | None = None, *,
+             taint: bool = False) -> FuzzProgram:
     """Deterministically generate one program from *seed*.
 
     When *shape* is None it is drawn from the seed itself, so a plain
-    integer sequence of seeds sweeps all shapes.
+    integer sequence of seeds sweeps all shapes.  With ``taint=True``
+    the program additionally consumes 1–3 bytes of the secret region
+    through :data:`TAINT_GADGETS`, with every consuming load annotated
+    in :attr:`~repro.fuzz.program.FuzzProgram.secret_loads` — the raw
+    material of the relational pair generator.
     """
     if shape is None:
         shape = SHAPES[random.Random(seed ^ 0x5EED).randrange(len(SHAPES))]
     elif shape not in SHAPES:
         raise ValueError(f"unknown shape {shape!r} (one of {SHAPES})")
-    return _Gen(seed, shape).build()
+    return _Gen(seed, shape, taint=taint).build()

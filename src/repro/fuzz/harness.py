@@ -26,12 +26,14 @@ from dataclasses import dataclass, field
 from ..errors import (DecodeError, GeneralProtectionFault, HaltRequested,
                       MemoryError_, PageFault, ReproError, SimulationLimit)
 from ..isa import Image, Reg, Segment
+from ..kernel.mitigations import MitigationConfig
 from ..memory import MemorySystem
 from ..params import PAGE_SIZE
 from ..pipeline import CPU, Microarch
 from .program import (BuiltProgram, FuzzProgram, KERNEL_CODE,
-                      KERNEL_STACK_TOP, KERNEL_STACK_PAGES, USER_DATA,
-                      USER_DATA_PAGES, USER_STACK_TOP, USER_STACK_PAGES)
+                      KERNEL_CODE_PAGES, KERNEL_STACK_TOP,
+                      KERNEL_STACK_PAGES, USER_DATA, USER_DATA_PAGES,
+                      USER_STACK_TOP, USER_STACK_PAGES)
 
 #: Physical memory given to each fuzz world (a handful of pages used).
 PHYS_SIZE = 4 << 20
@@ -97,6 +99,7 @@ class World:
     saved_user_pc: int = 0
     saved_user_rsp: int = 0
     run_outcomes: list[str] = field(default_factory=list)
+    mitigations: MitigationConfig | None = None
 
     @property
     def program(self) -> FuzzProgram:
@@ -104,12 +107,23 @@ class World:
 
 
 def build_world(program: FuzzProgram | BuiltProgram, uarch: Microarch, *,
-                fastpath: bool) -> World:
-    """Map a program's images into a fresh MemorySystem + CPU."""
+                fastpath: bool,
+                mitigations: MitigationConfig | None = None) -> World:
+    """Map a program's images into a fresh MemorySystem + CPU.
+
+    *mitigations* arms the same switches a booted
+    :class:`~repro.kernel.Machine` would: the MSR bits are set before
+    the first instruction, and the kernel-entry actions (IBPB, RSB
+    stuffing) run in the trap handler exactly as ``Machine._trap``
+    performs them.
+    """
     built = program if isinstance(program, BuiltProgram) else program.build()
     mem = MemorySystem(PHYS_SIZE, hierarchy=uarch.hierarchy,
                        rng=random.Random(0), fastpath=fastpath)
     cpu = CPU(uarch, mem, rng=random.Random(0), fastpath=fastpath)
+    if mitigations is not None:
+        cpu.msr.suppress_bp_on_non_br = mitigations.suppress_bp_on_non_br
+        cpu.msr.auto_ibrs = mitigations.auto_ibrs
 
     mem.load_image(built.user_image, user=True)
     data = built.program.data.ljust(USER_DATA_PAGES * PAGE_SIZE, b"\x00")
@@ -124,9 +138,15 @@ def build_world(program: FuzzProgram | BuiltProgram, uarch: Microarch, *,
                           KERNEL_STACK_PAGES * PAGE_SIZE, user=False,
                           nx=True)
 
-    world = World(built=built, mem=mem, cpu=cpu)
+    world = World(built=built, mem=mem, cpu=cpu, mitigations=mitigations)
     cpu.trap_handler = _make_trap_handler(world)
     return world
+
+
+#: Where the fuzz world's RSB-stuffing pad "lives": the tail of the
+#: mapped kernel code region (never executed architecturally — only
+#: the return predictor sees it, mirroring ``rsb_stuff_pad``).
+RSB_STUFF_PAD = KERNEL_CODE + KERNEL_CODE_PAGES * PAGE_SIZE - 64
 
 
 def _make_trap_handler(world: World):
@@ -141,6 +161,15 @@ def _make_trap_handler(world: World):
                 raise ProgramExit("syscall-no-kernel")
             world.saved_user_pc = result.next_pc
             world.saved_user_rsp = cpu.state.read(Reg.RSP)
+            mitigations = world.mitigations
+            if mitigations is not None:
+                if mitigations.ibpb_on_kernel_entry:
+                    cpu.bpu.ibpb()
+                if mitigations.rsb_stuffing_on_entry:
+                    cpu.bpu.rsb.clear()
+                    for _ in range(cpu.bpu.rsb.depth):
+                        cpu.bpu.rsb.push(RSB_STUFF_PAD)
+                    cpu.cycles += 2 * cpu.bpu.rsb.depth
             cpu.kernel_mode = True
             cpu.state.write(Reg.RSP, KERNEL_STACK_TOP - 64)
             cpu.cycles += uarch.syscall_entry_cost
@@ -263,13 +292,16 @@ def run_world(world: World) -> Observables:
 
 def run_program(program: FuzzProgram | BuiltProgram, uarch: Microarch, *,
                 fastpath: bool, record_episodes: bool = True,
-                instr_hook=None) -> tuple[Observables, World]:
+                instr_hook=None,
+                mitigations: MitigationConfig | None = None
+                ) -> tuple[Observables, World]:
     """Run every scheduled run of *program* on one engine.
 
     Returns the final observables plus the live :class:`World` so
     invariant checks can inspect engine-internal caches afterwards.
     """
-    world = build_world(program, uarch, fastpath=fastpath)
+    world = build_world(program, uarch, fastpath=fastpath,
+                        mitigations=mitigations)
     world.cpu.record_episodes = record_episodes
     if instr_hook is not None:
         world.cpu.instr_hook = instr_hook

@@ -57,6 +57,13 @@ KERNEL_CODE_PAGES = 2
 KERNEL_STACK_TOP = 0xFFFF_FFFF_9200_0000
 KERNEL_STACK_PAGES = 4
 
+#: Secret-region convention for relational (contract) fuzzing: the tail
+#: of the 512-byte initialized data blob is the secret input, the head
+#: is public.  Pairs that agree on ``data[:SECRET_OFFSET]`` are
+#: public-equivalent by construction (see repro.fuzz.relational).
+SECRET_OFFSET = 256
+SECRET_SIZE = 256
+
 #: Mnemonics whose displacement is a label-resolved branch target.
 _LABEL_BRANCHES = frozenset({Mnemonic.JMP, Mnemonic.JMP_SHORT, Mnemonic.JCC,
                              Mnemonic.CALL})
@@ -192,10 +199,24 @@ class FuzzProgram:
     runs: int = 1
     max_instructions: int = 4000
     description: str = ""
+    #: Secret-operand annotations: ``(item_index, secret_byte)`` pairs
+    #: marking user items that load byte ``secret_byte`` of the secret
+    #: region (``data[SECRET_OFFSET + secret_byte]``).  The relational
+    #: pair generator writes them; the shrinker must keep them pointing
+    #: at the surviving loads when items are dropped.
+    secret_loads: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.user_items:
             raise FuzzProgramError("program has no user items")
+        for index, secret_byte in self.secret_loads:
+            if not 0 <= index < len(self.user_items):
+                raise FuzzProgramError(
+                    f"secret_loads index {index} out of range")
+            if not 0 <= secret_byte < SECRET_SIZE:
+                raise FuzzProgramError(
+                    f"secret byte {secret_byte} outside the secret "
+                    f"region (0..{SECRET_SIZE - 1})")
         if len(self.data) > USER_DATA_PAGES * PAGE_SIZE:
             raise FuzzProgramError("data exceeds the mapped data region")
         for patch in self.patches:
@@ -306,6 +327,9 @@ class FuzzProgram:
             "user_items": [item.to_dict() for item in self.user_items],
             "kernel_items": [item.to_dict() for item in self.kernel_items],
             "patches": [patch.to_dict() for patch in self.patches],
+            **({"secret_loads": [list(entry)
+                                 for entry in self.secret_loads]}
+               if self.secret_loads else {}),
         }
 
     @classmethod
@@ -325,6 +349,8 @@ class FuzzProgram:
                                for d in doc.get("kernel_items", ())),
             patches=tuple(Patch.from_dict(d)
                           for d in doc.get("patches", ())),
+            secret_loads=tuple((index, byte) for index, byte
+                               in doc.get("secret_loads", ())),
         )
 
     def to_json(self) -> str:

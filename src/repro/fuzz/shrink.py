@@ -86,9 +86,15 @@ def _drop_user_items(program: FuzzProgram,
         Patch(before_run=p.before_run, index=remap[p.index], instr=p.instr)
         for p in program.patches if p.index not in removed)
     runs = program.runs if patches else 1
+    # Secret-operand annotations are positional like patches: deleted
+    # loads lose their annotation, surviving ones follow their item.
+    secret_loads = tuple(
+        (remap[index], byte) for index, byte in program.secret_loads
+        if index not in removed)
     return program.with_(user_items=_without_items(program.user_items,
                                                    removed),
-                         patches=patches, runs=runs)
+                         patches=patches, runs=runs,
+                         secret_loads=secret_loads)
 
 
 def _sweep(size: int, keep_last: bool, attempt, budget: _Budget) -> bool:
@@ -187,7 +193,10 @@ def _neutralize_items(program: FuzzProgram, predicate,
         budget.spend()
         items = list(program.user_items)
         items[index] = Item(instr=nop, labels=item.labels)
-        candidate = program.with_(user_items=tuple(items))
+        candidate = program.with_(
+            user_items=tuple(items),
+            secret_loads=tuple(entry for entry in program.secret_loads
+                               if entry[0] != index))
         if predicate(candidate):
             program = candidate
     return program
@@ -238,3 +247,84 @@ def shrink(program: FuzzProgram, verdict: Verdict, *,
     return ShrinkResult(program=shrunk, checks=budget.used,
                         items_before=items_before,
                         items_after=len(shrunk.user_items))
+
+
+# -- relational (pair) shrinking -------------------------------------------
+
+
+@dataclass
+class PairShrinkResult:
+    pair: "RelationalPair"
+    checks: int
+    items_before: int
+    items_after: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.items_after < self.items_before
+
+
+def shrink_pair(pair, verdict, *,
+                uarches: Sequence[str] = DEFAULT_UARCHES,
+                mitigation=None, max_checks: int = 250) -> PairShrinkResult:
+    """Minimize a contract-violating pair while the violating
+    contract+observer class keeps reproducing.
+
+    Reuses the program passes (patches, ddmin, neutralize) with a
+    pair-level predicate — every candidate runs both variants under the
+    verdict's contract.  The data region is **not** truncated: the
+    secret region is the relational input and must survive.  A final
+    one-shot pass aligns ``secret_b`` with ``secret_a`` at every secret
+    byte the shrunk program no longer reads, so the shipped pair
+    differs only where it matters.
+    """
+    from .relational import check_pair  # local: avoid import cycle risk
+
+    contract = verdict.contract
+    classes = set(verdict.contract_classes) or set(verdict.classes)
+    if not classes:
+        raise ValueError("cannot shrink a contract-satisfying pair")
+    budget = _Budget(max_checks)
+
+    def pair_ok(candidate) -> bool:
+        try:
+            result = check_pair(candidate, contract, uarches,
+                                mitigation=mitigation)
+        except Exception:
+            return False  # malformed reduction: reject
+        return bool(set(result.classes) & classes)
+
+    current = pair
+    items_before = len(current.program.user_items)
+
+    def predicate(candidate_program: FuzzProgram) -> bool:
+        return pair_ok(current.with_(program=candidate_program))
+
+    program = _drop_patches(current.program, predicate, budget)
+    program = _reduce_items(program, "user_items", True, predicate, budget)
+    if program.kernel_items:
+        program = _reduce_items(program, "kernel_items", True, predicate,
+                                budget)
+    program = _neutralize_items(program, predicate, budget)
+    current = current.with_(program=program)
+
+    # Align unread secret bytes (one shot): keep b != a only at bytes
+    # the surviving annotated loads consume.
+    consumed = set(current.consumed)
+    aligned = bytes(b if index in consumed else a
+                    for index, (a, b)
+                    in enumerate(zip(current.secret_a, current.secret_b)))
+    if aligned != current.secret_b and not budget.exhausted:
+        budget.spend()
+        candidate = current.with_(secret_b=aligned)
+        if pair_ok(candidate):
+            current = candidate
+
+    shrunk_program = current.program.with_(
+        description=(current.program.description + " "
+                     if current.program.description else "")
+        + f"shrunk; classes: {sorted(classes)}")
+    current = current.with_(program=shrunk_program)
+    return PairShrinkResult(pair=current, checks=budget.used,
+                            items_before=items_before,
+                            items_after=len(shrunk_program.user_items))

@@ -8,7 +8,8 @@ from .layout import (DISCLOSURE_GADGET_OFFSET, FDGET_POS_OFFSET, IMAGE_SIZE,
 from .machine import (Machine, MachineSpec, SECRET_OFFSET, SECRET_SIZE,
                       USER_STUB)
 from .mitigations import (DEFAULT_MITIGATIONS, HARDENED, IBPB_HARDENED,
-                          MitigationConfig)
+                          MITIGATIONS, Mitigation, MitigationConfig,
+                          mitigation_by_name, mitigation_names)
 from .modules import COVERT_BRANCHES, MDS_ARRAY_LENGTH
 
 __all__ = [
@@ -23,9 +24,11 @@ __all__ = [
     "KERNEL_IMAGE_STRIDE",
     "Kaslr",
     "MDS_ARRAY_LENGTH",
+    "MITIGATIONS",
     "MODULES_BASE",
     "Machine",
     "MachineSpec",
+    "Mitigation",
     "MitigationConfig",
     "PHYSMAP_REGION",
     "PHYSMAP_STRIDE",
@@ -41,4 +44,6 @@ __all__ = [
     "SYS_REV",
     "TASK_PID_NR_NS_OFFSET",
     "USER_STUB",
+    "mitigation_by_name",
+    "mitigation_names",
 ]

@@ -1,12 +1,15 @@
-"""Side-channel substrate: timers, Prime+Probe, Flush+Reload."""
+"""Side-channel substrate: timers, Prime+Probe, Flush+Reload, and the
+:class:`LeakTrace` observer extraction the leakage contracts compare."""
 
 from .flushreload import ReloadBuffer, SLOTS, SLOT_STRIDE
+from .leaktrace import CHANNELS, LeakTrace, SPEC_COUNTERS, capture
 from .primeprobe import (L1I_SETS, L1I_WAYS, L2_SETS, L2_WAYS,
                          PrimeProbeL1D, PrimeProbeL1I, PrimeProbeL2,
                          probe_threshold)
 from .timer import Timer, calibrate_threshold
 
 __all__ = [
+    "CHANNELS",
     "L1I_SETS",
     "L1I_WAYS",
     "L2_SETS",
@@ -14,10 +17,13 @@ __all__ = [
     "PrimeProbeL1D",
     "PrimeProbeL1I",
     "PrimeProbeL2",
+    "LeakTrace",
     "ReloadBuffer",
     "SLOTS",
     "SLOT_STRIDE",
+    "SPEC_COUNTERS",
     "Timer",
     "calibrate_threshold",
+    "capture",
     "probe_threshold",
 ]

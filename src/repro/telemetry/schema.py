@@ -111,6 +111,63 @@ MANIFEST_JSON_SCHEMA = {
     },
 }
 
+CONTRACT_VIOLATION_JSON_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": "phantom.contract-violation/1",
+    "title": "Phantom leakage-contract violation artifact",
+    "type": "object",
+    "required": ["schema", "contract", "mitigation", "uarches",
+                 "protects", "classes", "divergences", "pair"],
+    "properties": {
+        "schema": {"type": "string",
+                   "enum": ["phantom.contract-violation/1"]},
+        "contract": {"type": "string"},
+        "mitigation": {"type": "string"},
+        "uarches": {"type": "array", "items": {"type": "string"}},
+        "protects": {"type": "array", "items": {"type": "string"}},
+        "classes": {"type": "array", "items": {"type": "string"}},
+        "divergences": {"type": "array", "items": {"type": "string"}},
+        "shrink_checks": {"type": "integer"},
+        "pair": {
+            "type": "object",
+            "required": ["schema", "name", "secret_a", "secret_b",
+                         "program"],
+            "properties": {
+                "schema": {"type": "string",
+                           "enum": ["phantom.fuzz-pair/1"]},
+                "name": {"type": "string"},
+                "secret_a": {"type": "string"},
+                "secret_b": {"type": "string"},
+                "program": {
+                    "type": "object",
+                    "required": ["schema", "name", "seed", "shape",
+                                 "user_items"],
+                    "properties": {
+                        "schema": {"type": "string",
+                                   "enum": ["phantom.fuzz-program/1"]},
+                        "name": {"type": "string"},
+                        "seed": {"type": "integer"},
+                        "shape": {"type": "string"},
+                        "user_items": {"type": "array",
+                                       "items": {"type": "object"}},
+                        "kernel_items": {"type": "array",
+                                         "items": {"type": "object"}},
+                        "patches": {"type": "array",
+                                    "items": {"type": "object"}},
+                        "secret_loads": {"type": "array",
+                                         "items": {"type": "array"}},
+                        "regs": {"type": "object"},
+                        "data": {"type": "string"},
+                        "runs": {"type": "integer"},
+                        "max_instructions": {"type": "integer"},
+                        "description": {"type": "string"},
+                    },
+                },
+            },
+        },
+    },
+}
+
 _TYPES = {
     "object": dict,
     "array": list,
@@ -170,3 +227,8 @@ def validate(doc: dict, schema: dict | None = None) -> None:
 def validate_manifest(doc: dict) -> None:
     """Validate one run-manifest document."""
     validate(doc, MANIFEST_JSON_SCHEMA)
+
+
+def validate_violation(doc: dict) -> None:
+    """Validate one contract-violation artifact."""
+    validate(doc, CONTRACT_VIOLATION_JSON_SCHEMA)

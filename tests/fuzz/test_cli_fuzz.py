@@ -90,3 +90,60 @@ def test_fuzz_no_shrink_skips_minimization(capsys, tmp_path, monkeypatch):
     assert code == 1
     assert "shrunk" not in out
     assert list((tmp_path / "a").glob("counterexample-*.json"))
+
+
+# -- relational (contract) mode --------------------------------------------
+
+
+def test_contracts_list(capsys):
+    code, out = run(capsys, "contracts", "list")
+    assert code == 0
+    for name in ("no-leak", "no-if-leak", "retbleed-safe"):
+        assert name in out
+    for mitigation in ("suppress-bp", "rsb-stuffing"):
+        assert mitigation in out
+
+
+def test_fuzz_mitigation_requires_contract(capsys):
+    assert main(["fuzz", "--mitigation", "ibpb", "--iters", "1"]) == 2
+
+
+def test_contract_clean_run(capsys, tmp_path):
+    code, out = run(capsys, "fuzz", "--contract", "retbleed-safe",
+                    "--seed", "0", "--iters", "2",
+                    "--artifact-dir", str(tmp_path / "artifacts"))
+    assert code == 0
+    assert "retbleed-safe" in out and "0 violation(s)" in out
+    assert not (tmp_path / "artifacts").exists()
+
+
+def test_contract_violation_ships_valid_artifact(capsys, tmp_path):
+    from repro.telemetry import validate_violation
+
+    artifact_dir = tmp_path / "artifacts"
+    code, out = run(capsys, "fuzz", "--contract", "no-leak",
+                    "--seed", "0", "--iters", "1", "--no-shrink",
+                    "--artifact-dir", str(artifact_dir))
+    assert code == 1
+    assert "CONTRACT VIOLATION" in out
+    artifacts = sorted(artifact_dir.glob("violation-*.json"))
+    assert artifacts
+    for path in artifacts:
+        validate_violation(json.loads(path.read_text()))
+
+
+def test_contract_manifest_identical_across_jobs(capsys, tmp_path):
+    from repro.runner import manifest_fingerprint
+
+    docs = []
+    for jobs in ("1", "2"):
+        code, out = run(capsys, "fuzz", "--contract", "retbleed-safe",
+                        "--seed", "3", "--iters", "4", "--json",
+                        "--jobs", jobs,
+                        "--artifact-dir", str(tmp_path / jobs))
+        assert code == 0
+        docs.append(json.loads(out))
+    for doc in docs:
+        validate_manifest(doc)
+        assert doc["config"]["contract"] == "retbleed-safe"
+    assert manifest_fingerprint(docs[0]) == manifest_fingerprint(docs[1])

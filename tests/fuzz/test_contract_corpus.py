@@ -1,0 +1,100 @@
+"""Replay the pinned relational corpus.
+
+Two kinds of entry live under ``tests/fuzz/corpus/`` next to the
+program corpus:
+
+* ``violation-*.json`` — shrunk ``phantom.contract-violation/1``
+  artifacts.  Each must still violate its recorded contract with
+  exactly the recorded divergence classes (the expected-violation pin),
+  and must validate against the checked-in schema.
+* ``pair-*.json`` — ``phantom.fuzz-pair/1`` documents pinned as
+  contract-*satisfying*: they must stay clean under the strictest
+  contract (``no-leak``).
+
+``check_pair`` runs every variant on both engines (slow and fastpath)
+and cross-checks their leak traces, so one green replay covers the
+dual-engine requirement; any engine split would surface as an
+``engine`` divergence and change the classes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (RelationalPair, check_pair, contract_by_name,
+                        generate_pair, iter_corpus, iter_pair_corpus,
+                        load_pair)
+from repro.kernel import mitigation_by_name
+from repro.telemetry import validate_violation
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = iter_pair_corpus(CORPUS_DIR)
+VIOLATIONS = [(p, d) for p, d in ENTRIES
+              if d["schema"] == "phantom.contract-violation/1"]
+CLEAN_PAIRS = [(p, d) for p, d in ENTRIES
+               if d["schema"] == "phantom.fuzz-pair/1"]
+
+
+def entry_ids(entries):
+    return [path.stem for path, _ in entries]
+
+
+def test_corpus_has_the_required_pins():
+    # The issue floor: two violating and two satisfying entries.
+    assert len(VIOLATIONS) >= 2
+    assert len(CLEAN_PAIRS) >= 2
+
+
+def test_relational_entries_are_invisible_to_the_program_corpus():
+    # iter_corpus must keep returning only program counterexamples;
+    # the relational documents ride alongside without breaking it.
+    program_names = {path.name for path, _ in iter_corpus(CORPUS_DIR)}
+    for path, _ in ENTRIES:
+        assert path.name not in program_names
+
+
+@pytest.mark.parametrize(("path", "doc"), VIOLATIONS,
+                         ids=entry_ids(VIOLATIONS))
+def test_violation_artifact_validates(path, doc):
+    validate_violation(doc)
+    assert doc["classes"], f"{path.name} pinned without classes"
+
+
+@pytest.mark.parametrize(("path", "doc"), VIOLATIONS,
+                         ids=entry_ids(VIOLATIONS))
+def test_pinned_violation_still_violates(path, doc):
+    """The shrunk reproducer re-violates its contract with exactly the
+    recorded divergence classes, on both engines."""
+    pair = load_pair(path)
+    contract = contract_by_name(doc["contract"])
+    mitigation = mitigation_by_name(doc["mitigation"])
+    verdict = check_pair(pair, contract, doc["uarches"],
+                         mitigation=mitigation)
+    assert not verdict.ok
+    assert list(verdict.classes) == doc["classes"]
+    # The pin was a *contract* violation, not an engine split.
+    assert verdict.contract_classes == verdict.classes
+
+
+@pytest.mark.parametrize(("path", "doc"), CLEAN_PAIRS,
+                         ids=entry_ids(CLEAN_PAIRS))
+def test_pinned_clean_pair_stays_clean(path, doc):
+    """The satisfying pins hold under the strictest contract."""
+    pair = RelationalPair.from_dict(doc)
+    verdict = check_pair(pair, contract_by_name("no-leak"))
+    assert verdict.ok, verdict.classes
+
+
+@pytest.mark.parametrize(("path", "doc"), CLEAN_PAIRS,
+                         ids=entry_ids(CLEAN_PAIRS))
+def test_pinned_clean_pair_matches_its_generator(path, doc):
+    """Unshrunk pins regenerate bit-for-bit from their recorded seed —
+    the generator cannot drift under the corpus."""
+    pair = RelationalPair.from_dict(doc)
+    assert generate_pair(pair.program.seed, pair.program.shape) == pair
+
+
+def test_artifacts_round_trip_through_json():
+    for path, doc in ENTRIES:
+        assert json.loads(path.read_text()) == doc

@@ -1,0 +1,136 @@
+"""The leakage-contract registry and violation artifacts."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (CONTRACTS, Contract, VIOLATION_SCHEMA, check_pair,
+                        contract_by_name, contract_names, generate_pair,
+                        load_pair, pair_seed, save_violation,
+                        violation_document)
+from repro.kernel import mitigation_names
+from repro.sidechannel import CHANNELS
+from repro.telemetry import (CONTRACT_VIOLATION_JSON_SCHEMA, SchemaError,
+                             validate_violation)
+
+SCHEMA_COPY = Path(__file__).parent.parent / "data" \
+    / "contract_violation.schema.json"
+
+
+# -- registry --------------------------------------------------------------
+
+
+def test_registry_names_unique():
+    names = contract_names()
+    assert len(names) == len(set(names))
+    assert "no-leak" in names and "retbleed-safe" in names
+
+
+@pytest.mark.parametrize("contract", CONTRACTS,
+                         ids=[c.name for c in CONTRACTS])
+def test_every_contract_is_well_formed(contract):
+    # Clause channels exist; the mitigation resolves; permits is the
+    # exact complement of protects.
+    assert set(contract.protects) <= set(CHANNELS)
+    assert contract.resolve_mitigation().name == contract.mitigation
+    assert contract.mitigation in mitigation_names()
+    assert set(contract.permits) | set(contract.protects) == set(CHANNELS)
+    assert not set(contract.permits) & set(contract.protects)
+    assert contract.claim
+    assert contract.mitigation_config() \
+        == contract.resolve_mitigation().config
+
+
+def test_no_leak_protects_everything():
+    assert contract_by_name("no-leak").protects == CHANNELS
+    assert contract_by_name("no-leak").permits == ()
+
+
+def test_suppress_bp_clause_permits_the_fetch_side():
+    """O4 in contract form: the MSR gate closes the data side only;
+    I-cache/L2 fetch residue stays an honest, permitted channel."""
+    contract = contract_by_name("suppress-bp-safe")
+    assert "dcache" in contract.protects
+    assert "icache" in contract.permits
+    assert "l2" in contract.permits
+
+
+def test_by_name_is_separator_and_case_insensitive():
+    assert contract_by_name("NO_IF_LEAK").name == "no-if-leak"
+    assert contract_by_name(" retbleed safe ").name == "retbleed-safe"
+
+
+def test_unknown_contract_lists_the_registry():
+    with pytest.raises(ValueError) as excinfo:
+        contract_by_name("constant-time")
+    for name in contract_names():
+        assert name in str(excinfo.value)
+
+
+def test_unknown_channel_is_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown channels"):
+        Contract(name="bogus", mitigation="none",
+                 protects=("icache", "tlb"), claim="x")
+
+
+def test_to_dict_is_json_clean():
+    for contract in CONTRACTS:
+        doc = json.loads(json.dumps(contract.to_dict()))
+        assert doc["name"] == contract.name
+        assert doc["protects"] == list(contract.protects)
+
+
+# -- violation artifacts ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def violating_verdict():
+    """A real violating pair under the strictest contract (pinned seed
+    known to diverge; cheap enough to run once per module)."""
+    pair = generate_pair(pair_seed(0, 0))
+    verdict = check_pair(pair, contract_by_name("no-leak"))
+    assert not verdict.ok
+    return pair, verdict
+
+
+def test_violation_document_shape(violating_verdict):
+    pair, verdict = violating_verdict
+    doc = violation_document(pair, verdict, shrink_checks=7)
+    assert doc["schema"] == VIOLATION_SCHEMA
+    assert doc["contract"] == "no-leak"
+    assert doc["mitigation"] == "none"
+    assert doc["classes"] == list(verdict.classes)
+    assert doc["shrink_checks"] == 7
+    assert doc["pair"]["name"] == pair.name
+    validate_violation(doc)
+
+
+def test_save_violation_round_trips(tmp_path, violating_verdict):
+    pair, verdict = violating_verdict
+    path = save_violation(pair, verdict, tmp_path)
+    assert path.name == f"violation-no-leak-{pair.name}.json"
+    doc = json.loads(path.read_text())
+    validate_violation(doc)
+    # load_pair unwraps the embedded pair for replay.
+    assert load_pair(path) == pair
+
+
+def test_validate_violation_rejects_garbage(violating_verdict):
+    pair, verdict = violating_verdict
+    doc = violation_document(pair, verdict)
+    doc["schema"] = "phantom.contract-violation/2"
+    with pytest.raises(SchemaError):
+        validate_violation(doc)
+    doc = violation_document(pair, verdict)
+    del doc["classes"]
+    with pytest.raises(SchemaError):
+        validate_violation(doc)
+
+
+def test_checked_in_schema_copy_matches_the_source():
+    """``tests/data/contract_violation.schema.json`` is the published
+    form of the violation schema; drift here means the artifact format
+    changed without the docs noticing."""
+    assert json.loads(SCHEMA_COPY.read_text()) \
+        == CONTRACT_VIOLATION_JSON_SCHEMA

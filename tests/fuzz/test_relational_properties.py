@@ -1,0 +1,141 @@
+"""Property-based tests of the relational pair machinery.
+
+These check the *construction* guarantees the contract oracle relies
+on — no machine boots here, so hypothesis can sweep the seed space:
+
+* pair generation is a pure function of the seed,
+* the two variants are public-equivalent by construction,
+* the secrets diverge at exactly the consumed bytes,
+* campaign sharding partitions the index space independent of chunking,
+* shrinking a violating pair never changes the violating
+  contract + observer class set (checked against a deterministic
+  stand-in oracle; the corpus replay test covers the real one).
+"""
+
+import importlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import (SECRET_OFFSET, SECRET_SIZE, SHAPES,
+                        ContractExperiment, ContractVerdict, Divergence,
+                        contract_by_name, generate, generate_pair,
+                        pair_seed, RelationalPair, shrink_pair)
+
+relational_module = importlib.import_module("repro.fuzz.relational")
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+shapes = st.sampled_from((None,) + SHAPES)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, shape=shapes)
+def test_pair_generation_is_deterministic(seed, shape):
+    assert generate_pair(seed, shape) == generate_pair(seed, shape)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, shape=shapes)
+def test_variants_are_public_equivalent_secret_divergent(seed, shape):
+    pair = generate_pair(seed, shape)
+    a, b = pair.variant_a, pair.variant_b
+    # Public projections agree by construction: same code, same
+    # registers, same non-secret data.
+    assert pair.public_projection(a) == pair.public_projection(b)
+    assert a.user_items == b.user_items
+    assert a.kernel_items == b.kernel_items
+    assert a.regs == b.regs
+    assert a.patches == b.patches
+    # The secrets diverge at exactly the consumed bytes.
+    diff = {i for i in range(SECRET_SIZE)
+            if pair.secret_a[i] != pair.secret_b[i]}
+    assert diff == set(pair.consumed)
+    # Tainted generation always consumes at least one secret byte.
+    assert pair.consumed
+    # Variant A is the program as serialized.
+    assert a == pair.program
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, shape=shapes)
+def test_annotations_point_at_secret_loads(seed, shape):
+    pair = generate_pair(seed, shape)
+    for index, byte in pair.program.secret_loads:
+        item = pair.program.user_items[index]
+        assert item.instr.mnemonic == "movb_rm"
+        assert 0 <= byte < SECRET_SIZE
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, shape=shapes)
+def test_taint_does_not_perturb_the_untainted_stream(seed, shape):
+    """A tainted program differs from the plain generator's output only
+    by inserted gadgets: the untainted stream itself is unchanged, so
+    existing program-corpus pins survive the generator hooks."""
+    assert generate(seed, shape) == generate(seed, shape, taint=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, index=st.integers(min_value=0, max_value=10_000))
+def test_pair_seed_depends_only_on_campaign_seed_and_index(seed, index):
+    assert pair_seed(seed, index) == pair_seed(seed, index)
+    assert pair_seed(seed, index) != pair_seed(seed, index + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(count=st.integers(min_value=1, max_value=257))
+def test_job_specs_partition_the_index_space(count):
+    experiment = ContractExperiment(seed=3, count=count)
+    covered = []
+    for spec in experiment.job_specs():
+        covered.extend(range(spec.param("start"), spec.param("stop")))
+    assert covered == list(range(count))
+
+
+# -- shrinking preserves the violating class -------------------------------
+
+
+_CLASSES = ("contract/Zen 2/dcache", "contract/Zen 3/l2")
+
+
+def _fake_check_pair(pair, contract, uarches=("zen2", "zen3"), *,
+                     mitigation=None):
+    """Deterministic stand-in oracle: a pair violates iff an annotated
+    secret load survives *and* the secrets still diverge somewhere the
+    program reads them."""
+    effective = mitigation or contract.resolve_mitigation()
+    verdict = ContractVerdict(pair=pair, contract=contract,
+                              mitigation=effective,
+                              uarches=tuple(uarches))
+    diverges = any(pair.secret_a[b] != pair.secret_b[b]
+                   for b in pair.consumed)
+    if pair.program.secret_loads and diverges:
+        for klass in _CLASSES:
+            spot, uarch, channel = klass.split("/")
+            verdict.divergences.append(
+                Divergence(spot, uarch, f"{channel}: differs"))
+    return verdict
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_shrink_preserves_the_violating_class_set(seed):
+    pair = generate_pair(seed)
+    contract = contract_by_name("no-leak")
+    original = relational_module.check_pair
+    relational_module.check_pair = _fake_check_pair
+    try:
+        verdict = _fake_check_pair(pair, contract)
+        assert not verdict.ok
+        result = shrink_pair(pair, verdict)
+        after = _fake_check_pair(result.pair, contract)
+    finally:
+        relational_module.check_pair = original
+    # The shrunk pair still violates with the same class set ...
+    assert set(after.contract_classes) == set(verdict.contract_classes)
+    # ... is no bigger than what we started with ...
+    assert len(result.pair.program.user_items) \
+        <= len(pair.program.user_items)
+    # ... and its secrets were aligned outside the consumed bytes.
+    for i in range(SECRET_SIZE):
+        if i not in result.pair.consumed:
+            assert result.pair.secret_a[i] == result.pair.secret_b[i]

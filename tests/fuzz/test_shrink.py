@@ -126,3 +126,59 @@ def test_malformed_reductions_are_rejected_not_fatal(monkeypatch):
     result = shrink(program, verdict)
     result.program.build()
     assert count_mnemonic(result.program, "imul_rr") >= 1
+
+
+# -- secret-operand annotation migration -----------------------------------
+
+
+def find_tainted_seed_with(mnemonic):
+    for seed in range(64):
+        program = generate(seed, taint=True)
+        if program.secret_loads and count_mnemonic(program, mnemonic):
+            # The regression needs droppable items *before* an
+            # annotated load so a stale index would dangle or
+            # mis-point after removal.
+            if min(i for i, _ in program.secret_loads) >= 4:
+                return seed
+    raise AssertionError(f"no tainted seed produced {mnemonic}")
+
+
+def test_dropping_items_remaps_secret_annotations(monkeypatch):
+    """Regression: deleting instructions before a secret-tainted load
+    must shift its ``secret_loads`` index with it, exactly like patch
+    offsets — a stale index points the annotation at an arbitrary
+    surviving instruction (or out of range)."""
+    seed = find_tainted_seed_with("movb_rm")
+    program = generate(seed, taint=True)
+    fake_oracle(monkeypatch,
+                lambda p: bool(p.secret_loads)
+                and count_mnemonic(p, "movb_rm") > 0)
+    verdict = shrink_module.check_program(program, ())
+    result = shrink(program, verdict)
+    assert result.items_after < result.items_before
+    # Every surviving annotation still points at a secret load ...
+    assert result.program.secret_loads
+    for index, byte in result.program.secret_loads:
+        assert result.program.user_items[index].instr.mnemonic \
+            == "movb_rm"
+    # ... reading one of the originally annotated secret bytes.
+    assert {b for _, b in result.program.secret_loads} \
+        <= {b for _, b in program.secret_loads}
+    result.program.build()
+
+
+def test_neutralizing_a_secret_load_deletes_its_annotation(monkeypatch):
+    """When the shrinker rewrites an annotated load to a nop the
+    annotation must go with it, not survive pointing at the nop."""
+    seed = find_tainted_seed_with("imul_rr")
+    program = generate(seed, taint=True)
+    # The oracle only needs the imul: every secret load is fair game
+    # for dropping or neutralizing.
+    fake_oracle(monkeypatch,
+                lambda p: count_mnemonic(p, "imul_rr") > 0)
+    verdict = shrink_module.check_program(program, ())
+    result = shrink(program, verdict)
+    for index, byte in result.program.secret_loads:
+        assert result.program.user_items[index].instr.mnemonic \
+            == "movb_rm"
+    result.program.build()

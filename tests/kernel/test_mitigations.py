@@ -1,0 +1,161 @@
+"""The mitigation registry: every entry toggles exactly the behaviour
+it documents, at the config level and on the simulated hardware."""
+
+import pytest
+
+from repro.kernel import (DEFAULT_MITIGATIONS, MITIGATIONS, Machine,
+                          MachineSpec, MitigationConfig,
+                          mitigation_by_name, mitigation_names)
+
+
+# -- registry shape --------------------------------------------------------
+
+
+def test_registry_names_are_unique_and_ordered():
+    names = mitigation_names()
+    assert len(names) == len(set(names))
+    assert names[0] == "none"
+
+
+def test_by_name_is_separator_and_case_insensitive():
+    assert mitigation_by_name("suppress-bp").name == "suppress-bp"
+    assert mitigation_by_name("SUPPRESS_BP").name == "suppress-bp"
+    assert mitigation_by_name(" rsb stuffing ").name == "rsb-stuffing"
+
+
+def test_unknown_name_lists_the_registry():
+    with pytest.raises(ValueError) as excinfo:
+        mitigation_by_name("retpoline-ng")
+    for name in mitigation_names():
+        assert name in str(excinfo.value)
+
+
+def test_none_entry_is_the_default_config():
+    assert mitigation_by_name("none").config == MitigationConfig()
+    assert mitigation_by_name("none").toggles == ()
+
+
+@pytest.mark.parametrize("mitigation", MITIGATIONS,
+                         ids=[m.name for m in MITIGATIONS])
+def test_each_entry_toggles_exactly_what_it_documents(mitigation):
+    """The documented ``toggles`` tuple and the config's actual
+    deviation from baseline must agree, field for field."""
+    assert mitigation.config.toggled() == mitigation.toggles
+    baseline = MitigationConfig()
+    for name in mitigation.toggles:
+        assert getattr(mitigation.config, name) \
+            != getattr(baseline, name)
+
+
+def test_to_dict_round_trips_the_claim():
+    doc = mitigation_by_name("suppress-bp").to_dict()
+    assert doc["name"] == "suppress-bp"
+    assert doc["toggles"] == ["suppress_bp_on_non_br"]
+    assert "mechanism" in doc and "description" in doc
+
+
+def test_default_mitigations_unchanged():
+    # The registry must not silently redefine the machine default.
+    assert DEFAULT_MITIGATIONS == MitigationConfig()
+
+
+# -- behaviour on the simulated hardware ----------------------------------
+
+
+def _boot(mitigation_name: str) -> Machine:
+    config = mitigation_by_name(mitigation_name).config
+    return MachineSpec(uarch="zen2", kaslr_seed=0, rng_seed=0,
+                       mitigations=config,
+                       syscall_noise_evictions=0).boot()
+
+
+def test_msr_mitigations_reach_the_cpu_at_boot():
+    machine = _boot("hardened")
+    assert machine.cpu.msr.suppress_bp_on_non_br
+    assert machine.cpu.msr.auto_ibrs
+    baseline = _boot("none")
+    assert not baseline.cpu.msr.suppress_bp_on_non_br
+    assert not baseline.cpu.msr.auto_ibrs
+
+
+def test_suppress_bp_gates_execute_but_not_fetch():
+    """O4: the MSR stops non-branch phantom *execution*; the fetch and
+    decode of the predicted target still happen (Listing 3 on Zen 2,
+    the only listing whose window reaches execute)."""
+    from repro.fuzz.witness import run_listing
+
+    unmitigated = dict(run_listing(
+        "listing3", "zen2", mitigation_by_name("none").config, 7).pmc)
+    gated = dict(run_listing(
+        "listing3", "zen2", mitigation_by_name("suppress-bp").config,
+        7).pmc)
+    assert unmitigated["phantom_exec_uops"] > 0
+    assert gated["phantom_exec_uops"] == 0
+    assert gated["transient_load"] == 0
+    # The frontend half of the episode is untouched.
+    assert gated["phantom_fetch"] == unmitigated["phantom_fetch"]
+    assert gated["phantom_decode"] == unmitigated["phantom_decode"]
+
+
+def test_auto_ibrs_refuses_cross_privilege_prediction_use():
+    """O5: AutoIBRS (Zen 4) refuses the user-trained prediction for a
+    real kernel jmp*, so the Spectre-v2 backend window never opens."""
+    from repro.core import PhantomInjector
+    from repro.kernel import SYS_BTC
+    from repro.pipeline import ZEN4
+    from repro.sidechannel import Timer, calibrate_threshold
+
+    def attack(config) -> bool:
+        machine = Machine(ZEN4, kaslr_seed=31, syscall_noise_evictions=0,
+                          mitigations=config)
+        probe = 0x0000_0000_2600_0000
+        machine.map_user(probe, 4096)
+        timer = Timer(machine)
+        threshold = calibrate_threshold(timer, probe)
+        injector = PhantomInjector(machine)
+        branch_src = machine.modules.sym("btc_fn") + 10   # the jmp rax
+        gadget = machine.modules.sym("covert_load_gadget")
+        probe_kva = machine.kaslr.physmap_base \
+            + machine.mem.aspace.translate_noperm(probe)
+        machine.clflush(probe)
+        injector.inject(branch_src, gadget)
+        machine.syscall(SYS_BTC, probe_kva)
+        return timer.time_load(probe) < threshold
+
+    assert attack(mitigation_by_name("none").config)
+    assert not attack(mitigation_by_name("auto-ibrs").config)
+
+
+def test_ibpb_on_entry_flushes_the_injected_prediction():
+    """With IBPB on every kernel entry the user-planted BTB entry is
+    gone before kernel code runs: the secret-steered I-cache/L2
+    residue of Listing 1 disappears."""
+    from repro.fuzz.witness import run_listing
+
+    def residue_differs(config) -> bool:
+        trace_a = run_listing("listing1", "zen2", config, 11)
+        trace_b = run_listing("listing1", "zen2", config, 52)
+        return bool(trace_a.diff(trace_b, ("icache", "l2")))
+
+    assert residue_differs(mitigation_by_name("none").config)
+    assert not residue_differs(mitigation_by_name("ibpb").config)
+
+
+def test_rsb_stuffing_costs_entry_cycles_in_the_fuzz_harness():
+    """The harness trap mirrors Machine._trap: stuffing overwrites the
+    RSB and charges 2 cycles per slot on every kernel entry."""
+    from repro.fuzz import generate, run_program
+    from repro.pipeline import by_name
+
+    program = generate(4, "syscall")
+    uarch = by_name("zen2")
+    bare, _ = run_program(program, uarch, fastpath=False)
+    stuffed, world = run_program(
+        program, uarch, fastpath=False,
+        mitigations=mitigation_by_name("rsb-stuffing").config)
+    syscalls = dict(stuffed.pmc)["syscalls"]
+    assert syscalls > 0
+    # At minimum the per-entry stuffing cost; mispredicted returns into
+    # the stuff pad can only add more.
+    assert stuffed.cycles >= bare.cycles + \
+        2 * world.cpu.bpu.rsb.depth * syscalls
