@@ -747,9 +747,17 @@ def cmd_chaos(args) -> int:
     """Fault-injection smoke test: inject every chaos fault kind into a
     small matrix campaign, interrupt it mid-flight, resume it, and
     require the resumed manifest to fingerprint-equal a clean
-    ``--jobs 1`` run.  Exit 0 means every recovery path held."""
+    ``--jobs 1`` run.  Exit 0 means every recovery path held.
+
+    ``--service`` runs the service-level variant instead: SIGKILL a
+    real ``repro serve --state-dir`` subprocess mid-campaign, restart
+    it on the same state dir, and require the recovered campaign to be
+    fingerprint-identical with zero duplicate job executions."""
     import shutil
     import tempfile
+
+    if args.service:
+        return _chaos_service(args)
 
     from .core.matrix import ASYMMETRIC_COMBOS, MatrixExperiment
     from .resilience import (ChaosExperiment, ChaosInterruptor,
@@ -856,6 +864,62 @@ def cmd_chaos(args) -> int:
             shutil.rmtree(scratch, ignore_errors=True)
 
 
+def _chaos_service(args) -> int:
+    """``repro chaos --service``: the crash-durability gate."""
+    import json
+    import shutil
+    import tempfile
+
+    from .resilience import ServiceChaosError, run_service_chaos
+
+    scratch = None
+    if args.state_dir:
+        state_dir = Path(args.state_dir)
+    else:
+        scratch = tempfile.mkdtemp(prefix="repro-service-chaos-")
+        state_dir = Path(scratch)
+    # With --json only the verdict document goes to stdout (so
+    # `--json > report.json` stays parseable, like serve --selftest);
+    # the narration moves to stderr.
+    json_mode = bool(getattr(args, "json", False))
+    human = sys.stderr if json_mode else sys.stdout
+
+    def say(*parts, **kw) -> None:
+        print(*parts, file=human, **kw)
+
+    try:
+        try:
+            report = run_service_chaos(
+                state_dir, seed=args.seed,
+                cells=args.cells or 8, jobs=args.jobs,
+                timeout_s=max(args.timeout * 30, 120.0), echo=say)
+        except ServiceChaosError as exc:
+            print(f"service chaos: harness failure: {exc}",
+                  file=sys.stderr)
+            return 1
+        doc = report.to_dict()
+        say(f"recovered {doc['campaign_id']}: "
+            f"{doc['memo'].get('hits', 0)} jobs answered from the "
+            f"store, {doc['memo'].get('stored', 0)} executed fresh "
+            f"({doc['entries_at_kill']} survived the kill)")
+        say("recovered manifest "
+            + ("fingerprint-equals" if doc["fingerprint_match"]
+               else "DIFFERS from") + " the clean --jobs 1 run")
+        say("idempotent resubmit "
+            + ("returned the original campaign"
+               if doc["idempotent_match"] else "DUPLICATED the work"))
+        if doc["duplicate_executions"]:
+            print(f"{doc['duplicate_executions']} job(s) executed "
+                  f"twice", file=sys.stderr)
+        if json_mode:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        say(f"service chaos: {'OK' if doc['ok'] else 'FAILED'}")
+        return 0 if doc["ok"] else 1
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
 def cmd_serve(args) -> int:
     """Run the campaign service (see ``docs/service.md``).
 
@@ -899,11 +963,23 @@ def cmd_serve(args) -> int:
     config = ServiceConfig(host=args.host, port=args.port,
                            store_dir=args.store_dir, jobs=args.jobs,
                            store_max_entries=args.store_max_entries,
-                           max_queue=args.max_queue, policy=policy)
+                           max_queue=args.max_queue, policy=policy,
+                           state_dir=args.state_dir)
 
-    def _on_ready(host, port, _service):
+    def _on_ready(host, port, service):
+        if args.port_file:
+            # Atomic: a poller must never read a torn port number.
+            port_path = Path(args.port_file)
+            port_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = port_path.with_name(port_path.name + f".tmp{os.getpid()}")
+            tmp.write_text(f"{port}\n", encoding="utf-8")
+            os.replace(tmp, port_path)
+        recovered = getattr(service, "recovered_count", 0)
+        extra = f", {recovered} campaign(s) recovered" if recovered else ""
         print(f"serving on http://{host}:{port} "
-              f"(store: {config.store_dir})", flush=True)
+              f"(store: {config.store_dir}"
+              + (f", journal: {config.state_dir}" if config.state_dir
+                 else "") + f"{extra})", flush=True)
 
     try:
         asyncio.run(serve(config, on_ready=_on_ready))
@@ -916,7 +992,8 @@ def cmd_submit(args) -> int:
     """Submit one campaign to a running ``repro serve``."""
     import json
 
-    from .service import (JOB_REQUEST_SCHEMA, ServiceClient, ServiceError)
+    from .service import (JOB_REQUEST_SCHEMA, RetryPolicy, ServiceClient,
+                          ServiceError)
 
     params: dict = {}
     for item in args.param or ():
@@ -937,9 +1014,11 @@ def cmd_submit(args) -> int:
     if options.to_dict():
         doc["options"] = options.to_dict()
 
-    client = ServiceClient(args.url)
+    retry = RetryPolicy(attempts=args.retries) if args.retries else None
+    client = ServiceClient(args.url, retry=retry)
     try:
-        status = client.submit(doc, wait=not args.no_wait)
+        status = client.submit(doc, wait=not args.no_wait,
+                               idempotent=args.idempotent)
         if args.follow and not args.no_wait:
             # the campaign is finished; replay its event stream
             for event in client.events(status["id"]):
@@ -1222,6 +1301,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", metavar="FILE", default=None,
                    help="stream phantom.progress/1 events to FILE "
                         "('-' = stdout, a number = an inherited fd)")
+    p.add_argument("--service", action="store_true",
+                   help="service-level chaos instead: SIGKILL a 'repro "
+                        "serve --state-dir' subprocess mid-campaign, "
+                        "restart it, require a fingerprint-identical "
+                        "recovery with zero duplicate job executions")
+    p.add_argument("--json", action="store_true",
+                   help="with --service: print the "
+                        "phantom.service-chaos/1 report as JSON")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("serve",
@@ -1242,6 +1329,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0 = unbounded)")
     p.add_argument("--max-queue", type=int, default=256, metavar="N",
                    help="queued-campaign backlog limit (default 256)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="durable intake journal home: admitted "
+                        "requests are journaled before submit returns "
+                        "and replayed on the next start (default: no "
+                        "journal, in-memory only)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="after binding, write the listen port to FILE "
+                        "atomically (for scripts using --port 0)")
     p.add_argument("--rate", type=float, default=20.0, metavar="PER_S",
                    help="per-tenant submission rate (default 20/s)")
     p.add_argument("--burst", type=int, default=40,
@@ -1287,6 +1382,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-wait", action="store_true",
                    help="return after the 202 instead of waiting for "
                         "the campaign to finish")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient failures (connection refused, "
+                        "429, 503) up to N attempts with jittered "
+                        "backoff honoring Retry-After (default 0)")
+    p.add_argument("--idempotent", action="store_true",
+                   help="stamp the request with an idempotency key "
+                        "derived from its fingerprint, so a resubmit "
+                        "returns the original campaign instead of "
+                        "running twice")
     p.add_argument("--follow", action="store_true",
                    help="after completion, replay the campaign's "
                         "phantom.progress/1 events to stderr")

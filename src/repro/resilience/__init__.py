@@ -17,6 +17,10 @@ next:
   those faults (raise / sigkill / hang / checkpoint-ENOSPC), each
   firing once per state dir, so the recovery paths above run under
   ``pytest`` and the ``repro chaos`` smoke mode.
+* :mod:`~repro.resilience.service_chaos` — the same philosophy one
+  level up: SIGKILL the whole campaign *service* mid-campaign, restart
+  it against its ``--state-dir``, and gate on the intake journal's
+  durability contract (``repro chaos --service``).
 
 See ``docs/resilience.md``.
 """
@@ -27,6 +31,8 @@ from .chaos import (CAMPAIGN_TARGET, CHECKPOINT_TARGET, FAULT_KINDS,
 from .checkpoint import (CHECKPOINT_SCHEMA, CheckpointRecord,
                          CheckpointWriter, load_checkpoint,
                          spec_fingerprint)
+from .service_chaos import (SERVICE_CHAOS_SCHEMA, ServiceChaosError,
+                            ServiceChaosReport, run_service_chaos)
 from .supervisor import SupervisionPolicy, supervise
 
 __all__ = [
@@ -40,9 +46,13 @@ __all__ = [
     "CheckpointRecord",
     "CheckpointWriter",
     "FAULT_KINDS",
+    "SERVICE_CHAOS_SCHEMA",
+    "ServiceChaosError",
+    "ServiceChaosReport",
     "SupervisionPolicy",
     "load_checkpoint",
     "plan_chaos",
+    "run_service_chaos",
     "spec_fingerprint",
     "supervise",
 ]

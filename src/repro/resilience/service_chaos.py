@@ -1,0 +1,265 @@
+"""Crash-durability chaos for the campaign service: SIGKILL, restart, diff.
+
+:mod:`.chaos` kills *workers* and trusts the supervisor; this module
+kills the *service process itself* — the failure the intake journal
+(:mod:`repro.service.journal`) and startup recovery exist for — and
+checks the whole durability contract at once:
+
+1. boot ``repro serve --state-dir`` as a real subprocess;
+2. submit one idempotent campaign and ``SIGKILL -9`` the server the
+   moment the result store holds its first finished job (no drain, no
+   flush beyond the write-ahead fsyncs — the honest crash);
+3. restart against the same state dir, resubmit the identical request
+   (the idempotency key must resolve to the *original* campaign id —
+   at-most-once across the crash), and wait the recovered campaign out;
+4. gate on the contract: the recovered manifest fingerprint equals a
+   clean in-process ``--jobs 1`` run's, and **no job executed twice** —
+   the restarted instance's memo hit count equals exactly the store
+   entries that survived the kill, its store count equals the rest.
+
+Everything here speaks to the service over plain HTTP through
+:class:`~repro.service.ServiceClient` with retries enabled, because a
+just-restarted server refusing a connection *is* the transient fault
+the retry layer exists for.  Imports of :mod:`repro.service` are lazy:
+the service package imports :mod:`repro.resilience` for its checkpoint
+records, and this module sits on the other side of that boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+
+SERVICE_CHAOS_SCHEMA = "phantom.service-chaos/1"
+
+
+class ServiceChaosError(ReproError):
+    """The harness itself failed (server never came up, kill raced the
+    campaign's completion) — distinct from the contract failing."""
+
+
+@dataclass(frozen=True)
+class ServiceChaosReport:
+    """Verdict of one SIGKILL-restart round trip."""
+
+    campaign_id: str
+    job_count: int
+    jobs: int                      # --jobs inside the campaign
+    entries_at_kill: int           # store objects surviving the SIGKILL
+    entries_final: int
+    memo: dict                     # the recovered campaign's memo stats
+    clean_fingerprint: str
+    recovered_fingerprint: str
+    idempotent_match: bool         # resubmit resolved to the same id
+    recovered_flag: bool           # status doc carried "recovered"
+    wall_s: float
+
+    @property
+    def fingerprint_match(self) -> bool:
+        return self.recovered_fingerprint == self.clean_fingerprint
+
+    @property
+    def duplicate_executions(self) -> int:
+        """Jobs executed more than once across both instances.
+
+        Instance one executed exactly ``entries_at_kill`` jobs (every
+        success stores exactly one object, atomically — the count is
+        exact even across a SIGKILL).  Zero duplicates therefore means
+        the restarted instance answered exactly those from the store
+        (``memo.hits``) and executed only the remainder
+        (``memo.stored``).
+        """
+        hits = int(self.memo.get("hits", 0))
+        stored = int(self.memo.get("stored", 0))
+        return max(0, self.entries_at_kill - hits) + \
+            max(0, stored - (self.job_count - self.entries_at_kill))
+
+    @property
+    def ok(self) -> bool:
+        return (self.fingerprint_match and self.idempotent_match
+                and self.recovered_flag
+                and self.duplicate_executions == 0
+                and self.entries_final == self.job_count)
+
+    def to_dict(self) -> dict:
+        return {"schema": SERVICE_CHAOS_SCHEMA, "ok": self.ok,
+                "campaign_id": self.campaign_id,
+                "job_count": self.job_count, "jobs": self.jobs,
+                "entries_at_kill": self.entries_at_kill,
+                "entries_final": self.entries_final,
+                "memo": dict(self.memo),
+                "clean_fingerprint": self.clean_fingerprint,
+                "recovered_fingerprint": self.recovered_fingerprint,
+                "fingerprint_match": self.fingerprint_match,
+                "idempotent_match": self.idempotent_match,
+                "recovered_flag": self.recovered_flag,
+                "duplicate_executions": self.duplicate_executions,
+                "wall_s": round(self.wall_s, 3)}
+
+
+def _count_objects(store_dir: Path) -> int:
+    objects = store_dir / "objects"
+    if not objects.exists():
+        return 0
+    return sum(1 for fan in objects.iterdir() if fan.is_dir()
+               for _ in fan.glob("*.json"))
+
+
+class _Server:
+    """One ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, state: Path, *, jobs: int, log_name: str,
+                 python: str = sys.executable) -> None:
+        self.port_file = state / "port"
+        self.log_path = state / log_name
+        self.port_file.unlink(missing_ok=True)
+        self._log = open(self.log_path, "ab")
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p)
+        self.proc = subprocess.Popen(
+            [python, "-m", "repro", "serve",
+             "--host", "127.0.0.1", "--port", "0",
+             "--port-file", str(self.port_file),
+             "--state-dir", str(state / "service"),
+             "--store-dir", str(state / "store"),
+             "--jobs", str(jobs)],
+            stdout=self._log, stderr=subprocess.STDOUT, env=env)
+
+    def url(self, timeout_s: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise ServiceChaosError(
+                    f"server exited with {self.proc.returncode} before "
+                    f"binding (see {self.log_path})")
+            try:
+                port = int(self.port_file.read_text().strip())
+            except (FileNotFoundError, ValueError):
+                time.sleep(0.01)
+                continue
+            return f"http://127.0.0.1:{port}"
+        raise ServiceChaosError(
+            f"server did not publish a port within {timeout_s}s "
+            f"(see {self.log_path})")
+
+    def sigkill(self) -> None:
+        """The crash under test: no warning, no drain, no flush."""
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+        self._log.close()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=15)
+        if not self._log.closed:
+            self._log.close()
+
+
+def run_service_chaos(state_dir, *, seed: int = 0, cells: int = 8,
+                      jobs: int = 1, timeout_s: float = 300.0,
+                      kill_after_entries: int = 1,
+                      echo=None) -> ServiceChaosReport:
+    """SIGKILL a mid-campaign service, restart it, verify the contract.
+
+    ``kill_after_entries`` is how many finished jobs must be in the
+    result store before the kill lands (default 1: as early as an
+    effect exists to lose).  ``echo`` (e.g. ``print``) narrates the
+    phases for the CLI smoke.
+    """
+    from ..runner import manifest_fingerprint, run_campaign
+    from ..service import (JOB_REQUEST_SCHEMA, JobRequest, RetryPolicy,
+                           ServiceClient)
+
+    def say(text: str) -> None:
+        if echo is not None:
+            echo(text)
+
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    store_dir = state / "store"
+    began = time.monotonic()
+
+    doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": "chaos",
+           "experiment": "matrix",
+           "params": {"uarches": ["zen 2"], "cells": cells,
+                      "seed": seed}}
+    doc["idempotency_key"] = JobRequest.from_doc(doc).fingerprint()
+
+    # The reference nobody argues with: the *same request document*,
+    # built by the same protocol builder, run in-process, serial, no
+    # service anywhere near it.
+    experiment = JobRequest.from_doc(doc).build()
+    job_count = len(list(experiment.job_specs()))
+    say(f"reference: clean --jobs 1 run of {job_count} jobs")
+    reference = run_campaign(experiment, jobs=1).raise_on_failure()
+    want = manifest_fingerprint(reference.manifest)
+
+    retry = RetryPolicy(attempts=6, backoff_base_s=0.05, jitter_seed=seed)
+    say(f"boot: repro serve --state-dir {state / 'service'}")
+    first = _Server(state, jobs=jobs, log_name="server-1.log")
+    try:
+        client = ServiceClient(first.url(), retry=retry)
+        campaign_id = client.submit(doc)["id"]
+        say(f"submitted {campaign_id}; waiting for the first stored "
+            f"job, then SIGKILL")
+        deadline = time.monotonic() + timeout_s
+        while _count_objects(store_dir) < kill_after_entries:
+            if time.monotonic() > deadline:
+                raise ServiceChaosError(
+                    f"no job reached the store within {timeout_s}s")
+            if first.proc.poll() is not None:
+                raise ServiceChaosError(
+                    f"server died on its own with "
+                    f"{first.proc.returncode} (see {first.log_path})")
+            time.sleep(0.002)
+        first.sigkill()
+    except BaseException:
+        first.stop()
+        raise
+    entries_at_kill = _count_objects(store_dir)
+    if entries_at_kill >= job_count:
+        raise ServiceChaosError(
+            f"campaign finished ({entries_at_kill}/{job_count} jobs "
+            f"stored) before the SIGKILL landed; raise --cells so the "
+            f"kill hits mid-flight")
+    say(f"killed -9 with {entries_at_kill}/{job_count} jobs stored; "
+        f"restarting on the same state dir")
+
+    second = _Server(state, jobs=jobs, log_name="server-2.log")
+    try:
+        client = ServiceClient(second.url(), retry=retry)
+        # At-most-once across the crash: the identical request must
+        # resolve to the original campaign, not start a duplicate.
+        resubmitted_id = client.submit(doc)["id"]
+        status = client.wait_for(campaign_id, timeout=timeout_s)
+    finally:
+        second.stop()
+
+    if status["state"] != "done":
+        raise ServiceChaosError(
+            f"recovered campaign ended {status['state']!r}: "
+            f"{status.get('error')}")
+    return ServiceChaosReport(
+        campaign_id=campaign_id, job_count=job_count, jobs=jobs,
+        entries_at_kill=entries_at_kill,
+        entries_final=_count_objects(store_dir),
+        memo=status.get("memo") or {},
+        clean_fingerprint=want,
+        recovered_fingerprint=manifest_fingerprint(status["manifest"]),
+        idempotent_match=resubmitted_id == campaign_id,
+        recovered_flag=bool(status.get("recovered")),
+        wall_s=time.monotonic() - began)

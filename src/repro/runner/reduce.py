@@ -115,7 +115,14 @@ def manifest_fingerprint(doc: dict) -> dict:
     decomposition: ``--jobs`` is an execution detail, not part of the
     result).  Retry/resume/supervision lineage is stripped for the
     same reason: a campaign that lost workers, was interrupted and
-    resumed must fingerprint equal to one that ran clean."""
+    resumed must fingerprint equal to one that ran clean.
+
+    Serving-plane metric families (``service.*``, ``client.*``) are
+    stripped too: the per-job metrics scope is the process-global
+    registry, so a campaign executing *inside* a ``repro serve``
+    process absorbs whatever the HTTP plane increments concurrently
+    (status polls, idempotent replays) — where the campaign ran, not
+    what it computed."""
     out = copy.deepcopy(doc)
     out.pop("created_at", None)
     out.get("config", {}).pop("jobs", None)
@@ -127,4 +134,9 @@ def manifest_fingerprint(doc: dict) -> dict:
     out.get("totals", {}).pop("wall_time_s", None)
     for phase in out.get("phases", ()):
         phase.pop("wall_time_s", None)
+    for family in out.get("metrics", {}).values():
+        if isinstance(family, dict):
+            for name in [key for key in family
+                         if str(key).startswith(("service.", "client."))]:
+                family.pop(name)
     return out

@@ -22,10 +22,13 @@ me, here, now".  This package turns it into a long-lived service:
 See ``docs/service.md`` for the architecture and wire formats.
 """
 
-from .client import ServiceClient
-from .errors import (ERROR_SCHEMA, BadRequest, CampaignFailed, NotFound,
-                     QuotaExceeded, RateLimited, ServiceError,
-                     error_from_doc)
+from .client import CircuitBreaker, RetryPolicy, ServiceClient
+from .errors import (ERROR_SCHEMA, BadRequest, CampaignFailed, CircuitOpen,
+                     NotFound, QuotaExceeded, RateLimited, ServiceError,
+                     Unavailable, error_from_doc)
+from .journal import (INTAKE_SCHEMA, IntakeJournal, IntakeRecord,
+                      load_intake)
+from .lifecycle import LIFECYCLE_STATES, ServiceLifecycle
 from .loadtest import (REPLAY_SCHEMA, ReplayPlan, ReplayReport, replay,
                        run_loadtest)
 from .memo import MemoStats, run_campaign_memoized
@@ -42,12 +45,19 @@ __all__ = [
     "CampaignRecord",
     "CampaignService",
     "CAMPAIGN_STATUS_SCHEMA",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ERROR_SCHEMA",
     "EXPERIMENTS",
     "error_from_doc",
     "HEALTH_SCHEMA",
+    "INTAKE_SCHEMA",
+    "IntakeJournal",
+    "IntakeRecord",
     "JobRequest",
     "JOB_REQUEST_SCHEMA",
+    "LIFECYCLE_STATES",
+    "load_intake",
     "MemoStats",
     "NotFound",
     "QuotaExceeded",
@@ -59,6 +69,7 @@ __all__ = [
     "replay",
     "RESULT_ENTRY_SCHEMA",
     "ResultStore",
+    "RetryPolicy",
     "run_campaign_memoized",
     "run_loadtest",
     "serve",
@@ -66,8 +77,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceHandle",
+    "ServiceLifecycle",
     "start_in_thread",
     "STATS_SCHEMA",
     "TenantPolicy",
     "TokenBucket",
+    "Unavailable",
 ]

@@ -6,22 +6,145 @@ through this class; it is stdlib-only (:mod:`http.client`) and maps
 :class:`~repro.service.errors.ServiceError` hierarchy the server
 raised, so ``except RateLimited`` works identically in-process and
 over the wire.
+
+Robustness is opt-in and layered (defaults keep the old
+fail-immediately behaviour, which tests and the load-replay storm
+phase rely on):
+
+* :class:`RetryPolicy` — bounded retries of *transient* faults
+  (connection errors, 429 rate limits, 503 unavailable/draining) with
+  :func:`~repro.runner.derive_seed`-jittered exponential backoff that
+  always honours the server's ``Retry-After`` hint.  Deterministic
+  per seed, so tests can pin the exact delay sequence.
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  transient failures the circuit opens and requests fail fast
+  (:class:`~repro.service.errors.CircuitOpen`) for ``cooldown_s``;
+  then a half-open probe decides between closing and re-opening.
+  Fail-fast beats hammering a struggling service with a fleet's worth
+  of synchronized retries.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
+from dataclasses import dataclass
 from urllib.parse import urlsplit
 
-from .errors import ServiceError, error_from_doc
-from .protocol import JOB_REQUEST_SCHEMA
+from ..runner.spec import derive_seed
+from ..telemetry import metrics as _metrics
+from .errors import (CircuitOpen, RateLimited, ServiceError, Unavailable,
+                     error_from_doc)
+from .protocol import JOB_REQUEST_SCHEMA, JobRequest
+
+#: Transient transport faults worth retrying; everything else
+#: (BadRequest, QuotaExceeded, ...) reflects the request, not the
+#: weather, and is raised immediately.
+_TRANSIENT_EXC = (ConnectionError, TimeoutError, OSError,
+                  http.client.HTTPException)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic jittered exponential backoff for transient faults.
+
+    ``delay_for(attempt)`` grows ``backoff_base_s * 2**attempt`` up to
+    ``backoff_cap_s``, jittered into ``[0.5, 1.0]`` of itself by
+    :func:`~repro.runner.derive_seed` (stable across processes — a
+    fleet of clients with distinct seeds decorrelates, one client
+    retries reproducibly).  A server ``Retry-After`` hint always wins
+    when it is longer: the server knows its backlog, the client only
+    knows its schedule.
+    """
+
+    attempts: int = 4             # total tries = attempts (not 1+attempts)
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 10.0
+    jitter_seed: int = 0
+
+    def delay_for(self, attempt: int, *, retry_after_s: float = 0.0,
+                  token: str = "") -> float:
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** attempt))
+        frac = derive_seed(self.jitter_seed,
+                           ("client-backoff", token, attempt)) \
+            % 1_000_000 / 1_000_000
+        return max(base * (0.5 + 0.5 * frac), retry_after_s)
+
+
+class CircuitBreaker:
+    """Half-open circuit breaker over an injectable monotonic clock.
+
+    States: *closed* (requests flow; consecutive transient failures
+    are counted), *open* (requests fail fast until ``cooldown_s``
+    elapses), *half-open* (one probe request is allowed through; its
+    outcome closes or re-opens the circuit).
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 cooldown_s: float = 30.0, clock=time.monotonic) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def preflight(self) -> None:
+        """Raise :class:`CircuitOpen` unless a request may go out."""
+        if self.state == "open":
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self.cooldown_s:
+                raise CircuitOpen(
+                    f"circuit breaker open after "
+                    f"{self.failures} consecutive failures; probing "
+                    f"in {self.cooldown_s - elapsed:.3f}s",
+                    retry_after_s=self.cooldown_s - elapsed)
+            self.state = "half-open"
+            self._probing = False
+        if self.state == "half-open":
+            if self._probing:
+                raise CircuitOpen(
+                    "circuit breaker is half-open and its probe is "
+                    "already in flight",
+                    retry_after_s=self.cooldown_s)
+            self._probing = True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self.failures += 1
+        if self.state == "half-open" \
+                or self.failures >= self.failure_threshold:
+            self.state = "open"
+            self._opened_at = self._clock()
+            _metrics.REGISTRY.counter("client.circuit_opened").inc()
+
+    def describe(self) -> dict:
+        return {"state": self.state, "failures": self.failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s}
 
 
 class ServiceClient:
-    """Blocking HTTP client bound to one service base URL."""
+    """Blocking HTTP client bound to one service base URL.
 
-    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+    ``retry=None`` (default) keeps the raw one-shot behaviour; pass a
+    :class:`RetryPolicy` (and optionally a :class:`CircuitBreaker`)
+    for tenant-grade robustness.  ``sleeper`` is injectable so tests
+    assert the delay sequence instead of sleeping it.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 sleeper=time.sleep) -> None:
         parts = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if parts.scheme not in ("", "http"):
@@ -30,6 +153,9 @@ class ServiceClient:
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self._sleep = sleeper
 
     @property
     def base_url(self) -> str:
@@ -37,8 +163,8 @@ class ServiceClient:
 
     # -- plumbing -----------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: dict | None = None) -> dict:
+    def _request_once(self, method: str, path: str,
+                      body: dict | None = None) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -62,24 +188,84 @@ class ServiceClient:
             raise error_from_doc(doc, http_status=response.status)
         return doc
 
+    @staticmethod
+    def _transient(exc: Exception) -> bool:
+        """Worth retrying?  Transport faults and the two explicitly
+        retryable service rejections — never request-shaped errors."""
+        if isinstance(exc, (RateLimited, Unavailable)):
+            return not isinstance(exc, CircuitOpen)
+        if isinstance(exc, ServiceError):
+            return False
+        return isinstance(exc, _TRANSIENT_EXC)
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        if self.retry is None and self.breaker is None:
+            return self._request_once(method, path, body)
+        attempts = self.retry.attempts if self.retry is not None else 1
+        last: Exception | None = None
+        for attempt in range(max(1, attempts)):
+            if self.breaker is not None:
+                self.breaker.preflight()
+            try:
+                doc = self._request_once(method, path, body)
+            except Exception as exc:   # noqa: BLE001 — classified below
+                if not self._transient(exc):
+                    raise
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                _metrics.REGISTRY.counter("client.transient_errors").inc()
+                last = exc
+                if self.retry is None or attempt + 1 >= attempts:
+                    raise
+                delay = self.retry.delay_for(
+                    attempt,
+                    retry_after_s=getattr(exc, "retry_after_s", 0.0),
+                    token=path)
+                _metrics.REGISTRY.counter("client.retries").inc()
+                self._sleep(delay)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return doc
+        raise last if last is not None else ServiceError(
+            "retry loop ended without a response")   # unreachable
+
     # -- endpoints ------------------------------------------------------------
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def ready(self) -> dict:
+        """``/readyz`` — raises :class:`Unavailable` (503) while the
+        service is starting, recovering, or draining."""
+        return self._request("GET", "/readyz")
+
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
-    def submit(self, doc: dict, *, wait: bool = False) -> dict:
+    def submit(self, doc: dict, *, wait: bool = False,
+               idempotent: bool = False) -> dict:
         """POST one ``phantom.job-request/1``; returns the campaign
-        status document (final when ``wait=True``)."""
+        status document (final when ``wait=True``).
+
+        ``idempotent=True`` stamps the document with an idempotency
+        key derived from the request fingerprint (work identity), so a
+        retried or resubmitted request returns the original campaign
+        record instead of running twice — including across service
+        restarts, because the key is journaled with the intake record.
+        """
+        if idempotent and "idempotency_key" not in doc:
+            doc = dict(doc)
+            doc["idempotency_key"] = JobRequest.from_doc(doc).fingerprint()
         path = "/v1/campaigns" + ("?wait=1" if wait else "")
         return self._request("POST", path, body=doc)
 
     def submit_request(self, tenant: str, experiment: str,
                        params: dict | None = None,
                        options: dict | None = None, *,
-                       wait: bool = False) -> dict:
+                       wait: bool = False,
+                       idempotent: bool = False) -> dict:
         """Convenience wrapper assembling the request document."""
         doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": tenant,
                "experiment": experiment}
@@ -87,10 +273,30 @@ class ServiceClient:
             doc["params"] = params
         if options:
             doc["options"] = options
-        return self.submit(doc, wait=wait)
+        return self.submit(doc, wait=wait, idempotent=idempotent)
 
     def campaign(self, campaign_id: str) -> dict:
         return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def wait_for(self, campaign_id: str, *, timeout: float = 600.0,
+                 poll_s: float = 0.25) -> dict:
+        """Poll until *campaign_id* reaches a terminal state.
+
+        The polling loop (rather than ``?wait=1``) is what a client
+        uses across a service restart: the blocking submit dies with
+        the old process, the poll simply starts answering again once
+        the new instance has recovered the campaign.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.campaign(campaign_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id} still {status['state']!r} "
+                    f"after {timeout}s")
+            self._sleep(poll_s)
 
     def events(self, campaign_id: str):
         """Yield ``phantom.progress/1`` documents until the campaign

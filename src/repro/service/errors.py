@@ -17,14 +17,26 @@ ERROR_SCHEMA = "phantom.error/1"
 
 
 class ServiceError(ReproError):
-    """Base class for every error the campaign service reports."""
+    """Base class for every error the campaign service reports.
+
+    ``retry_after_s`` is understood on *every* service error, not just
+    rate limits: a full queue and a draining service both tell the
+    client when trying again is worthwhile, the HTTP layer mirrors it
+    into a ``Retry-After`` header, and the client's backoff honours it
+    (see :class:`~repro.service.client.RetryPolicy`).
+    """
 
     code = "service_error"
     http_status = 500
 
-    def __init__(self, message: str, **details) -> None:
+    def __init__(self, message: str, *, retry_after_s: float = 0.0,
+                 **details) -> None:
         super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
         self.details = details
+        if self.retry_after_s:
+            self.details.setdefault("retry_after_s",
+                                    round(self.retry_after_s, 6))
 
     def to_doc(self) -> dict:
         doc = {"schema": ERROR_SCHEMA, "error": self.code,
@@ -54,11 +66,24 @@ class RateLimited(ServiceError):
     code = "rate_limited"
     http_status = 429
 
-    def __init__(self, message: str, *, retry_after_s: float = 0.0,
-                 **details) -> None:
-        super().__init__(message, retry_after_s=round(retry_after_s, 6),
-                         **details)
-        self.retry_after_s = retry_after_s
+
+class Unavailable(ServiceError):
+    """The service cannot take the work *right now* — the intake queue
+    is full, or the process is draining ahead of a shutdown.  Unlike
+    :class:`QuotaExceeded` this is always retryable, and unlike
+    :class:`RateLimited` it says nothing about the tenant: the hint in
+    ``retry_after_s`` is derived from service-wide backlog."""
+
+    code = "unavailable"
+    http_status = 503
+
+
+class CircuitOpen(Unavailable):
+    """Client-side only: the circuit breaker is open, so the request
+    was never sent.  Typed like :class:`Unavailable` (same handling —
+    back off, try later) but distinguishable by code."""
+
+    code = "circuit_open"
 
 
 class QuotaExceeded(ServiceError):
@@ -77,7 +102,7 @@ class CampaignFailed(ServiceError):
 
 _BY_CODE = {cls.code: cls for cls in
             (ServiceError, BadRequest, NotFound, RateLimited,
-             QuotaExceeded, CampaignFailed)}
+             Unavailable, CircuitOpen, QuotaExceeded, CampaignFailed)}
 
 
 def error_from_doc(doc: dict, *, http_status: int | None = None
@@ -85,17 +110,21 @@ def error_from_doc(doc: dict, *, http_status: int | None = None
     """``phantom.error/1`` document → the matching typed exception.
 
     Unknown codes degrade to the :class:`ServiceError` base (a newer
-    server than client must still raise *something* typed).
+    server than client must still raise *something* typed).  A
+    ``retry_after_s`` detail is rehydrated onto *any* error class, so
+    the client's backoff sees the server's hint no matter which
+    rejection carried it.
     """
     code = doc.get("error", "service_error")
     message = doc.get("message", code)
     details = dict(doc.get("details", ()))
     cls = _BY_CODE.get(code, ServiceError)
-    if cls is RateLimited:
-        retry = details.pop("retry_after_s", 0.0)
-        exc = cls(message, retry_after_s=retry, **details)
-    else:
-        exc = cls(message, **details)
+    retry = details.pop("retry_after_s", 0.0)
+    try:
+        retry = max(0.0, float(retry))
+    except (TypeError, ValueError):
+        retry = 0.0
+    exc = cls(message, retry_after_s=retry, **details)
     if http_status is not None:
         exc.details.setdefault("http_status", http_status)
     return exc

@@ -1,0 +1,281 @@
+"""Write-ahead intake journal: no admitted campaign is ever lost.
+
+The campaign service queues accepted work in memory (an
+``asyncio.Queue``); without this module a crash or restart between
+``submit`` and completion silently dropped every accepted-but-
+unfinished campaign.  The intake journal closes that window: every
+admitted ``phantom.job-request/1`` is appended as a schema-validated
+``phantom.intake/1`` record — flushed and fsynced — *before* the
+submit call returns the campaign id, and a terminal record is appended
+when the campaign finishes.  On startup with ``--state-dir`` the
+service replays the journal, re-registers finished campaigns (their
+status documents, manifests and idempotency keys survive the restart)
+and re-enqueues every non-terminal campaign in admission order; the
+re-run goes through the memoized execution seam, so jobs that finished
+before the crash are answered from the content-addressed store and are
+never executed twice.
+
+Format choices mirror ``repro.resilience.checkpoint`` deliberately —
+the journal is the same battle-tested shape at the service layer:
+
+* **Append-only JSONL, torn-line tolerant.**  A crash mid-append
+  corrupts at most the last line; the loader skips unparsable or
+  foreign lines instead of failing.
+* **Last record wins per campaign.**  A terminal record shadows the
+  admitted record's state; duplicate appends are harmless.
+* **Write failures degrade.**  ENOSPC on append is counted
+  (``service.intake_write_errors``) and warned about once; the
+  service keeps serving, the un-journaled campaign simply does not
+  survive a crash — strictly no worse than having no journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..telemetry import metrics as _metrics
+from ..telemetry.schema import SchemaError, validate_intake
+from ..telemetry.spans import SPANS
+
+INTAKE_SCHEMA = "phantom.intake/1"
+
+#: Campaign states a journal record may carry.  ``admitted`` is the
+#: write-ahead record; the other two are terminal.
+INTAKE_STATES = ("admitted", "done", "failed")
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class IntakeRecord:
+    """One journaled campaign: the admitted request, then its fate.
+
+    The admitted record carries everything needed to re-create the
+    campaign after a crash (the full request document, tenant,
+    idempotency key, admission order); terminal records carry the
+    outcome (``memo``/``manifest`` for ``done``, ``error`` for
+    ``failed``) and are merged over the admitted record by the loader.
+    """
+
+    campaign_id: str
+    seq: int
+    state: str
+    tenant: str = ""
+    request: dict = field(default_factory=dict)
+    idempotency_key: str | None = None
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    memo: dict | None = None
+    manifest: dict | None = None
+    error: dict | None = None
+
+    def to_doc(self) -> dict:
+        doc = {"schema": INTAKE_SCHEMA, "campaign_id": self.campaign_id,
+               "seq": self.seq, "state": self.state}
+        if self.tenant:
+            doc["tenant"] = self.tenant
+        if self.request:
+            doc["request"] = self.request
+        if self.idempotency_key is not None:
+            doc["idempotency_key"] = self.idempotency_key
+        if self.submitted_at:
+            doc["submitted_at"] = self.submitted_at
+        if self.finished_at is not None:
+            doc["finished_at"] = self.finished_at
+        if self.memo is not None:
+            doc["memo"] = self.memo
+        if self.manifest is not None:
+            doc["manifest"] = self.manifest
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "IntakeRecord":
+        return cls(campaign_id=doc["campaign_id"],
+                   seq=int(doc.get("seq", 0)),
+                   state=doc.get("state", "admitted"),
+                   tenant=doc.get("tenant", ""),
+                   request=dict(doc.get("request", ())),
+                   idempotency_key=doc.get("idempotency_key"),
+                   submitted_at=doc.get("submitted_at", 0.0),
+                   finished_at=doc.get("finished_at"),
+                   memo=doc.get("memo"),
+                   manifest=doc.get("manifest"),
+                   error=doc.get("error"))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def merge(self, later: "IntakeRecord") -> "IntakeRecord":
+        """The admitted record updated by a *later* record for the same
+        campaign — later state/outcome over earlier request context."""
+        return IntakeRecord(
+            campaign_id=self.campaign_id,
+            seq=later.seq or self.seq,
+            state=later.state,
+            tenant=later.tenant or self.tenant,
+            request=later.request or self.request,
+            idempotency_key=(later.idempotency_key
+                             if later.idempotency_key is not None
+                             else self.idempotency_key),
+            submitted_at=later.submitted_at or self.submitted_at,
+            finished_at=(later.finished_at
+                         if later.finished_at is not None
+                         else self.finished_at),
+            memo=later.memo if later.memo is not None else self.memo,
+            manifest=(later.manifest if later.manifest is not None
+                      else self.manifest),
+            error=later.error if later.error is not None else self.error)
+
+
+class IntakeJournal:
+    """Appends and replays ``phantom.intake/1`` records for one service.
+
+    ``append`` is the write-ahead barrier: it validates, writes one
+    JSON line, flushes, and fsyncs before returning, so a campaign id
+    handed to a client is durably on disk first.  Intake is low-rate
+    (campaigns, not jobs), so the fsync cost is irrelevant next to a
+    single simulated cycle.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._warned = False
+        self.write_errors = 0
+        self.appended = 0
+
+    # -- write ---------------------------------------------------------------
+
+    def append(self, record: IntakeRecord) -> bool:
+        """Durably append one record; ``True`` once it is on disk.
+
+        A failed append (ENOSPC, a yanked volume) degrades: counted,
+        warned once, and the service keeps running — the campaign just
+        will not survive a crash, which is no worse than journal-less
+        operation was.
+        """
+        doc = record.to_doc()
+        validate_intake(doc)     # never journal a record we can't replay
+        line = json.dumps(doc, sort_keys=True)
+        try:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError) as exc:   # ValueError: closed file
+            self.write_errors += 1
+            _metrics.REGISTRY.counter("service.intake_write_errors").inc()
+            SPANS.event("intake:write_error", status="error",
+                        campaign=record.campaign_id, error=str(exc))
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"intake journal append to {self.path} failed "
+                    f"({exc}); service continues, but campaign "
+                    f"{record.campaign_id} will not survive a restart",
+                    RuntimeWarning, stacklevel=2)
+            return False
+        self.appended += 1
+        _metrics.REGISTRY.counter("service.intake_appends").inc()
+        return True
+
+    def append_admitted(self, record: IntakeRecord) -> bool:
+        assert record.state == "admitted"
+        return self.append(record)
+
+    def append_terminal(self, campaign_id: str, seq: int, state: str, *,
+                        finished_at: float, memo: dict | None = None,
+                        manifest: dict | None = None,
+                        error: dict | None = None) -> bool:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"terminal state must be one of "
+                             f"{TERMINAL_STATES}, got {state!r}")
+        return self.append(IntakeRecord(
+            campaign_id=campaign_id, seq=seq, state=state,
+            finished_at=finished_at, memo=memo, manifest=manifest,
+            error=error))
+
+    def flush(self) -> None:
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "IntakeJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- read ----------------------------------------------------------------
+
+    def load(self) -> list[IntakeRecord]:
+        return load_intake(self.path)
+
+
+def load_intake(path) -> list[IntakeRecord]:
+    """Journal → merged records in admission order, last state winning.
+
+    Tolerant by design, exactly like the checkpoint loader: a missing
+    file is an empty journal, and torn, foreign, or schema-invalid
+    lines are skipped (each skip counted via
+    ``service.intake_skipped_lines``) — a crash mid-append costs one
+    record, never the journal.  Terminal records without a preceding
+    admitted record (their admit line was the torn one) are dropped:
+    there is nothing to recover for them.
+    """
+    path = Path(path)
+    merged: dict[str, IntakeRecord] = {}
+    order: list[str] = []
+    if not path.exists():
+        return []
+    skipped = 0
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if (not isinstance(doc, dict)
+                    or doc.get("schema") != INTAKE_SCHEMA):
+                skipped += 1
+                continue
+            try:
+                validate_intake(doc)
+                record = IntakeRecord.from_doc(doc)
+            except (SchemaError, KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            if record.state not in INTAKE_STATES:
+                skipped += 1
+                continue
+            prior = merged.get(record.campaign_id)
+            if prior is None:
+                if record.state != "admitted":
+                    skipped += 1     # orphan terminal: nothing to recover
+                    continue
+                merged[record.campaign_id] = record
+                order.append(record.campaign_id)
+            else:
+                merged[record.campaign_id] = prior.merge(record)
+    if skipped:
+        _metrics.REGISTRY.counter("service.intake_skipped_lines") \
+            .inc(skipped)
+    return [merged[campaign_id] for campaign_id in order]

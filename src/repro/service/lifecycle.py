@@ -1,0 +1,121 @@
+"""Service lifecycle: startup recovery, readiness, and graceful drain.
+
+A long-lived service has states a batch run never needed:
+
+* ``starting``   — process up, socket not yet accepting work
+* ``recovering`` — replaying the intake journal (``--state-dir``)
+* ``ready``      — accepting submissions
+* ``draining``   — SIGTERM received: the in-flight campaign finishes,
+  the journal is flushed, new submissions bounce with a typed 503
+  (queued-but-unstarted campaigns stay journaled and are recovered by
+  the next instance)
+* ``stopped``    — drain complete, process exiting
+
+``/readyz`` reports this state machine (200 only in ``ready``), which
+is deliberately distinct from ``/healthz`` liveness: a draining
+service is perfectly *healthy* — it must not be restarted by a
+supervisor mid-drain — but not *ready*, so load balancers stop routing
+new work to it.  See ``docs/service.md`` ("Durability and crash
+recovery").
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+from ..telemetry import metrics as _metrics
+from ..telemetry.spans import SPANS
+
+#: Every lifecycle state, in the order they are normally entered.
+LIFECYCLE_STATES = ("starting", "recovering", "ready", "draining",
+                    "stopped")
+
+#: Transitions the state machine accepts; anything else is a no-op
+#: (signals can race — a second SIGTERM during drain must be harmless).
+_TRANSITIONS = {
+    "starting": ("recovering", "ready", "draining", "stopped"),
+    "recovering": ("ready", "draining", "stopped"),
+    "ready": ("draining", "stopped"),
+    "draining": ("stopped",),
+    "stopped": (),
+}
+
+
+class ServiceLifecycle:
+    """The service's state machine, observable and idempotent.
+
+    Transitions are recorded as spans (``service:lifecycle``) and in
+    the ``service.lifecycle_transitions`` counter; invalid transitions
+    are silently ignored rather than raised, because the inputs are
+    signals and shutdown races, not programmer errors.
+    """
+
+    def __init__(self) -> None:
+        self.state = "starting"
+        self.entered_at = time.time()
+        self.history: list[tuple[str, float]] = [("starting",
+                                                  self.entered_at)]
+
+    def transition(self, state: str) -> bool:
+        """Move to *state* if legal; returns whether anything changed."""
+        if state not in LIFECYCLE_STATES:
+            raise ValueError(f"unknown lifecycle state {state!r}")
+        if state not in _TRANSITIONS[self.state]:
+            return False
+        SPANS.event("service:lifecycle", state=state,
+                    previous=self.state)
+        _metrics.REGISTRY.counter("service.lifecycle_transitions").inc()
+        self.state = state
+        self.entered_at = time.time()
+        self.history.append((state, self.entered_at))
+        return True
+
+    # -- convenience predicates ---------------------------------------------
+
+    @property
+    def accepting(self) -> bool:
+        """May ``submit`` admit new work right now?"""
+        return self.state == "ready"
+
+    @property
+    def ready(self) -> bool:
+        return self.state == "ready"
+
+    @property
+    def draining(self) -> bool:
+        return self.state in ("draining", "stopped")
+
+    def describe(self) -> dict:
+        return {"state": self.state,
+                "since": round(self.entered_at, 3),
+                "history": [[state, round(stamp, 3)]
+                            for state, stamp in self.history]}
+
+
+def install_drain_signal(loop, trigger, *,
+                         signals=(signal.SIGTERM,)) -> list:
+    """Arm *signals* to call *trigger* once on the event loop.
+
+    Returns the signals actually installed (``add_signal_handler`` is
+    unavailable on some platforms/loops; the service then simply has
+    no signal-driven drain, and tests drive ``drain()`` directly).
+    SIGINT is deliberately left alone: Ctrl-C keeps its
+    KeyboardInterrupt semantics for interactive use.
+    """
+    installed = []
+    for signum in signals:
+        try:
+            loop.add_signal_handler(signum, trigger)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            continue
+        installed.append(signum)
+    return installed
+
+
+def remove_drain_signal(loop, installed) -> None:
+    for signum in installed:
+        try:
+            loop.remove_signal_handler(signum)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            pass

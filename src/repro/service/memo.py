@@ -44,7 +44,8 @@ class MemoStats:
 
 
 def run_campaign_memoized(experiment, store: ResultStore, *,
-                          on_job_done=None, **kwargs
+                          on_job_done=None, lineage: str | None = None,
+                          **kwargs
                           ) -> tuple[CampaignResult, MemoStats]:
     """Run *experiment* answering every known job from *store*.
 
@@ -52,6 +53,10 @@ def run_campaign_memoized(experiment, store: ResultStore, *,
     ``resume`` (the store *is* the resume source here).  Fresh
     successful results are stored from the campaign's completion
     stream, so an interrupted campaign still banks its finished jobs.
+    ``lineage`` overrides the resume-source label recorded in the
+    manifest's execution lineage (the service tags crash-recovered
+    campaigns ``recovery:<store>``); :func:`manifest_fingerprint`
+    strips it either way.
     """
     if "resume" in kwargs:
         raise TypeError("run_campaign_memoized owns resume=; "
@@ -79,6 +84,6 @@ def run_campaign_memoized(experiment, store: ResultStore, *,
     if resume_info is not None:
         # Name the actual source in the lineage (fingerprint-stripped,
         # so this stays an execution detail).
-        resume_info["from"] = f"store:{store.root}"
+        resume_info["from"] = lineage or f"store:{store.root}"
     stats = MemoStats(jobs=len(specs), hits=len(cached), stored=stored)
     return campaign, stats

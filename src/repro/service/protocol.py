@@ -148,12 +148,25 @@ EXPERIMENTS = {
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One validated campaign submission."""
+    """One validated campaign submission.
+
+    ``idempotency_key`` is the client's retry-safety handle: two
+    submissions by the same tenant carrying the same key are the same
+    *submission* (not merely the same work), so the service returns
+    the first submission's campaign record instead of enqueueing a
+    duplicate — across restarts too, because the key is journaled
+    with the intake record.  Clients that want at-most-once semantics
+    derive the key from :meth:`fingerprint` (the
+    :class:`~repro.service.client.ServiceClient` does exactly that
+    when asked); clients that want every resubmission to run simply
+    omit it.
+    """
 
     tenant: str
     experiment: str
     params: dict = field(default_factory=dict)
     options: CampaignOptions = CampaignOptions()
+    idempotency_key: str | None = None
 
     @classmethod
     def from_doc(cls, doc) -> "JobRequest":
@@ -178,13 +191,22 @@ class JobRequest:
             options = CampaignOptions.from_dict(doc.get("options", {}))
         except (TypeError, ValueError) as exc:
             raise BadRequest(f"bad 'options': {exc}") from None
+        idempotency_key = doc.get("idempotency_key")
+        if idempotency_key is not None and (
+                not isinstance(idempotency_key, str)
+                or not idempotency_key.strip()
+                or len(idempotency_key) > 256):
+            raise BadRequest("'idempotency_key' must be a non-empty "
+                             "string of at most 256 characters")
         unknown = set(doc) - {"schema", "tenant", "experiment", "params",
-                              "options"}
+                              "options", "idempotency_key"}
         if unknown:
             raise BadRequest(
                 f"unknown field(s): {', '.join(sorted(unknown))}")
         return cls(tenant=tenant.strip(), experiment=experiment,
-                   params=dict(params), options=options)
+                   params=dict(params), options=options,
+                   idempotency_key=(idempotency_key.strip()
+                                    if idempotency_key else None))
 
     def to_doc(self) -> dict:
         doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": self.tenant,
@@ -194,6 +216,8 @@ class JobRequest:
         options = self.options.to_dict()
         if options:
             doc["options"] = options
+        if self.idempotency_key is not None:
+            doc["idempotency_key"] = self.idempotency_key
         return doc
 
     def build(self):

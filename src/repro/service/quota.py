@@ -173,6 +173,20 @@ class QuotaManager:
         with state.lock:
             state.active_campaigns = max(0, state.active_campaigns - 1)
 
+    def restore(self, tenant: str, n_jobs: int) -> None:
+        """Re-register an already-admitted campaign after a restart.
+
+        Crash recovery must not re-run admission: the campaign was
+        admitted by the previous instance (its token was spent, its
+        journal record proves it), so only the standing counters —
+        active campaigns, cumulative jobs — are restored.  No bucket
+        draw, no ceilings: a recovered campaign can never bounce.
+        """
+        state = self._state(tenant)
+        with state.lock:
+            state.active_campaigns += 1
+            state.total_jobs += n_jobs
+
     def snapshot(self) -> dict:
         """Per-tenant stats for ``/v1/stats``."""
         with self._lock:

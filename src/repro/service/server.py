@@ -18,9 +18,19 @@ a single worker thread (parallelism lives *inside* a campaign, via its
 recorder never see two campaigns interleaved.  Worker-side progress
 events hop back onto the loop via ``call_soon_threadsafe``.
 
+Durability: with ``--state-dir`` every admitted request is journaled
+as a ``phantom.intake/1`` record *before* ``submit`` returns
+(:mod:`.journal`), startup replays the journal (finished campaigns
+keep their records and idempotency keys, unfinished ones re-enqueue in
+admission order and re-run through the memo seam so already-finished
+jobs are never executed twice), and SIGTERM drains gracefully
+(:mod:`.lifecycle`): the in-flight campaign finishes, the journal is
+flushed, new work bounces with a typed 503.
+
 Endpoints (see ``docs/service.md`` for schemas):
 
 * ``GET  /healthz``                 — liveness + queue depth
+* ``GET  /readyz``                  — readiness (503 while draining)
 * ``GET  /v1/stats``                — store/quota/campaign counters
 * ``POST /v1/campaigns``            — submit; ``?wait=1`` blocks until done
 * ``GET  /v1/campaigns/<id>``        — status document
@@ -30,6 +40,7 @@ Endpoints (see ``docs/service.md`` for schemas):
 from __future__ import annotations
 
 import asyncio
+import collections
 import itertools
 import json
 import threading
@@ -40,7 +51,10 @@ from pathlib import Path
 from ..telemetry import metrics as _metrics
 from ..telemetry.progress import ProgressReporter
 from ..telemetry.spans import SPANS
-from .errors import BadRequest, NotFound, ServiceError
+from .errors import BadRequest, NotFound, ServiceError, Unavailable
+from .journal import IntakeJournal, IntakeRecord
+from .lifecycle import (ServiceLifecycle, install_drain_signal,
+                        remove_drain_signal)
 from .memo import run_campaign_memoized
 from .protocol import (CAMPAIGN_STATUS_SCHEMA, HEALTH_SCHEMA, STATS_SCHEMA,
                        JobRequest)
@@ -65,12 +79,16 @@ class ServiceConfig:
     max_queue: int = 256
     timeout_s: float | None = None   # per-job timeout inside campaigns
     retries: int = 0
+    state_dir: str | None = None   # intake journal home; None = volatile
+    default_wall_s: float = 30.0   # Retry-After prior before any sample
 
     def describe(self) -> dict:
         return {"host": self.host, "port": self.port,
                 "store_dir": str(self.store_dir), "jobs": self.jobs,
                 "store_max_entries": self.store_max_entries,
                 "max_queue": self.max_queue,
+                "state_dir": (str(self.state_dir)
+                              if self.state_dir else None),
                 "policy": self.policy.describe()}
 
 
@@ -82,7 +100,9 @@ class CampaignRecord:
     request: JobRequest
     jobs: int
     job_count: int
+    seq: int = 0                   # admission order; keys the journal
     state: str = "queued"          # queued | running | done | failed
+    recovered: bool = False        # re-enqueued from the intake journal
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -100,6 +120,10 @@ class CampaignRecord:
                "request_fingerprint": self.request.fingerprint(),
                "jobs": self.jobs, "job_count": self.job_count,
                "submitted_at": self.submitted_at}
+        if self.recovered:
+            doc["recovered"] = True
+        if self.request.idempotency_key is not None:
+            doc["idempotency_key"] = self.request.idempotency_key
         if self.started_at is not None:
             doc["started_at"] = self.started_at
         if self.finished_at is not None:
@@ -149,10 +173,22 @@ class CampaignService:
         self.quotas = quotas or QuotaManager(config.policy,
                                              dict(config.overrides))
         self.campaigns: dict[str, CampaignRecord] = {}
+        self.lifecycle = ServiceLifecycle()
+        self.journal: IntakeJournal | None = None
+        if config.state_dir:
+            self.journal = IntakeJournal(
+                Path(config.state_dir) / "intake.jsonl")
         self.started_at = time.time()
+        self.recovered_count = 0
         self._ids = itertools.count(1)
-        self._queue: asyncio.Queue[CampaignRecord] = \
-            asyncio.Queue(maxsize=config.max_queue)
+        self._idempotent: dict[tuple[str, str], str] = {}
+        self._wall_times: collections.deque[float] = \
+            collections.deque(maxlen=32)
+        self._in_flight: CampaignRecord | None = None
+        # Unbounded on purpose: the submit path enforces ``max_queue``
+        # (with a Retry-After hint), while crash recovery must always
+        # be able to re-enqueue what was already admitted.
+        self._queue: asyncio.Queue[CampaignRecord] = asyncio.Queue()
         self._runner_task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
 
@@ -160,6 +196,10 @@ class CampaignService:
 
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
+        if self.journal is not None:
+            self.lifecycle.transition("recovering")
+            self.recover()
+        self.lifecycle.transition("ready")
         self._runner_task = asyncio.create_task(self._drain(),
                                                 name="campaign-runner")
 
@@ -171,34 +211,169 @@ class CampaignService:
             except asyncio.CancelledError:
                 pass
             self._runner_task = None
+        if self.journal is not None:
+            self.journal.close()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish the in-flight campaign, flush the
+        journal, stop.  New submissions bounce with a typed 503 from
+        the moment this is called; queued-but-unstarted campaigns stay
+        in the journal and are recovered by the next instance."""
+        if not self.lifecycle.transition("draining"):
+            return
+        SPANS.event("service:drain", queued=self._queue.qsize())
+        _metrics.REGISTRY.counter("service.drains").inc()
+        record = self._in_flight
+        if record is not None:
+            await record.done.wait()
+        if self.journal is not None:
+            self.journal.flush()
+        await self.close()
+        self.lifecycle.transition("stopped")
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the intake journal into the campaign table.
+
+        Terminal campaigns are re-registered as finished records (their
+        status documents and idempotency keys survive the restart);
+        non-terminal ones are re-enqueued in admission order and will
+        re-run through :func:`run_campaign_memoized` — every job that
+        finished before the crash is answered from the result store,
+        so recovery never executes a job twice and the recovered
+        manifest is fingerprint-identical to an uninterrupted run's.
+        Returns the number of campaigns re-enqueued.
+        """
+        assert self.journal is not None
+        requeued = 0
+        max_seq = 0
+        for intake in self.journal.load():
+            max_seq = max(max_seq, intake.seq)
+            try:
+                request = JobRequest.from_doc(intake.request)
+            except BadRequest as exc:
+                # A journal from a different protocol era: skip, count,
+                # keep recovering everyone else.
+                _metrics.REGISTRY.counter(
+                    "service.recover_skipped").inc()
+                SPANS.event("service:recover_skipped", status="error",
+                            campaign=intake.campaign_id, error=str(exc))
+                continue
+            record = CampaignRecord(
+                id=intake.campaign_id, request=request,
+                jobs=0, job_count=0, seq=intake.seq, recovered=True,
+                submitted_at=intake.submitted_at or time.time())
+            if intake.terminal:
+                record.state = intake.state
+                record.finished_at = intake.finished_at
+                record.memo = intake.memo
+                record.manifest = intake.manifest
+                record.error = intake.error
+                record.done.set()
+            else:
+                try:
+                    experiment = request.build()
+                    record.job_count = len(list(experiment.job_specs()))
+                except ServiceError as exc:
+                    record.state = "failed"
+                    record.error = exc.to_doc()
+                    record.done.set()
+                else:
+                    options = request.options.for_service()
+                    record.jobs = options.jobs if options.jobs \
+                        else self.config.jobs
+                    self.quotas.restore(request.tenant, record.job_count)
+                    self._queue.put_nowait(record)
+                    requeued += 1
+            self.campaigns[record.id] = record
+            if request.idempotency_key is not None:
+                self._idempotent[(request.tenant,
+                                  request.idempotency_key)] = record.id
+        self._ids = itertools.count(max_seq + 1)
+        self.recovered_count = requeued
+        if requeued or max_seq:
+            _metrics.REGISTRY.counter("service.campaigns_recovered") \
+                .inc(requeued)
+            SPANS.event("service:recover", requeued=requeued,
+                        journaled=len(self.campaigns))
+        return requeued
 
     # -- submission ----------------------------------------------------------
 
     def submit_doc(self, doc) -> CampaignRecord:
-        """Validate, admit, and queue one request document.
+        """Validate, admit, journal, and queue one request document.
 
         Raises a typed :class:`ServiceError` (bad request, rate limit,
-        quota) without side effects; on success the campaign is queued
-        and visible in the table immediately.
+        quota, draining/full 503) without side effects; on success the
+        campaign is journaled (write-ahead, when a ``state_dir`` is
+        configured) and visible in the table before this returns.  A
+        resubmission carrying a known ``(tenant, idempotency_key)``
+        returns the original record — queued, running, or finished —
+        instead of enqueueing a duplicate.
         """
+        if not self.lifecycle.accepting:
+            raise Unavailable(
+                f"service is {self.lifecycle.state}; resubmit to the "
+                f"next instance",
+                retry_after_s=self._mean_wall_s(),
+                state=self.lifecycle.state)
         request = JobRequest.from_doc(doc)
+        if request.idempotency_key is not None:
+            existing = self._idempotent.get(
+                (request.tenant, request.idempotency_key))
+            if existing is not None:
+                _metrics.REGISTRY.counter(
+                    "service.idempotent_replays").inc()
+                SPANS.event("service:idempotent_replay",
+                            tenant=request.tenant, campaign=existing)
+                return self.campaigns[existing]
         experiment = request.build()          # validates params
         job_count = len(list(experiment.job_specs()))
-        if self._queue.full():
-            raise ServiceError("service queue is full; retry later",
-                               max_queue=self.config.max_queue)
+        if self._queue.qsize() >= self.config.max_queue:
+            raise Unavailable(
+                "service queue is full; retry later",
+                retry_after_s=self._backlog_retry_s(),
+                max_queue=self.config.max_queue,
+                queue_depth=self._queue.qsize())
         self.quotas.admit(request.tenant, job_count)
         options = request.options.for_service()
         jobs = options.jobs if options.jobs else self.config.jobs
+        seq = next(self._ids)
         record = CampaignRecord(
-            id=f"c{next(self._ids):06d}-{request.fingerprint()[:8]}",
-            request=request, jobs=jobs, job_count=job_count)
+            id=f"c{seq:06d}-{request.fingerprint()[:8]}",
+            request=request, jobs=jobs, job_count=job_count, seq=seq)
         self.campaigns[record.id] = record
+        if request.idempotency_key is not None:
+            self._idempotent[(request.tenant,
+                              request.idempotency_key)] = record.id
+        if self.journal is not None:
+            # The write-ahead barrier: on disk before the id escapes.
+            self.journal.append_admitted(IntakeRecord(
+                campaign_id=record.id, seq=seq, state="admitted",
+                tenant=request.tenant, request=request.to_doc(),
+                idempotency_key=request.idempotency_key,
+                submitted_at=record.submitted_at))
         self._queue.put_nowait(record)
         _metrics.REGISTRY.counter("service.campaigns_submitted").inc()
         SPANS.event("service:submit", tenant=request.tenant,
                     experiment=request.experiment, campaign=record.id)
         return record
+
+    # -- backlog arithmetic ---------------------------------------------------
+
+    def _mean_wall_s(self) -> float:
+        """Mean campaign wall time, or the configured prior before any
+        campaign has finished."""
+        if not self._wall_times:
+            return self.config.default_wall_s
+        return sum(self._wall_times) / len(self._wall_times)
+
+    def _backlog_retry_s(self) -> float:
+        """Retry-After for a full queue: how long the backlog will
+        plausibly take to make room — queue depth times the mean
+        campaign wall time, floored at one second."""
+        return max(1.0, self._queue.qsize() * self._mean_wall_s())
 
     def get(self, campaign_id: str) -> CampaignRecord:
         record = self.campaigns.get(campaign_id)
@@ -211,6 +386,7 @@ class CampaignService:
     async def _drain(self) -> None:
         while True:
             record = await self._queue.get()
+            self._in_flight = record
             record.state = "running"
             record.started_at = time.time()
             try:
@@ -227,7 +403,16 @@ class CampaignService:
                 _metrics.REGISTRY.counter("service.campaigns_failed").inc()
             finally:
                 record.finished_at = time.time()
+                self._wall_times.append(
+                    max(0.0, record.finished_at - record.started_at))
+                if self.journal is not None:
+                    self.journal.append_terminal(
+                        record.id, record.seq, record.state,
+                        finished_at=record.finished_at,
+                        memo=record.memo, manifest=record.manifest,
+                        error=record.error)
                 self.quotas.release(record.request.tenant)
+                self._in_flight = None
                 self._push_event(record, _EVENT_DONE)
                 record.done.set()
                 self._queue.task_done()
@@ -238,14 +423,18 @@ class CampaignService:
         reporter = ProgressReporter(
             stream=_EventFanout(self._loop,
                                 lambda line: self._push_event(record, line)))
+        lineage = f"recovery:{self.store.root}" if record.recovered \
+            else None
         with SPANS.span("service:campaign", campaign=record.id,
                         tenant=record.request.tenant,
-                        experiment=record.request.experiment):
+                        experiment=record.request.experiment,
+                        recovered=record.recovered):
             try:
                 campaign, memo = run_campaign_memoized(
                     experiment, self.store, jobs=record.jobs,
                     timeout_s=self.config.timeout_s,
-                    retries=self.config.retries, progress=reporter)
+                    retries=self.config.retries, progress=reporter,
+                    lineage=lineage)
             finally:
                 reporter.close()
         record.manifest = campaign.manifest
@@ -285,9 +474,24 @@ class CampaignService:
         for record in self.campaigns.values():
             states[record.state] = states.get(record.state, 0) + 1
         return {"schema": HEALTH_SCHEMA, "status": "ok",
+                "lifecycle": self.lifecycle.state,
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "queue_depth": self._queue.qsize(),
                 "campaigns": states}
+
+    def ready_doc(self) -> tuple[int, dict]:
+        """(http status, document) for ``/readyz``.
+
+        Distinct from liveness on purpose: a draining or recovering
+        service is alive (``/healthz`` 200 — do not restart it) but
+        must not receive new work (``/readyz`` 503 — route elsewhere).
+        """
+        doc = {"schema": HEALTH_SCHEMA,
+               "status": "ready" if self.lifecycle.ready
+               else "unavailable",
+               "lifecycle": self.lifecycle.state,
+               "queue_depth": self._queue.qsize()}
+        return (200 if self.lifecycle.ready else 503), doc
 
     def stats_doc(self) -> dict:
         return {"schema": STATS_SCHEMA,
@@ -305,7 +509,8 @@ class CampaignService:
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
-            429: "Too Many Requests", 500: "Internal Server Error"}
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 
 def _response_bytes(status: int, body: bytes,
@@ -345,7 +550,7 @@ class HttpFront:
                 return
             _metrics.REGISTRY.counter("service.http_requests").inc()
             try:
-                await self._route(method, target, body, writer)
+                await self._route(method, target, body, writer, reader)
             except ServiceError as exc:
                 headers = {}
                 if getattr(exc, "retry_after_s", 0):
@@ -389,12 +594,17 @@ class HttpFront:
         return method, target, body
 
     async def _route(self, method: str, target: str, body: bytes,
-                     writer: asyncio.StreamWriter) -> None:
+                     writer: asyncio.StreamWriter,
+                     reader: asyncio.StreamReader) -> None:
         path, _, query = target.partition("?")
         parts = [part for part in path.split("/") if part]
         service = self.service
         if method == "GET" and parts == ["healthz"]:
             writer.write(_json_response(200, service.health_doc()))
+            return
+        if method == "GET" and parts == ["readyz"]:
+            status, doc = service.ready_doc()
+            writer.write(_json_response(status, doc))
             return
         if method == "GET" and parts == ["v1", "stats"]:
             writer.write(_json_response(200, service.stats_doc()))
@@ -409,7 +619,8 @@ class HttpFront:
                 return
             if method == "GET" and len(parts) == 4 \
                     and parts[3] == "events":
-                await self._stream_events(service.get(parts[2]), writer)
+                await self._stream_events(service.get(parts[2]), writer,
+                                          reader)
                 return
         raise NotFound(f"no route {method} {path}")
 
@@ -427,21 +638,45 @@ class HttpFront:
             writer.write(_json_response(202, record.status_doc()))
 
     async def _stream_events(self, record: CampaignRecord,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             reader: asyncio.StreamReader) -> None:
+        """NDJSON progress stream, disconnect-safe.
+
+        A subscriber that goes away mid-stream must not linger in
+        ``record.subscribers`` (the old behaviour: a half-closed
+        socket's ``drain`` may never raise, so the dead queue kept
+        accumulating events for as long as the campaign ran).  The
+        reader is watched concurrently with the event queue: EOF —
+        or any stray bytes; event clients never speak again on this
+        connection — ends the stream and unsubscribes immediately.
+        """
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Connection: close\r\n\r\n")
         queue = self.service.subscribe(record)
+        gone = asyncio.ensure_future(reader.read(64))
+        getter: asyncio.Future | None = None
         try:
             while True:
-                line = await queue.get()
+                getter = asyncio.ensure_future(queue.get())
+                done, _pending = await asyncio.wait(
+                    {getter, gone}, return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:
+                    break                       # client went away
+                line = getter.result()
+                getter = None
                 if line is _EVENT_DONE:
                     break
                 writer.write(line.encode("utf-8") + b"\n")
                 await writer.drain()
+                if gone.done():
+                    break
         except (ConnectionError, OSError):
             pass
         finally:
+            for task in (getter, gone):
+                if task is not None and not task.done():
+                    task.cancel()
             self.service.unsubscribe(record, queue)
 
 
@@ -449,12 +684,16 @@ class HttpFront:
 
 async def serve(config: ServiceConfig, *,
                 service: CampaignService | None = None,
-                on_ready=None) -> None:
-    """Run the service until cancelled.
+                on_ready=None, install_signals: bool = True) -> None:
+    """Run the service until cancelled or gracefully drained.
 
     ``on_ready(host, port, service)`` fires once the socket is bound —
     the hook tests and :func:`start_in_thread` use to learn an
-    ephemeral port.
+    ephemeral port.  With ``install_signals`` (the default), SIGTERM
+    triggers a graceful drain: the in-flight campaign finishes, the
+    intake journal is flushed, new submissions bounce with a typed
+    503, and this coroutine returns — queued-but-unstarted campaigns
+    are recovered by the next ``serve`` on the same ``state_dir``.
     """
     service = service or CampaignService(config)
     await service.start()
@@ -464,10 +703,30 @@ async def serve(config: ServiceConfig, *,
     host, port = server.sockets[0].getsockname()[:2]
     if on_ready is not None:
         on_ready(host, port, service)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = install_drain_signal(loop, stop.set) \
+        if install_signals else []
     try:
         async with server:
-            await server.serve_forever()
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            stop_task = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait({serve_task, stop_task},
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if stop.is_set():
+                    # Keep answering status polls during the drain;
+                    # only submissions are rejected (typed 503).
+                    await service.drain()
+            finally:
+                for task in (serve_task, stop_task):
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
     finally:
+        remove_drain_signal(loop, installed)
         await service.close()
 
 
@@ -484,6 +743,17 @@ class ServiceHandle:
     def stop(self, timeout: float = 10.0) -> None:
         self._loop.call_soon_threadsafe(self._task.cancel)
         self._thread.join(timeout)
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Graceful stop: what SIGTERM does, callable from tests."""
+        def _begin() -> None:
+            asyncio.ensure_future(self._drain_then_cancel())
+        self._loop.call_soon_threadsafe(_begin)
+        self._thread.join(timeout)
+
+    async def _drain_then_cancel(self) -> None:
+        await self.service.drain()
+        self._task.cancel()
 
 
 def start_in_thread(config: ServiceConfig) -> ServiceHandle:
@@ -504,7 +774,8 @@ def start_in_thread(config: ServiceConfig) -> ServiceHandle:
             state["service"] = service
             ready.set()
 
-        task = loop.create_task(serve(config, on_ready=_on_ready))
+        task = loop.create_task(serve(config, on_ready=_on_ready,
+                                      install_signals=False))
         state["loop"], state["task"] = loop, task
         try:
             loop.run_until_complete(task)

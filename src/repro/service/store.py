@@ -97,10 +97,21 @@ class ResultStore:
         """
         path = self.path_for(fingerprint)
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
+            blob = path.read_text(encoding="utf-8")
         except FileNotFoundError:
             return self._miss()
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except OSError:
+            return self._miss(corrupt=path)
+        try:
+            # Touch as soon as the bytes are in hand: the refresh both
+            # implements LRU and shields this entry from a concurrent
+            # eviction pass (evict_to re-checks mtimes before unlink).
+            os.utime(path)
+        except OSError:
+            pass
+        try:
+            doc = json.loads(blob)
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return self._miss(corrupt=path)
         if (not isinstance(doc, dict)
                 or doc.get("schema") != RESULT_ENTRY_SCHEMA
@@ -113,10 +124,6 @@ class ResultStore:
             return self._miss(corrupt=path)
         self.hits += 1
         _metrics.REGISTRY.counter("service.cache_hits").inc()
-        try:
-            os.utime(path)   # refresh for LRU eviction
-        except OSError:
-            pass
         return record
 
     def _miss(self, corrupt: Path | None = None) -> None:
@@ -182,7 +189,16 @@ class ResultStore:
     # -- maintenance -------------------------------------------------------------
 
     def evict_to(self, limit: int) -> int:
-        """Delete oldest-mtime entries until at most *limit* remain."""
+        """Delete oldest-mtime entries until at most *limit* remain.
+
+        Eviction races live lookups by design (campaign completion
+        writes — and therefore evicts — while the next campaign's
+        ``lookup`` reads), so candidates are re-checked immediately
+        before the unlink: a hit refreshes its entry's mtime
+        (:meth:`get`), and an entry whose mtime moved since the
+        candidate list was taken is being read *right now* — it is
+        spared, and eviction moves on to the next-oldest.
+        """
         paths = list(self._iter_paths())
         excess = len(paths) - max(0, int(limit))
         if excess <= 0:
@@ -194,9 +210,14 @@ class ResultStore:
             except OSError:
                 return 0.0
 
+        listed = {path: mtime(path) for path in paths}
         evicted = 0
-        for path in sorted(paths, key=mtime)[:excess]:
+        for path in sorted(paths, key=listed.__getitem__):
+            if evicted >= excess:
+                break
             try:
+                if path.stat().st_mtime > listed[path]:
+                    continue        # refreshed by an in-flight read
                 path.unlink()
             except OSError:
                 continue

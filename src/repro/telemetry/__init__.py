@@ -33,8 +33,9 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY, \
     counter, gauge, histogram
 from .profiling import profile_block, time_callable
 from .progress import PROGRESS_SCHEMA, ProgressReporter
-from .schema import CONTRACT_VIOLATION_JSON_SCHEMA, MANIFEST_JSON_SCHEMA, \
-    SchemaError, validate, validate_manifest, validate_violation
+from .schema import CONTRACT_VIOLATION_JSON_SCHEMA, INTAKE_JSON_SCHEMA, \
+    MANIFEST_JSON_SCHEMA, SchemaError, validate, validate_intake, \
+    validate_manifest, validate_violation
 from .spans import SPAN_JSON_SCHEMA, SPAN_SCHEMA, SPANS, Span, \
     SpanRecorder, StitchedTrace, TraceContext, critical_path, read_spans, \
     stitch, stitch_to_file, summarize_trace, trace_structure, validate_span
@@ -45,6 +46,7 @@ from .trace import JsonLinesSink, MemorySink, TRACE, TRACE_SCHEMA, \
 __all__ = [
     "CONTRACT_VIOLATION_JSON_SCHEMA",
     "Counter",
+    "INTAKE_JSON_SCHEMA",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
@@ -92,6 +94,7 @@ __all__ = [
     "to_openmetrics",
     "trace_structure",
     "validate",
+    "validate_intake",
     "validate_manifest",
     "validate_span",
     "validate_violation",

@@ -168,6 +168,30 @@ CONTRACT_VIOLATION_JSON_SCHEMA = {
     },
 }
 
+INTAKE_JSON_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "$id": "phantom.intake/1",
+    "title": "Phantom campaign-service intake journal record",
+    "type": "object",
+    "required": ["schema", "campaign_id", "seq", "state"],
+    "properties": {
+        "schema": {"type": "string", "enum": ["phantom.intake/1"]},
+        "campaign_id": {"type": "string"},
+        "seq": {"type": "integer"},
+        "state": {"type": "string",
+                  "enum": ["admitted", "done", "failed"]},
+        "tenant": {"type": "string"},
+        "request": {"type": "object"},
+        "idempotency_key": {"type": "string"},
+        "submitted_at": {"type": "number"},
+        "finished_at": {"type": "number"},
+        "memo": {"type": "object"},
+        "manifest": {"type": "object"},
+        "error": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
 _TYPES = {
     "object": dict,
     "array": list,
@@ -232,3 +256,8 @@ def validate_manifest(doc: dict) -> None:
 def validate_violation(doc: dict) -> None:
     """Validate one contract-violation artifact."""
     validate(doc, CONTRACT_VIOLATION_JSON_SCHEMA)
+
+
+def validate_intake(doc: dict) -> None:
+    """Validate one service intake-journal record."""
+    validate(doc, INTAKE_JSON_SCHEMA)

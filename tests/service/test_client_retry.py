@@ -1,0 +1,221 @@
+"""Client-side robustness: retry policy, Retry-After, circuit breaker.
+
+No sockets here — the transport is faked by monkeypatching
+``ServiceClient._request_once`` and the sleeper, so every delay and
+state transition is asserted exactly.  The wire path itself is covered
+by ``test_server.py``; this file owns the *policy* arithmetic.
+"""
+
+import pytest
+
+from repro.service import (BadRequest, CircuitBreaker, CircuitOpen,
+                           RateLimited, RetryPolicy, ServiceClient,
+                           ServiceError, Unavailable)
+
+
+# -- RetryPolicy --------------------------------------------------------------
+
+def test_backoff_is_deterministic_exponential_and_jittered():
+    policy = RetryPolicy(attempts=5, backoff_base_s=0.1,
+                         backoff_cap_s=10.0, jitter_seed=7)
+    delays = [policy.delay_for(a, token="/v1/campaigns")
+              for a in range(4)]
+    # deterministic: same seed, same token, same delays
+    assert delays == [policy.delay_for(a, token="/v1/campaigns")
+                      for a in range(4)]
+    # jitter stays within [0.5, 1.0] x the exponential envelope
+    for attempt, delay in enumerate(delays):
+        envelope = 0.1 * (2 ** attempt)
+        assert envelope * 0.5 <= delay <= envelope
+    # a different seed decorrelates the fleet
+    assert delays != [RetryPolicy(attempts=5, backoff_base_s=0.1,
+                                  jitter_seed=8).delay_for(
+                          a, token="/v1/campaigns") for a in range(4)]
+
+
+def test_backoff_caps_and_honors_retry_after():
+    policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=4.0)
+    assert policy.delay_for(10) <= 4.0
+    # the server's hint wins when it is longer than the schedule
+    assert policy.delay_for(0, retry_after_s=9.5) == 9.5
+    # ...but never shortens a backoff that is already longer
+    assert policy.delay_for(10, retry_after_s=0.1) >= 2.0
+
+
+# -- CircuitBreaker -----------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_threshold_and_recovers_half_open():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=30.0,
+                             clock=clock)
+    for _ in range(2):
+        breaker.preflight()
+        breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.preflight()
+    breaker.record_failure()                  # third strike
+    assert breaker.state == "open"
+
+    with pytest.raises(CircuitOpen) as excinfo:
+        breaker.preflight()
+    assert 0 < excinfo.value.retry_after_s <= 30.0
+    assert excinfo.value.http_status == 503
+
+    clock.now += 31.0                         # cooldown elapsed
+    breaker.preflight()                       # the half-open probe
+    assert breaker.state == "half-open"
+    with pytest.raises(CircuitOpen):
+        breaker.preflight()                   # only ONE probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.failures == 0
+
+
+def test_half_open_probe_failure_reopens_immediately():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0,
+                             clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now += 11.0
+    breaker.preflight()
+    breaker.record_failure()                  # probe failed
+    assert breaker.state == "open"            # no second chance
+    with pytest.raises(CircuitOpen):
+        breaker.preflight()
+
+
+# -- ServiceClient wiring -----------------------------------------------------
+
+class FakeTransport:
+    """Scripted ``_request_once``: pops the next outcome per call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self, method, path, body=None):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _client(outcomes, *, retry=None, breaker=None):
+    sleeps = []
+    client = ServiceClient("http://127.0.0.1:1", retry=retry,
+                           breaker=breaker, sleeper=sleeps.append)
+    transport = FakeTransport(outcomes)
+    client._request_once = transport
+    return client, transport, sleeps
+
+
+def test_default_client_does_not_retry():
+    client, transport, sleeps = _client([ConnectionRefusedError("nope")])
+    with pytest.raises(ConnectionRefusedError):
+        client.health()
+    assert transport.calls == 1 and sleeps == []
+
+
+def test_retry_recovers_from_transient_faults():
+    client, transport, sleeps = _client(
+        [ConnectionRefusedError("booting"),
+         Unavailable("draining", retry_after_s=2.5),
+         {"status": "ok"}],
+        retry=RetryPolicy(attempts=4, backoff_base_s=0.01,
+                          jitter_seed=3))
+    assert client.health() == {"status": "ok"}
+    assert transport.calls == 3
+    assert len(sleeps) == 2
+    assert sleeps[1] >= 2.5       # honored the server's Retry-After
+
+
+def test_retry_gives_up_after_attempts_and_reraises_last():
+    client, transport, sleeps = _client(
+        [RateLimited(f"slow down {i}", retry_after_s=0.1)
+         for i in range(3)],
+        retry=RetryPolicy(attempts=3, backoff_base_s=0.01))
+    with pytest.raises(RateLimited, match="slow down 2"):
+        client.stats()
+    assert transport.calls == 3 and len(sleeps) == 2
+
+
+@pytest.mark.parametrize("error", [
+    BadRequest("your fault"),
+    ServiceError("weird 500"),
+])
+def test_request_shaped_errors_never_retry(error):
+    client, transport, sleeps = _client(
+        [error, {"never": "reached"}],
+        retry=RetryPolicy(attempts=5, backoff_base_s=0.01))
+    with pytest.raises(type(error)):
+        client.stats()
+    assert transport.calls == 1 and sleeps == []
+
+
+def test_breaker_trips_then_fails_fast_without_transport_calls():
+    client, transport, _sleeps = _client(
+        [ConnectionRefusedError("down")] * 2,
+        retry=RetryPolicy(attempts=2, backoff_base_s=0.0),
+        breaker=CircuitBreaker(failure_threshold=2, cooldown_s=60.0))
+    with pytest.raises(ConnectionRefusedError):
+        client.health()
+    assert client.breaker.state == "open"
+    with pytest.raises(CircuitOpen):
+        client.health()                      # fail-fast: no transport
+    assert transport.calls == 2
+
+
+def test_breaker_closes_again_after_successful_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                             clock=clock)
+    client, transport, _sleeps = _client(
+        [ConnectionRefusedError("down"), {"status": "ok"}],
+        breaker=breaker)
+    with pytest.raises(ConnectionRefusedError):
+        client.health()
+    assert breaker.state == "open"
+    clock.now += 6.0
+    assert client.health() == {"status": "ok"}   # half-open probe wins
+    assert breaker.state == "closed"
+    assert transport.calls == 2
+
+
+def test_submit_idempotent_stamps_fingerprint_key():
+    captured = {}
+
+    class Capture:
+        def __call__(self, method, path, body=None):
+            captured["body"] = body
+            return {"id": "c000001-x", "state": "queued"}
+
+    client = ServiceClient("http://127.0.0.1:1")
+    client._request_once = Capture()
+    doc = {"schema": "phantom.job-request/1", "tenant": "t",
+           "experiment": "matrix", "params": {"cells": 2}}
+    client.submit(dict(doc), idempotent=True)
+    key = captured["body"]["idempotency_key"]
+    assert isinstance(key, str) and len(key) == 32
+    # stable across resubmits, and derived from the work, not the tenant
+    client.submit(dict(doc), idempotent=True)
+    assert captured["body"]["idempotency_key"] == key
+    other = dict(doc, tenant="someone-else")
+    client.submit(other, idempotent=True)
+    assert captured["body"]["idempotency_key"] == key
+    # an explicit key is never overwritten
+    client.submit(dict(doc, idempotency_key="mine"), idempotent=True)
+    assert captured["body"]["idempotency_key"] == "mine"
+
+
+def test_rejects_non_http_urls():
+    with pytest.raises(ValueError, match="http"):
+        ServiceClient("https://example.com")

@@ -1,0 +1,200 @@
+"""The write-ahead intake journal: durability, tolerance, the schema.
+
+The journal is the service's crash-survival organ, so these tests hit
+the same edges the checkpoint-journal tests do — torn lines, foreign
+lines, duplicate records, write failures — plus the intake-specific
+contract: last record wins per campaign, orphan terminal records are
+dropped, and every journaled line validates against the checked-in
+``phantom.intake/1`` schema copy.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.service import (INTAKE_SCHEMA, IntakeJournal, IntakeRecord,
+                           load_intake)
+from repro.telemetry import INTAKE_JSON_SCHEMA, validate_intake
+from repro.telemetry.schema import SchemaError
+
+SCHEMA_COPY = Path(__file__).parent.parent / "data" / "intake.schema.json"
+
+
+def _admitted(campaign_id="c000001-abcd1234", seq=1, **kw):
+    defaults = dict(
+        campaign_id=campaign_id, seq=seq, state="admitted",
+        tenant="alice",
+        request={"schema": "phantom.job-request/1", "tenant": "alice",
+                 "experiment": "matrix"},
+        submitted_at=1700000000.0)
+    defaults.update(kw)
+    return IntakeRecord(**defaults)
+
+
+# -- round trip ---------------------------------------------------------------
+
+def test_append_then_load_roundtrip(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        assert journal.append_admitted(_admitted())
+    [record] = load_intake(path)
+    assert record.campaign_id == "c000001-abcd1234"
+    assert record.state == "admitted" and not record.terminal
+    assert record.request["experiment"] == "matrix"
+    assert record.tenant == "alice"
+
+
+def test_terminal_record_wins_and_merges_over_admitted(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        journal.append_admitted(_admitted(idempotency_key="k1"))
+        journal.append_terminal(
+            "c000001-abcd1234", 1, "done", finished_at=1700000100.0,
+            memo={"jobs": 4, "hits": 0, "misses": 4, "stored": 4,
+                  "hit_rate": 0.0},
+            manifest={"schema": "phantom.run-manifest/1"})
+    [record] = load_intake(path)
+    assert record.terminal and record.state == "done"
+    # merge keeps the admitted record's request context...
+    assert record.request["experiment"] == "matrix"
+    assert record.idempotency_key == "k1"
+    assert record.submitted_at == 1700000000.0
+    # ...under the terminal record's outcome.
+    assert record.finished_at == 1700000100.0
+    assert record.memo["jobs"] == 4
+    assert record.manifest["schema"] == "phantom.run-manifest/1"
+
+
+def test_load_preserves_admission_order(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        for seq in (1, 2, 3):
+            journal.append_admitted(_admitted(f"c{seq:06d}-x", seq=seq))
+        # finishing out of order must not reorder recovery
+        journal.append_terminal("c000002-x", 2, "failed",
+                                finished_at=1.0, error={"error": "boom"})
+    records = load_intake(path)
+    assert [r.campaign_id for r in records] \
+        == ["c000001-x", "c000002-x", "c000003-x"]
+    assert [r.terminal for r in records] == [False, True, False]
+
+
+# -- tolerance ----------------------------------------------------------------
+
+def test_torn_last_line_costs_one_record(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        journal.append_admitted(_admitted("c000001-x", seq=1))
+        journal.append_admitted(_admitted("c000002-x", seq=2))
+    blob = path.read_text()
+    path.write_text(blob[:-30])          # crash mid-append
+    records = load_intake(path)
+    assert [r.campaign_id for r in records] == ["c000001-x"]
+
+
+def test_foreign_and_invalid_lines_are_skipped(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        journal.append_admitted(_admitted())
+    with open(path, "a") as fh:
+        fh.write('{"schema": "phantom.progress/1", "event": "job"}\n')
+        fh.write("not json at all\n")
+        fh.write(json.dumps({"schema": INTAKE_SCHEMA,
+                             "campaign_id": "c9", "seq": "NaN",
+                             "state": "admitted"}) + "\n")
+        fh.write("\n")
+    assert len(load_intake(path)) == 1
+
+
+def test_orphan_terminal_record_is_dropped(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"schema": INTAKE_SCHEMA,
+                             "campaign_id": "c000009-x", "seq": 9,
+                             "state": "done", "finished_at": 1.0}) + "\n")
+    assert load_intake(path) == []
+
+
+def test_missing_journal_is_empty(tmp_path):
+    assert load_intake(tmp_path / "never-written.jsonl") == []
+
+
+def test_append_failure_degrades_with_one_warning(tmp_path, monkeypatch):
+    journal = IntakeJournal(tmp_path / "intake.jsonl")
+
+    def broken_write(_text):
+        raise OSError(28, "no space left on device")
+
+    monkeypatch.setattr(journal._fh, "write", broken_write)
+    with pytest.warns(RuntimeWarning, match="will not survive"):
+        assert journal.append_admitted(_admitted("c000001-x")) is False
+        # second failure: counted, but no second warning
+        assert journal.append_admitted(_admitted("c000002-x",
+                                                 seq=2)) is False
+    assert journal.write_errors == 2
+    monkeypatch.undo()
+    assert journal.append_admitted(_admitted("c000003-x", seq=3))
+    journal.close()
+    assert [r.campaign_id for r in load_intake(journal.path)] \
+        == ["c000003-x"]
+
+
+def test_append_validates_before_writing(tmp_path):
+    journal = IntakeJournal(tmp_path / "intake.jsonl")
+    bogus = _admitted()
+    bogus.state = "exploded"
+    with pytest.raises(SchemaError):
+        journal.append(bogus)
+    journal.close()
+    assert journal.path.read_text() == ""    # nothing half-journaled
+
+
+def test_append_terminal_rejects_non_terminal_state(tmp_path):
+    with IntakeJournal(tmp_path / "intake.jsonl") as journal:
+        with pytest.raises(ValueError, match="terminal state"):
+            journal.append_terminal("c1", 1, "admitted", finished_at=1.0)
+
+
+# -- the schema (satellite: checked-in copy + validation) --------------------
+
+def test_checked_in_schema_copy_matches_source():
+    """The committed copy is the wire contract reviewers diff against;
+    it must never drift from the code."""
+    assert json.loads(SCHEMA_COPY.read_text()) == INTAKE_JSON_SCHEMA
+
+
+def test_every_journaled_line_validates_against_the_copy(tmp_path):
+    path = tmp_path / "intake.jsonl"
+    with IntakeJournal(path) as journal:
+        journal.append_admitted(_admitted(idempotency_key="k"))
+        journal.append_terminal("c000001-abcd1234", 1, "failed",
+                                finished_at=2.0,
+                                error={"error": "quota_exceeded"})
+    copy = json.loads(SCHEMA_COPY.read_text())
+    required = set(copy["required"])
+    allowed = set(copy["properties"])
+    for line in path.read_text().splitlines():
+        doc = json.loads(line)
+        validate_intake(doc)
+        assert required <= set(doc) <= allowed
+
+
+@pytest.mark.parametrize("mutation, message", [
+    ({"schema": "phantom.intake/2"}, "schema"),
+    ({"state": "paused"}, "state"),
+    ({"seq": "one"}, "seq"),
+    ({"surprise": True}, "surprise"),
+])
+def test_validate_intake_rejects(mutation, message):
+    doc = {"schema": INTAKE_SCHEMA, "campaign_id": "c1", "seq": 1,
+           "state": "admitted"}
+    doc.update(mutation)
+    with pytest.raises(SchemaError, match=message):
+        validate_intake(doc)
+
+
+def test_validate_intake_rejects_missing_required():
+    with pytest.raises(SchemaError, match="campaign_id"):
+        validate_intake({"schema": INTAKE_SCHEMA, "seq": 1,
+                         "state": "admitted"})

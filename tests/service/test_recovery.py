@@ -1,0 +1,318 @@
+"""Crash recovery end to end, in-process: journal → replay → identical.
+
+These tests simulate the crash honestly: service A admits campaigns
+(journaled write-ahead) and is then simply *abandoned* — no drain, no
+terminal records, exactly what SIGKILL leaves behind.  Service B boots
+on the same state dir and must recover: re-enqueue in admission order,
+answer every pre-crash job from the content-addressed store, produce
+fingerprint-identical manifests, and honor idempotency keys across the
+restart.  The subprocess SIGKILL variant of the same contract lives in
+``repro chaos --service`` (exercised by the CI crash smoke); these
+stay in-process so they run in seconds under plain pytest.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runner import manifest_fingerprint, run_campaign
+from repro.service import (CampaignService, JOB_REQUEST_SCHEMA, JobRequest,
+                           ResultStore, ServiceConfig, TenantPolicy,
+                           Unavailable, error_from_doc)
+from repro.telemetry import REGISTRY
+
+
+def _config(tmp_path, **kw):
+    defaults = dict(
+        port=0, store_dir=str(tmp_path / "store"),
+        state_dir=str(tmp_path / "state"), jobs=1,
+        policy=TenantPolicy(rate_per_s=1000.0, burst=2000,
+                            max_active_campaigns=100))
+    defaults.update(kw)
+    return ServiceConfig(**defaults)
+
+
+def _matrix_doc(cells=2, seed=0, tenant="alice", key=None):
+    doc = {"schema": JOB_REQUEST_SCHEMA, "tenant": tenant,
+           "experiment": "matrix",
+           "params": {"uarches": ["zen 2"], "cells": cells,
+                      "seed": seed}}
+    if key is not None:
+        doc["idempotency_key"] = key
+    return doc
+
+
+def _clean_fingerprint(doc):
+    experiment = JobRequest.from_doc(doc).build()
+    return manifest_fingerprint(
+        run_campaign(experiment, jobs=1).raise_on_failure().manifest)
+
+
+def _crash_after_submitting(config, docs):
+    """Service A: admit *docs* (journaled), then vanish without drain.
+
+    ``submit_doc`` is synchronous on purpose (the loop only *runs*
+    campaigns), so the crash side needs no event loop at all — just
+    like a SIGKILL needs no cooperation from its victim.
+    """
+    service = CampaignService(config)
+    service.lifecycle.transition("ready")
+    ids = [service.submit_doc(doc).id for doc in docs]
+    service.journal.close()      # the fd would not survive a real crash
+    return ids
+
+
+def _recover_and_finish(config, waited_ids):
+    """Service B: boot on the same state dir, run recovery to the end."""
+    service = CampaignService(config)
+
+    async def drive():
+        await service.start()
+        for campaign_id in waited_ids:
+            await asyncio.wait_for(
+                service.campaigns[campaign_id].done.wait(), timeout=180)
+        await service.close()
+
+    asyncio.run(drive())
+    return service
+
+
+def test_recovery_requeues_in_admission_order_and_matches_clean(tmp_path):
+    config = _config(tmp_path)
+    docs = [_matrix_doc(cells=2, seed=0), _matrix_doc(cells=3, seed=1)]
+    ids = _crash_after_submitting(config, docs)
+
+    service = _recover_and_finish(config, ids)
+    assert service.recovered_count == 2
+    records = [service.campaigns[campaign_id] for campaign_id in ids]
+    assert [r.seq for r in records] == [1, 2]
+    assert all(r.state == "done" and r.recovered for r in records)
+    for doc, record in zip(docs, records):
+        assert manifest_fingerprint(record.manifest) \
+            == _clean_fingerprint(doc)
+        assert record.status_doc()["recovered"] is True
+
+
+def test_recovery_answers_precrash_jobs_from_store(tmp_path):
+    """The zero-duplicate-execution half of the contract: jobs that
+    finished before the crash come back as memo hits, never re-runs."""
+    config = _config(tmp_path)
+    doc = _matrix_doc(cells=4)
+    [campaign_id] = _crash_after_submitting(config, [doc])
+
+    # Simulate two jobs having completed (and been banked) pre-crash.
+    experiment = JobRequest.from_doc(doc).build()
+    reference = run_campaign(experiment, jobs=1).raise_on_failure()
+    store = ResultStore(config.store_dir)
+    for result in reference.results[:2]:
+        assert store.put(result.spec, result)
+
+    service = _recover_and_finish(config, [campaign_id])
+    record = service.campaigns[campaign_id]
+    assert record.state == "done"
+    assert record.memo["hits"] == 2 and record.memo["stored"] == 2
+    assert manifest_fingerprint(record.manifest) \
+        == manifest_fingerprint(reference.manifest)
+    # the recovery lineage is recorded, and stripped by fingerprint
+    assert record.manifest["outcome"]["resume"]["from"] \
+        .startswith("recovery:")
+
+
+def test_finished_campaigns_survive_restart_without_rerunning(tmp_path):
+    config = _config(tmp_path)
+    doc = _matrix_doc(cells=2)
+
+    first = CampaignService(config)
+
+    async def run_to_done():
+        await first.start()
+        record = first.submit_doc(doc)
+        await asyncio.wait_for(record.done.wait(), timeout=180)
+        await first.close()
+        return record
+
+    done_record = asyncio.run(run_to_done())
+    assert done_record.state == "done"
+    REGISTRY.enable()
+    jobs_before = REGISTRY.counter("service.jobs_served").value
+
+    second = _recover_and_finish(config, [])
+    assert second.recovered_count == 0      # nothing to re-enqueue
+    revived = second.campaigns[done_record.id]
+    assert revived.state == "done" and revived.done.is_set()
+    assert revived.memo == done_record.memo
+    assert manifest_fingerprint(revived.manifest) \
+        == manifest_fingerprint(done_record.manifest)
+    # recovery registered the record; it did not execute anything
+    assert REGISTRY.counter("service.jobs_served").value == jobs_before
+
+
+def test_idempotency_key_survives_the_crash(tmp_path):
+    config = _config(tmp_path)
+    doc = _matrix_doc(cells=2, key="retry-handle-1")
+    [original] = _crash_after_submitting(config, [doc])
+
+    service = _recover_and_finish(config, [original])
+
+    async def resubmit():
+        return service.submit_doc(doc)
+
+    service.lifecycle.state = "ready"       # close() left it mid-flight
+    REGISTRY.enable()
+    replay = asyncio.run(resubmit())
+    assert replay.id == original
+    assert REGISTRY.counter("service.idempotent_replays").value == 1
+
+
+def test_idempotent_resubmit_same_instance(tmp_path):
+    config = _config(tmp_path)
+    service = CampaignService(config)
+    service.lifecycle.transition("ready")
+    first = service.submit_doc(_matrix_doc(key="k1"))
+    again = service.submit_doc(_matrix_doc(key="k1"))
+    assert again is first
+    # same work, different key: a distinct submission on purpose
+    other = service.submit_doc(_matrix_doc(key="k2"))
+    assert other.id != first.id
+    # no key: every resubmission runs (the pre-existing behaviour)
+    assert service.submit_doc(_matrix_doc()).id \
+        != service.submit_doc(_matrix_doc()).id
+    service.journal.close()
+
+
+def test_recovery_skips_undecodable_requests_and_fails_unbuildable(
+        tmp_path):
+    config = _config(tmp_path)
+    [good] = _crash_after_submitting(config, [_matrix_doc(cells=2)])
+    # hand-append two poisoned admitted records: one whose request no
+    # longer parses (protocol drift), one that parses but cannot build
+    with open(config.state_dir + "/intake.jsonl", "a") as fh:
+        fh.write(json.dumps({
+            "schema": "phantom.intake/1", "campaign_id": "c000098-dead",
+            "seq": 98, "state": "admitted",
+            "request": {"schema": "phantom.job-request/1",
+                        "tenant": "bob", "experiment": "warp-drive"},
+        }) + "\n")
+        fh.write(json.dumps({
+            "schema": "phantom.intake/1", "campaign_id": "c000099-dead",
+            "seq": 99, "state": "admitted", "tenant": "bob",
+            "request": {"schema": "phantom.job-request/1",
+                        "tenant": "bob", "experiment": "matrix",
+                        "params": {"cells": -4}},
+        }) + "\n")
+
+    service = _recover_and_finish(config, [good])
+    assert service.campaigns[good].state == "done"
+    assert "c000098-dead" not in service.campaigns      # skipped
+    poisoned = service.campaigns["c000099-dead"]        # failed, visible
+    assert poisoned.state == "failed" and poisoned.done.is_set()
+    assert poisoned.error["error"] == "bad_request"
+    # ids keep counting from the journal's high-water mark (the closed
+    # journal degrades with a warning; the submit itself still works)
+    service.lifecycle.state = "ready"
+    with pytest.warns(RuntimeWarning, match="intake journal"):
+        assert service.submit_doc(_matrix_doc()).seq == 100
+
+
+# -- lifecycle: drain, queue-full, readiness ---------------------------------
+
+def test_drain_rejects_new_work_with_typed_503(tmp_path):
+    config = _config(tmp_path)
+    service = CampaignService(config)
+
+    async def drive():
+        await service.start()
+        assert service.lifecycle.state == "ready"
+        await service.drain()
+        assert service.lifecycle.state == "stopped"
+        with pytest.raises(Unavailable) as excinfo:
+            service.submit_doc(_matrix_doc())
+        return excinfo.value
+
+    error = asyncio.run(drive())
+    assert error.http_status == 503
+    assert error.retry_after_s > 0
+    assert error.details["state"] == "stopped"
+    # drain is idempotent: a second SIGTERM must be harmless
+    asyncio.run(service.drain())
+
+
+def test_queue_full_rejection_carries_backlog_retry_after(tmp_path):
+    """Satellite: Retry-After from queue depth x mean campaign wall
+    time, carried through the wire document back into a client-side
+    typed error."""
+    config = _config(tmp_path, max_queue=2, default_wall_s=7.0)
+    service = CampaignService(config)
+    service.lifecycle.transition("ready")    # no runner: queue only fills
+    service.submit_doc(_matrix_doc(seed=1))
+    service.submit_doc(_matrix_doc(seed=2))
+    with pytest.raises(Unavailable) as excinfo:
+        service.submit_doc(_matrix_doc(seed=3))
+    error = excinfo.value
+    assert error.http_status == 503
+    # 2 queued campaigns x the 7s prior (no wall-time samples yet)
+    assert error.retry_after_s == pytest.approx(14.0)
+    assert error.details["queue_depth"] == 2
+    assert error.details["max_queue"] == 2
+
+    # the hint survives the wire round trip for any error code
+    revived = error_from_doc(json.loads(json.dumps(error.to_doc())),
+                             http_status=503)
+    assert isinstance(revived, Unavailable)
+    assert revived.retry_after_s == pytest.approx(14.0)
+    service.journal.close()
+
+
+def test_mean_wall_time_feeds_the_backlog_hint(tmp_path):
+    config = _config(tmp_path, max_queue=1, default_wall_s=30.0)
+    service = CampaignService(config)
+    service.lifecycle.transition("ready")
+    service._wall_times.extend([2.0, 4.0])   # two finished campaigns
+    service.submit_doc(_matrix_doc(seed=1))
+    with pytest.raises(Unavailable) as excinfo:
+        service.submit_doc(_matrix_doc(seed=2))
+    assert excinfo.value.retry_after_s == pytest.approx(3.0)  # 1 x mean
+    service.journal.close()
+
+
+def test_readyz_is_distinct_from_healthz(tmp_path):
+    config = _config(tmp_path)
+    service = CampaignService(config)
+    status, doc = service.ready_doc()
+    assert status == 503 and doc["lifecycle"] == "starting"
+    assert service.health_doc()["status"] == "ok"    # alive regardless
+
+    service.lifecycle.transition("ready")
+    status, doc = service.ready_doc()
+    assert status == 200 and doc["status"] == "ready"
+
+    service.lifecycle.transition("draining")
+    status, doc = service.ready_doc()
+    assert status == 503 and doc["lifecycle"] == "draining"
+    assert service.health_doc()["status"] == "ok"
+    assert service.health_doc()["lifecycle"] == "draining"
+    service.journal.close()
+
+
+def test_recovery_restores_quota_accounting(tmp_path):
+    config = _config(tmp_path)
+    [campaign_id] = _crash_after_submitting(
+        config, [_matrix_doc(cells=2, tenant="carol")])
+
+    service = CampaignService(config)
+    service.lifecycle.transition("recovering")
+    service.recover()
+    snapshot = service.quotas.snapshot()["carol"]
+    assert snapshot["active_campaigns"] == 1
+    assert snapshot["total_jobs"] == 2
+
+    async def finish():
+        service.lifecycle.transition("ready")
+        service._runner_task = asyncio.ensure_future(service._drain())
+        await asyncio.wait_for(
+            service.campaigns[campaign_id].done.wait(), timeout=180)
+        await service.close()
+
+    asyncio.run(finish())
+    assert service.quotas.snapshot()["carol"]["active_campaigns"] == 0

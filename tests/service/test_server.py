@@ -131,3 +131,50 @@ def test_stats_reflect_the_store(client):
     assert stats["store"]["entries"] >= 3
     assert stats["store"]["hits"] >= 3
     assert stats["campaigns"].get("done", 0) >= 4
+
+
+def test_disconnected_event_subscriber_is_unsubscribed(service):
+    """Regression: a client that vanished mid-stream used to linger in
+    ``record.subscribers`` forever — a half-closed socket's ``drain``
+    may never raise, so the dead queue kept accumulating every event
+    the campaign emitted.  The stream handler now watches the reader
+    for EOF concurrently with the event queue and unsubscribes the
+    moment the peer goes away."""
+    import socket
+    import time as _time
+
+    from repro.service import JobRequest
+    from repro.service.server import CampaignRecord
+
+    svc = service.service
+    record = CampaignRecord(
+        id="c999999-leak", request=JobRequest.from_doc(_matrix_doc()),
+        jobs=1, job_count=2, state="running")
+    svc.campaigns[record.id] = record
+    try:
+        _scheme, rest = service.url.split("://")
+        host, port = rest.split(":")
+        sock = socket.create_connection((host, int(port)), timeout=10)
+        sock.settimeout(10)
+        sock.sendall(b"GET /v1/campaigns/c999999-leak/events HTTP/1.1\r\n"
+                     b"Host: t\r\nConnection: close\r\n\r\n")
+        assert b"200 OK" in sock.recv(4096)
+        deadline = _time.time() + 5
+        while not record.subscribers and _time.time() < deadline:
+            _time.sleep(0.01)
+        assert len(record.subscribers) == 1
+
+        sock.close()                        # abrupt mid-stream disconnect
+        # keep the campaign chatty: pushes to a dead subscriber must
+        # neither crash the loop nor stop the cleanup from happening
+        for i in range(3):
+            service._loop.call_soon_threadsafe(
+                svc._push_event, record, json.dumps({"event": "job",
+                                                     "n": i}))
+        deadline = _time.time() + 5
+        while record.subscribers and _time.time() < deadline:
+            _time.sleep(0.01)
+        assert record.subscribers == []     # the leak, had it survived
+        assert len(record.event_lines) == 3
+    finally:
+        svc.campaigns.pop(record.id, None)

@@ -191,3 +191,83 @@ def test_memoized_rejects_explicit_resume(tmp_path):
         assert "resume" in str(exc)
     else:
         raise AssertionError("resume= should be rejected")
+
+
+# -- eviction vs in-flight lookups (the service-lifetime races) --------------
+
+def test_hit_refreshes_mtime_and_shields_from_eviction(tmp_path):
+    """A lookup refreshes its entry's mtime *before* parsing, so an
+    entry being read is never the oldest candidate by the time an
+    eviction pass lists it."""
+    store = ResultStore(tmp_path)
+    experiment = ToyExperiment(n=3)
+    specs = experiment.job_specs()
+    for stamp, spec in enumerate(specs):
+        store.put(spec, execute_job(experiment, spec))
+        os.utime(store.path_for(spec_fingerprint(spec)),
+                 (1_000_000 + stamp, 1_000_000 + stamp))
+    # read the oldest: the hit bumps it to "now"
+    assert store.get(spec_fingerprint(specs[0])) is not None
+    assert store.evict_to(2) == 1
+    assert store.path_for(spec_fingerprint(specs[0])).exists()
+    assert not store.path_for(spec_fingerprint(specs[1])).exists()
+
+
+def test_eviction_spares_entry_refreshed_mid_pass(tmp_path, monkeypatch):
+    """The narrow race: an entry is listed as an eviction candidate,
+    then a lookup touches it before the unlink.  The pass must re-stat
+    and spare it, evicting the next-oldest instead."""
+    from pathlib import Path
+
+    store = ResultStore(tmp_path)
+    experiment = ToyExperiment(n=4)
+    specs = experiment.job_specs()
+    paths = []
+    for stamp, spec in enumerate(specs):
+        store.put(spec, execute_job(experiment, spec))
+        path = store.path_for(spec_fingerprint(spec))
+        os.utime(path, (1_000_000 + stamp, 1_000_000 + stamp))
+        paths.append(path)
+
+    real_unlink = Path.unlink
+
+    def racing_unlink(self, *args, **kwargs):
+        # While the pass unlinks the oldest entry, a concurrent get()
+        # lands on the second-oldest (candidate #2 of this very pass).
+        if self == paths[0]:
+            os.utime(paths[1])
+        return real_unlink(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    assert store.evict_to(2) == 2
+    monkeypatch.undo()
+
+    assert not paths[0].exists()      # oldest: evicted before the touch
+    assert paths[1].exists()          # touched mid-pass: spared
+    assert not paths[2].exists()      # next-oldest paid instead
+    assert paths[3].exists()
+    assert len(store) == 2
+
+
+def test_corrupt_delete_then_eviction_recounts(tmp_path):
+    """A corrupt entry's delete already shrank the store; the next
+    eviction pass must work from a fresh count, not a stale one."""
+    store = ResultStore(tmp_path)
+    experiment = ToyExperiment(n=4)
+    specs = experiment.job_specs()
+    for stamp, spec in enumerate(specs):
+        store.put(spec, execute_job(experiment, spec))
+        os.utime(store.path_for(spec_fingerprint(spec)),
+                 (1_000_000 + stamp, 1_000_000 + stamp))
+
+    # corrupt the newest entry; the failed lookup deletes it
+    store.path_for(spec_fingerprint(specs[3])).write_text("{torn")
+    assert store.get(spec_fingerprint(specs[3])) is None
+    assert store.corrupt == 1 and len(store) == 3
+
+    # 3 entries toward a limit of 2: exactly one eviction, and the
+    # already-deleted corrupt entry is never double-counted
+    assert store.evict_to(2) == 1
+    assert store.evictions == 1
+    assert len(store) == 2 == store.stats()["entries"]
+    assert not store.path_for(spec_fingerprint(specs[0])).exists()
